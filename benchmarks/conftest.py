@@ -1,0 +1,25 @@
+"""Shared configuration for the figure/table regeneration benches.
+
+Each benchmark regenerates one paper artifact (Figs. 6-13, Table I)
+and prints the measured rows so a ``pytest benchmarks/ --benchmark-only
+-s`` run doubles as the reproduction report.  ``REPRO_BENCH_REPEATS``
+controls how many replicate runs back the Fig. 6/8 means (the paper
+uses 5; default here is 2 to keep a full bench sweep in the minutes
+range).
+"""
+
+import os
+
+import pytest
+
+#: Replicates per experiment cell in the violation-time benches.
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
+
+#: Seed base for all benches (replicates offset from it).
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "11"))
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under the benchmark
+    fixture (pedantic mode) and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

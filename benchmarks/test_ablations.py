@@ -1,0 +1,121 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these quantify the choices the paper
+asserts qualitatively (TAN over naive Bayes for attribution, scaling
+preferred over migration with fallback) and the robustness extensions
+this reproduction adds (soft prediction, classic-vs-robust pipeline).
+"""
+
+import numpy as np
+from conftest import SEED, run_once
+
+from repro.core.actuation import METRIC_RESOURCE_MAP
+from repro.core.controller import PrepareConfig
+from repro.experiments import ExperimentConfig, run_experiment, RUBIS, SYSTEM_S
+from repro.faults import FaultKind
+from repro.sim.resources import ResourceKind
+
+
+def _leak_run(controller_config, app=RUBIS, seed=SEED, mode="scaling"):
+    return run_experiment(ExperimentConfig(
+        app=app, fault=FaultKind.MEMORY_LEAK, scheme="prepare",
+        action_mode=mode, seed=seed, controller=controller_config,
+    ))
+
+
+def _memory_action_rate(result, vm):
+    """Fraction of the faulty VM's actions that scaled memory (the
+    correct resource for a leak)."""
+    actions = [a for a in result.actions if a.vm == vm]
+    if not actions:
+        return 0.0
+    memory = [a for a in actions if a.resource is ResourceKind.MEMORY]
+    return len(memory) / len(actions)
+
+
+def test_tan_vs_naive_attribution(benchmark):
+    """Paper Sec. II-B: naive Bayes classifies well but attributes
+    poorly — PREPARE adopts TAN for the metric ranking.
+
+    Both classifiers drive the full loop on a DB memory leak; the TAN
+    loop must identify memory as the resource to scale at least as
+    reliably, and both must beat no intervention."""
+    def both():
+        tan = _leak_run(PrepareConfig(classifier="tan"))
+        naive = _leak_run(PrepareConfig(classifier="naive"))
+        none = run_experiment(ExperimentConfig(
+            app=RUBIS, fault=FaultKind.MEMORY_LEAK, scheme="none", seed=SEED,
+        ))
+        return tan, naive, none
+
+    tan, naive, none = run_once(benchmark, both)
+    tan_rate = _memory_action_rate(tan, "vm_db")
+    naive_rate = _memory_action_rate(naive, "vm_db")
+    print(f"\nmemory-scaling rate on the leaking VM: "
+          f"TAN {100 * tan_rate:.0f}% vs naive {100 * naive_rate:.0f}%")
+    print(f"violation time: TAN {tan.violation_time:.0f}s, "
+          f"naive {naive.violation_time:.0f}s, none {none.violation_time:.0f}s")
+    assert tan_rate >= naive_rate - 0.25
+    assert tan_rate >= 0.5
+    assert tan.violation_time < 0.5 * none.violation_time
+    assert naive.violation_time < 0.7 * none.violation_time
+
+
+def test_auto_mode_prefers_scaling(benchmark):
+    """Paper Sec. II-D: 'PREPARE strives to first use resource scaling'
+    and migrates only when local resources are insufficient.  With
+    local headroom available, auto mode must act like scaling mode and
+    never migrate."""
+    def both():
+        auto = _leak_run(PrepareConfig(), mode="auto")
+        scaling = _leak_run(PrepareConfig(), mode="scaling")
+        return auto, scaling
+
+    auto, scaling = run_once(benchmark, both)
+    migrations = [a for a in auto.actions if a.verb == "migrate"]
+    print(f"\nauto-mode violation {auto.violation_time:.0f}s "
+          f"(scaling-mode {scaling.violation_time:.0f}s), "
+          f"{len(migrations)} migrations")
+    assert migrations == []
+    assert auto.violation_time <= scaling.violation_time + 20.0
+
+
+def test_soft_vs_hard_prediction_online(benchmark):
+    """The soft (expected Eq. 1) scoring is this reproduction's
+    stabilization of the paper's hard point-prediction classification;
+    online it must not lose to hard mode and should act no less
+    accurately."""
+    def both():
+        soft = _leak_run(PrepareConfig(prediction_mode="soft"),
+                         app=SYSTEM_S)
+        hard = _leak_run(PrepareConfig(prediction_mode="hard"),
+                         app=SYSTEM_S)
+        return soft, hard
+
+    soft, hard = run_once(benchmark, both)
+    print(f"\nviolation time: soft {soft.violation_time:.0f}s, "
+          f"hard {hard.violation_time:.0f}s; actions "
+          f"soft {len(soft.actions)}, hard {len(hard.actions)}")
+    assert soft.violation_time <= hard.violation_time + 25.0
+
+
+def test_robust_vs_classic_pipeline_online(benchmark):
+    """Running the classic (paper-verbatim) classifier pipeline inside
+    the online loop shows why the robustness extensions exist: the
+    classic loop fires far more (mostly spurious) actions for the same
+    or worse violation time."""
+    def both():
+        robust = _leak_run(PrepareConfig(robust=True), app=SYSTEM_S)
+        classic = _leak_run(
+            PrepareConfig(robust=False, class_prior="empirical",
+                          prediction_mode="hard"),
+            app=SYSTEM_S,
+        )
+        return robust, classic
+
+    robust, classic = run_once(benchmark, both)
+    print(f"\nviolation time: robust {robust.violation_time:.0f}s "
+          f"({len(robust.actions)} actions), classic "
+          f"{classic.violation_time:.0f}s ({len(classic.actions)} actions)")
+    assert robust.violation_time <= classic.violation_time + 10.0
+    assert len(robust.actions) <= len(classic.actions) + 3

@@ -1,0 +1,27 @@
+"""Fig. 11: 2-dependent vs simple Markov value prediction.
+
+Paper shape: the 2-dependent model achieves higher prediction accuracy
+than the simple first-order chain, with the gap widening at larger
+look-ahead windows (multi-step prediction of trending attributes needs
+the slope information the combined states encode).
+"""
+
+import numpy as np
+from conftest import SEED, run_once
+
+from repro.experiments import fig11_markov_comparison, render_accuracy_series
+
+
+def test_fig11_markov_comparison(benchmark):
+    data = run_once(benchmark, fig11_markov_comparison)
+    print()
+    for label, series in data.items():
+        print(render_accuracy_series(series, f"Fig. 11 panel: {label}"))
+        print()
+    for label, series in data.items():
+        two_dep = np.array(series["2dep"]["A_T"])
+        simple = np.array(series["simple"]["A_T"])
+        # Focus on the larger look-ahead half of the sweep, where the
+        # paper's gap is widest; allow a small noise tolerance.
+        half = len(two_dep) // 2
+        assert two_dep[half:].mean() >= simple[half:].mean() - 1.5, label

@@ -1,0 +1,26 @@
+"""Fig. 12: accuracy under k-of-W false-alarm filter settings.
+
+Paper shape: larger k filters more false alarms (k=3 lowest A_F) at
+the cost of a slightly lower true-positive rate (confirmation delay of
+k-1 sampling intervals).  The paper picks k=3, W=4.
+"""
+
+import numpy as np
+from conftest import SEED, run_once
+
+from repro.experiments import fig12_alert_filtering, render_accuracy_series
+
+
+def test_fig12_alert_filtering(benchmark):
+    data = run_once(benchmark, lambda: fig12_alert_filtering(seed=2))
+    print()
+    print(render_accuracy_series(
+        data, "Fig. 12: k-of-W filtering, bottleneck fault on RUBiS"
+    ))
+    mean_af = {k: np.mean(series["A_F"]) for k, series in data.items()}
+    mean_at = {k: np.mean(series["A_T"]) for k, series in data.items()}
+    # A_F monotone non-increasing in k.
+    assert mean_af["k=3,W=4"] <= mean_af["k=2,W=4"] + 1e-9
+    assert mean_af["k=2,W=4"] <= mean_af["k=1,W=4"] + 1e-9
+    # A_T pays at most a modest price for k=3.
+    assert mean_at["k=3,W=4"] >= mean_at["k=1,W=4"] - 20.0

@@ -1,0 +1,51 @@
+"""Fig. 13: accuracy under 1 s / 5 s / 10 s sampling intervals.
+
+Paper shape: the 5 s interval achieves the best accuracy.  1 s
+sampling needs many more Markov steps per look-ahead window (45 steps
+for 45 s) and degrades sharply at large windows; 10 s sampling is too
+coarse to capture pre-anomaly behaviour.
+
+Reproduction note: the paper runs this on the RUBiS bottleneck fault;
+in this simulator that workload ramp is smooth enough for a 10 s
+sampler to keep its A_T (it only pays in false alarms).  The memory
+leak's sharp swap onset reproduces the paper's full U-shape, so the
+bench asserts the U-shape there and the weaker ordering (5 s best on
+false alarms, 1 s collapse) on the paper's bottleneck workload.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig13_sampling_intervals, render_accuracy_series
+from repro.faults import FaultKind
+
+
+def balanced_error(series):
+    return (100.0 - np.mean(series["A_T"])) + np.mean(series["A_F"])
+
+
+def test_fig13_sampling_interval_memory_leak(benchmark):
+    data = run_once(benchmark, lambda: fig13_sampling_intervals(seed=2))
+    print()
+    print(render_accuracy_series(
+        data, "Fig. 13: sampling intervals, memory leak on RUBiS"
+    ))
+    error = {key: balanced_error(series) for key, series in data.items()}
+    print(f"\nbalanced error: {error}")
+    assert error["5s"] < error["1s"], "5s must beat 1s sampling"
+    assert error["5s"] < error["10s"], "5s must beat 10s sampling"
+
+
+def test_fig13_sampling_interval_bottleneck(benchmark):
+    data = run_once(
+        benchmark,
+        lambda: fig13_sampling_intervals(seed=2, fault=FaultKind.BOTTLENECK),
+    )
+    print()
+    print(render_accuracy_series(
+        data, "Fig. 13 (paper workload): sampling intervals, bottleneck on RUBiS"
+    ))
+    # 1 s collapses at large look-aheads; 5 s keeps high A_T with lower
+    # false alarms than 10 s.
+    assert np.mean(data["5s"]["A_T"]) > np.mean(data["1s"]["A_T"]) + 20.0
+    assert np.mean(data["5s"]["A_F"]) < np.mean(data["10s"]["A_F"])

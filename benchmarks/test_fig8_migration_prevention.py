@@ -1,0 +1,51 @@
+"""Fig. 8: SLO violation time under live-migration prevention.
+
+Paper shape: PREPARE still reduces violation time by 88-99% vs no
+intervention and 3-97% vs reactive, but migration incurs longer
+violation times than scaling (the guest runs degraded during the
+pre-copy phase and a migration takes ~8-15 s to complete).
+"""
+
+from conftest import REPEATS, SEED, run_once
+
+from repro.experiments import (
+    fig6_scaling_prevention,
+    fig8_migration_prevention,
+    render_violation_table,
+)
+
+
+def test_fig8_migration_prevention(benchmark):
+    data = run_once(
+        benchmark, lambda: fig8_migration_prevention(repeats=REPEATS, seed=SEED)
+    )
+    print()
+    print(render_violation_table(
+        data, "Fig. 8: SLO violation time, live migration prevention"
+    ))
+    for app, faults in data.items():
+        for fault, schemes in faults.items():
+            assert schemes["prepare"]["mean"] <= schemes["none"]["mean"], (
+                app, fault
+            )
+
+
+def test_fig8_migration_costs_more_than_scaling(benchmark):
+    """Cross-figure check: Fig. 8 violation times exceed Fig. 6's for
+    the same (app, fault) under PREPARE in most cases."""
+    def both():
+        scaling = fig6_scaling_prevention(repeats=1, seed=SEED + 7)
+        migration = fig8_migration_prevention(repeats=1, seed=SEED + 7)
+        return scaling, migration
+
+    scaling, migration = run_once(benchmark, both)
+    worse = 0
+    total = 0
+    for app in scaling:
+        for fault in scaling[app]:
+            total += 1
+            if (migration[app][fault]["prepare"]["mean"]
+                    >= scaling[app][fault]["prepare"]["mean"]):
+                worse += 1
+    print(f"\nmigration >= scaling violation time in {worse}/{total} cases")
+    assert worse >= total - 1

@@ -1,0 +1,37 @@
+"""Multi-tenant isolation (the paper's IaaS framing, evaluated).
+
+The paper motivates PREPARE for clouds "shared by multiple users" but
+evaluates single applications.  This bench hosts System S and RUBiS on
+one cluster with independent PREPARE controllers, injects a DB memory
+leak into RUBiS only, and checks tenant isolation.
+
+Shape: the faulty tenant's violation time collapses versus the
+unmanaged twin; the innocent tenant records zero violations and zero
+actions; no controller ever acts on the other tenant's VMs.
+"""
+
+from conftest import run_once
+
+from repro.experiments.multi_tenant import run_multi_tenant
+
+
+def test_multi_tenant_isolation(benchmark):
+    def both():
+        return run_multi_tenant(managed=True), run_multi_tenant(managed=False)
+
+    managed, unmanaged = run_once(benchmark, both)
+    print()
+    for name in ("rubis", "system-s"):
+        m, u = managed[name], unmanaged[name]
+        print(
+            f"{name:9s} managed {m.violation_time:5.0f}s "
+            f"(own actions {m.actions_on_own_vms}, foreign "
+            f"{m.actions_on_foreign_vms}) vs unmanaged {u.violation_time:5.0f}s"
+        )
+    assert (
+        managed["rubis"].violation_time
+        < 0.5 * unmanaged["rubis"].violation_time
+    )
+    assert managed["system-s"].violation_time == 0.0
+    for outcome in managed.values():
+        assert outcome.actions_on_foreign_vms == 0

@@ -1,0 +1,49 @@
+"""Online parameter sweeps: the operational face of Figs. 12-13.
+
+The paper sweeps k-of-W and sampling intervals in trace-driven
+accuracy terms; a deployer cares about the end metric.  This bench
+runs the *full loop* across filter settings and scaling factors and
+reports the violation-time/action-volume trade-offs.
+"""
+
+from conftest import SEED, run_once
+
+from repro.experiments.scenarios import SYSTEM_S
+from repro.experiments.sweeps import filter_sweep, scale_factor_sweep
+from repro.faults import FaultKind
+
+
+def test_filter_setting_tradeoff_online(benchmark):
+    out = run_once(
+        benchmark,
+        lambda: filter_sweep(SYSTEM_S, FaultKind.BOTTLENECK, seed=SEED),
+    )
+    print()
+    print(f"{'setting':10s} {'violation (s)':>14s} {'actions':>8s}")
+    for setting, cell in out.items():
+        print(f"{setting:10s} {cell['violation_time']:14.0f} "
+              f"{cell['actions']:8.0f}")
+    # The operational trade-off behind the paper's k=3 choice: fewer
+    # (potentially spurious) actions as k grows, at a bounded cost in
+    # violation time.
+    assert out["k=3,W=4"]["actions"] <= out["k=1,W=4"]["actions"]
+    assert (
+        out["k=3,W=4"]["violation_time"]
+        <= out["k=1,W=4"]["violation_time"] + 30.0
+    )
+
+
+def test_scale_factor_tradeoff_online(benchmark):
+    out = run_once(
+        benchmark,
+        lambda: scale_factor_sweep(SYSTEM_S, FaultKind.CPU_HOG, seed=SEED),
+    )
+    print()
+    print(f"{'factor':>7s} {'violation (s)':>14s} {'actions':>8s}")
+    for factor, cell in out.items():
+        print(f"{factor:7.1f} {cell['violation_time']:14.0f} "
+              f"{cell['actions']:8.0f}")
+    # Under-provisioning (1.5x against a full-core hog) costs violation
+    # time; 2x suffices and 3x adds nothing.
+    assert out[1.5]["violation_time"] >= out[2.0]["violation_time"]
+    assert out[3.0]["violation_time"] <= out[2.0]["violation_time"] + 15.0

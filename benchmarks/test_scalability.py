@@ -1,0 +1,26 @@
+"""Scalability of the per-VM architecture (paper's distribution claim).
+
+Shape to reproduce: the data-path cost per monitoring round grows
+~linearly in the fleet size, the per-VM slice stays flat and tiny
+relative to the 5 s sampling interval, and therefore sharding the
+per-VM models across nodes (the paper's proposal) scales the design.
+"""
+
+from conftest import run_once
+
+from repro.experiments.scalability import scalability_sweep
+
+
+def test_per_vm_cost_flat_with_fleet_size(benchmark):
+    data = run_once(benchmark, scalability_sweep)
+    print()
+    print(f"{'VMs':>5s} {'round (ms)':>12s} {'per-VM (ms)':>12s}")
+    for n_vms, cell in data.items():
+        print(f"{n_vms:5d} {cell['round_ms']:12.2f} {cell['per_vm_ms']:12.3f}")
+
+    sizes = sorted(data)
+    smallest, largest = sizes[0], sizes[-1]
+    # Per-VM cost is flat: within 3x across a 20x fleet growth.
+    assert data[largest]["per_vm_ms"] < 3.0 * data[smallest]["per_vm_ms"]
+    # Even the whole 100-VM round fits comfortably in the 5 s interval.
+    assert data[largest]["round_ms"] < 2_500.0

@@ -1,0 +1,62 @@
+"""Table I: CPU cost of each PREPARE module.
+
+Paper values (their testbed): monitoring 4.68 ms, simple Markov
+training (600 samples) 61 ms, 2-dep Markov training 135 ms, TAN
+training 4 ms, anomaly prediction 1.3 ms, CPU scaling 107 ms, memory
+scaling 116 ms, live migration (512 MB) 8.56 s.
+
+Shape to reproduce: every learning/prediction module costs at most
+tens of milliseconds (practical for a 5 s control loop); 2-dep Markov
+training costs more than simple Markov training; the actuation verbs
+carry the platform latencies (which this simulator sets to the paper's
+measured values by construction).
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_overhead_table, table1_overhead
+
+
+def test_table1_overhead(benchmark):
+    rows = run_once(benchmark, table1_overhead)
+    print()
+    print(render_overhead_table(rows))
+
+    # Learning modules are control-loop friendly (<< 5 s interval).
+    for module in (
+        "vm_monitoring_13_attributes",
+        "simple_markov_training_600",
+        "two_dep_markov_training_600",
+        "tan_training_600",
+        "anomaly_prediction",
+    ):
+        assert rows[module]["mean_ms"] < 500.0, module
+
+    # 2-dependent Markov training costs more than simple (paper: ~2.2x).
+    assert (
+        rows["two_dep_markov_training_600"]["mean_ms"]
+        > rows["simple_markov_training_600"]["mean_ms"]
+    )
+
+    # Actuation latencies are the paper's Table I values.
+    assert rows["cpu_scaling"]["mean_ms"] == 107.0
+    assert rows["memory_scaling"]["mean_ms"] == 116.0
+    assert rows["live_migration_512mb"]["mean_ms"] == 8560.0
+
+
+def test_prediction_fast_enough_for_online_loop(benchmark):
+    """Microbenchmark the per-sample prediction itself (the operation
+    PREPARE runs for every VM every 5 s)."""
+    import numpy as np
+
+    from repro.core.predictor import AnomalyPredictor
+
+    rng = np.random.default_rng(0)
+    values = rng.normal(50.0, 10.0, (600, 13))
+    labels = (rng.random(600) < 0.2).astype(int)
+    predictor = AnomalyPredictor([f"a{i}" for i in range(13)])
+    predictor.train(values, labels)
+    recent = values[-2:]
+
+    result = benchmark(lambda: predictor.predict(recent, steps=6))
+    assert result.attributes == tuple(f"a{i}" for i in range(13))

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Trace-driven anomaly-prediction accuracy (paper Figs. 10-11).
+
+Uses the same generators as the benchmark harness: labelled monitoring
+traces are collected from without-intervention runs (two injections of
+the same fault), models train on the first injection and predict the
+second, and the look-ahead window is swept to compare
+
+* the per-component (per-VM) model against a monolithic model over all
+  VMs' attributes (Fig. 10), and
+* the 2-dependent Markov value predictor against the simple first-
+  order chain (Fig. 11, averaged over several trace seeds — a single
+  ~60-sample test injection is noisy).
+
+Run:  python examples/prediction_accuracy.py     (takes a few minutes)
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    fig10_per_component_vs_monolithic,
+    fig11_markov_comparison,
+    render_accuracy_series,
+)
+
+
+def main() -> None:
+    print("Fig. 10: collecting traces and evaluating per-VM vs monolithic...")
+    fig10 = fig10_per_component_vs_monolithic(seed=2)
+    for label, series in fig10.items():
+        print()
+        print(render_accuracy_series(series, f"Fig. 10 panel: {label}"))
+
+    print("\nFig. 11: 2-dependent vs simple Markov (averaged over 3 seeds)...")
+    fig11 = fig11_markov_comparison()
+    for label, series in fig11.items():
+        print()
+        print(render_accuracy_series(series, f"Fig. 11 panel: {label}"))
+
+    print()
+    leak = fig10["memory_leak_system_s"]
+    mono_af = np.mean(leak["monolithic"]["A_F"])
+    per_af = np.mean(leak["per-vm"]["A_F"])
+    print(
+        "Reading the tables: A_T is the true-positive rate, A_F the "
+        "false-alarm rate (Eq. 3).\n"
+        f"On the System S leak, the monolithic model averages "
+        f"{mono_af:.0f}% false alarms vs the\nper-component model's "
+        f"{per_af:.0f}% — with 91 concatenated attributes, value-"
+        "prediction errors\naccumulate, which is exactly why PREPARE "
+        "builds one model per VM (Fig. 10).\n"
+        "In the Fig. 11 panels the simple chain collapses at large "
+        "look-ahead windows while\nthe 2-dependent chain holds — the "
+        "combined states encode the trend's slope."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Unsupervised anomaly detection (the paper's Sec. V extension).
+
+PREPARE's supervised TAN classifier can only predict *recurrent*
+anomalies — it needs a labelled first occurrence.  The paper proposes
+unsupervised models as future work; this example demonstrates the
+:class:`repro.core.OutlierDetector` extension catching a never-before-
+seen fault with no labels at all.
+
+A CPU hog is injected into the RUBiS database VM exactly once.  The
+detector is fitted on the first 200 s of (unlabelled) normal
+monitoring data and then screens the rest of the run.
+
+Run:  python examples/unsupervised_detection.py
+"""
+
+import numpy as np
+
+from repro.core import OutlierDetector
+from repro.experiments import ExperimentConfig, run_experiment, RUBIS
+from repro.faults import FaultKind
+from repro.sim.monitor import ATTRIBUTES
+
+
+def main() -> None:
+    print("Running a single, never-seen CPU-hog injection (no labels)...")
+    result = run_experiment(ExperimentConfig(
+        app=RUBIS,
+        fault=FaultKind.CPU_HOG,
+        scheme="none",
+        seed=21,
+        duration=900.0,
+        first_injection_at=400.0,
+        injection_duration=200.0,
+        injection_count=1,
+    ))
+    samples = result.samples["vm_db"]
+    times = np.array([s.timestamp for s in samples])
+    values = np.stack([s.vector() for s in samples])
+
+    # Rolling profile: refit on a trailing window that ends 50 s back,
+    # so the profile tracks slow workload drift (the NASA trace's
+    # diurnal rise) while staying blind to a fault developing *now*.
+    window_samples, gap_samples = 40, 10
+    flags = np.zeros(len(times), dtype=bool)
+    for i in range(window_samples + gap_samples, len(times)):
+        train = values[i - window_samples - gap_samples:i - gap_samples]
+        detector = OutlierDetector(threshold=5.0, min_attributes=2).fit(train)
+        flags[i] = detector.classify(values[i])
+    print(
+        f"rolling profile: trailing {window_samples} samples, "
+        f"{gap_samples}-sample gap"
+    )
+    detector = OutlierDetector(threshold=5.0, min_attributes=2).fit(
+        values[(times > 300.0) & (times <= 400.0)]
+    )
+    onset = times[flags].min() if flags.any() else None
+    window = (times >= 400.0) & (times < 600.0)
+    detected = flags[window].mean()
+    false_rate = flags[~window & (times > 200.0)].mean()
+
+    print("\n=== Unsupervised detection of an unseen fault ===")
+    print(f"fault window                : 400-600 s")
+    print(f"first flagged sample        : {onset:.0f} s" if onset else "never")
+    print(f"flagged inside fault window : {100 * detected:.0f}%")
+    print(f"flagged outside (false)     : {100 * false_rate:.1f}%")
+
+    # The unsupervised analogue of TAN attribute selection: rank the
+    # metrics by robust z-distance for cause inference.
+    inside = values[window][5]
+    ranked = detector.rank_attributes(inside, names=list(ATTRIBUTES))
+    print("\ntop indicted metrics at the first detection:")
+    for name, z in ranked[:3]:
+        print(f"  {name:14s} z={z:7.1f}")
+    print(
+        "\nA CPU-related metric leads the ranking: the same scale-the-CPU "
+        "prevention PREPARE's\nsupervised path would choose is available "
+        "without any labelled history."
+    )
+
+
+if __name__ == "__main__":
+    main()

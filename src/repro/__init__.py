@@ -1,0 +1,24 @@
+"""Reproduction of PREPARE: Predictive Performance Anomaly Prevention
+for Virtualized Cloud Systems (Tan et al., ICDCS 2012).
+
+Subpackages
+-----------
+``repro.sim``
+    Simulated virtualized cloud (hosts, VMs, hypervisor, monitoring) —
+    the stand-in for the paper's Xen/VCL testbed.
+``repro.apps``
+    Performance-model applications: System S stream processing and the
+    RUBiS three-tier auction site.
+``repro.faults``
+    Memory-leak / CPU-hog / bottleneck fault injection.
+``repro.core``
+    The PREPARE contribution: 2-dependent Markov value prediction, TAN
+    classification, cause inference, prevention actuation, the online
+    controller.
+``repro.experiments``
+    The evaluation harness regenerating every figure and table.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,46 @@
+"""Case-study distributed applications (paper Sec. III-A).
+
+Performance-model replacements for the paper's real workloads: the IBM
+System S tax-calculation stream application (:mod:`repro.apps.streams`)
+and the RUBiS three-tier auction benchmark (:mod:`repro.apps.rubis`),
+driven by the workload generators in :mod:`repro.apps.workload` and
+scored by the SLO trackers in :mod:`repro.apps.slo`.
+"""
+
+from repro.apps.base import APP_CONSUMER, AppComponent, DistributedApplication
+from repro.apps.rubis import DEFAULT_TIER_PROFILES, RubisApp, TierProfile
+from repro.apps.slo import SLORecord, SLOTracker, ViolationInterval
+from repro.apps.streams import (
+    DEFAULT_PE_PROFILES,
+    PEProfile,
+    SYSTEM_S_TOPOLOGY,
+    SystemSApp,
+)
+from repro.apps.workload import (
+    ConstantWorkload,
+    NasaTraceWorkload,
+    RampWorkload,
+    TimeSeriesWorkload,
+    Workload,
+)
+
+__all__ = [
+    "APP_CONSUMER",
+    "AppComponent",
+    "ConstantWorkload",
+    "DEFAULT_PE_PROFILES",
+    "DEFAULT_TIER_PROFILES",
+    "DistributedApplication",
+    "NasaTraceWorkload",
+    "PEProfile",
+    "RampWorkload",
+    "RubisApp",
+    "SLORecord",
+    "SLOTracker",
+    "SYSTEM_S_TOPOLOGY",
+    "SystemSApp",
+    "TierProfile",
+    "TimeSeriesWorkload",
+    "ViolationInterval",
+    "Workload",
+]

@@ -1,0 +1,136 @@
+"""Distributed-application interface.
+
+Both case-study applications (the System S stream app and the RUBiS
+3-tier site) are modelled as a set of *components*, one per VM, driven
+by a client workload.  Every simulated second the application:
+
+1. computes each component's resource demand from the current offered
+   load and registers it on the component's VM;
+2. reads back the *effective* capacity each VM grants (after fair CPU
+   sharing with injected hogs, swap thrashing and migration overhead);
+3. derives the application-level SLO metric and logs it.
+
+The PREPARE controller never touches any of this — it sees only the
+monitor's metric samples and the SLO violation log, preserving the
+paper's black-box assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.slo import SLOTracker
+from repro.apps.workload import Workload
+from repro.sim.engine import PeriodicTask, Simulator
+from repro.sim.vm import VirtualMachine
+
+__all__ = ["AppComponent", "DistributedApplication", "APP_CONSUMER"]
+
+#: Consumer key application components register their demands under.
+APP_CONSUMER = "app"
+
+
+@dataclass
+class AppComponent:
+    """One application component pinned to one VM."""
+
+    name: str
+    vm: VirtualMachine
+    #: CPU cost per work unit (core-seconds per tuple / request).
+    cpu_cost: float
+    #: Base resident set, MB.
+    base_memory_mb: float
+
+    def effective_cpu(self) -> float:
+        """Cores the component is actually consuming right now."""
+        return self.vm.effective_app_cpu(APP_CONSUMER)
+
+    def register_demand(self, arrival_rate: float) -> None:
+        """Declare CPU/memory demand for the current arrival rate."""
+        self.vm.set_cpu_demand(APP_CONSUMER, arrival_rate * self.cpu_cost)
+        self.vm.set_mem_demand(APP_CONSUMER, self.base_memory_mb)
+
+    def capacity(self) -> float:
+        """Max work units per second the component could sustain.
+
+        Uses the VM's capacity *ceiling* (what the component could get
+        at saturation under fair sharing), not its instantaneous grant
+        — the correct service rate for the M/M/1 latency curves.
+        """
+        if self.cpu_cost <= 0:
+            return float("inf")
+        return self.vm.effective_capacity(APP_CONSUMER) / self.cpu_cost
+
+
+class DistributedApplication:
+    """Base class for the modelled applications."""
+
+    #: How often the performance model advances, seconds.
+    STEP_INTERVAL = 1.0
+
+    def __init__(self, sim: Simulator, workload: Workload, slo: SLOTracker) -> None:
+        self._sim = sim
+        self.workload = workload
+        self.slo = slo
+        self._components: Dict[str, AppComponent] = {}
+        self._task: Optional[PeriodicTask] = None
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+    def add_component(self, component: AppComponent) -> AppComponent:
+        if component.name in self._components:
+            raise ValueError(f"duplicate component {component.name}")
+        self._components[component.name] = component
+        return component
+
+    @property
+    def components(self) -> List[AppComponent]:
+        return list(self._components.values())
+
+    def component(self, name: str) -> AppComponent:
+        return self._components[name]
+
+    @property
+    def vms(self) -> List[VirtualMachine]:
+        return [c.vm for c in self.components]
+
+    def vm_names(self) -> List[str]:
+        return [vm.name for vm in self.vms]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin stepping the performance model every second."""
+        if self._task is not None and not self._task.stopped:
+            raise RuntimeError("application already started")
+        self._task = self._sim.every(
+            self.STEP_INTERVAL, self._step, label=f"app:{type(self).__name__}"
+        )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+
+    def _step(self, now: float) -> None:
+        for vm in self.vms:
+            vm.tick(self.STEP_INTERVAL)
+        metric, violated = self.advance(now, self.STEP_INTERVAL)
+        self.slo.observe(now, metric, violated=violated)
+
+    # ------------------------------------------------------------------
+    # To be provided by concrete applications
+    # ------------------------------------------------------------------
+    def advance(self, now: float, dt: float) -> "tuple[float, Optional[bool]]":
+        """Advance the performance model one step.
+
+        Returns ``(slo_metric, violated)``; ``violated`` may be ``None``
+        to defer to the tracker's predicate.
+        """
+        raise NotImplementedError
+
+    def slo_metric_name(self) -> str:
+        """Human-readable name of the SLO metric (for reports)."""
+        raise NotImplementedError

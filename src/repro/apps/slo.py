@@ -1,0 +1,141 @@
+"""SLO tracking and violation logs.
+
+The paper's experiments hinge on two artifacts produced here:
+
+* the **SLO violation log** — timestamped violated/normal states used
+  both to score management schemes (total *SLO violation time*) and to
+  auto-label training data for the supervised TAN classifier
+  (Sec. II-B "automatic runtime data labeling");
+* the **sampled SLO metric trace** — the throughput / response-time
+  series plotted in Figs. 7 and 9.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["SLORecord", "SLOTracker", "ViolationInterval"]
+
+
+@dataclass(frozen=True)
+class SLORecord:
+    """One SLO evaluation: the metric value and whether it violates."""
+
+    timestamp: float
+    metric: float
+    violated: bool
+
+
+@dataclass(frozen=True)
+class ViolationInterval:
+    """A maximal contiguous run of violated records."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class SLOTracker:
+    """Collects periodic SLO evaluations for one application.
+
+    ``predicate`` maps the application's SLO metric value to a violated
+    bool (e.g. ``lambda rt: rt > 0.200`` for RUBiS).  Records must be
+    appended in non-decreasing timestamp order.
+    """
+
+    def __init__(self, predicate: Callable[[float], bool], name: str = "slo") -> None:
+        self.name = name
+        self._predicate = predicate
+        self.records: List[SLORecord] = []
+        self._times: List[float] = []
+
+    def observe(
+        self, timestamp: float, metric: float, violated: Optional[bool] = None
+    ) -> SLORecord:
+        """Evaluate and log the SLO at ``timestamp``.
+
+        ``violated`` overrides the predicate for composite SLOs (e.g.
+        System S violates on *either* a throughput ratio or a per-tuple
+        latency condition; the application computes that itself).
+        """
+        if self._times and timestamp < self._times[-1]:
+            raise ValueError(
+                f"SLO records must be time-ordered: {timestamp} < {self._times[-1]}"
+            )
+        if violated is None:
+            violated = bool(self._predicate(metric))
+        record = SLORecord(timestamp, metric, bool(violated))
+        self.records.append(record)
+        self._times.append(timestamp)
+        return record
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def latest(self) -> Optional[SLORecord]:
+        return self.records[-1] if self.records else None
+
+    def violated_at(self, timestamp: float) -> bool:
+        """SLO state at an arbitrary time (state of the latest record
+        at or before ``timestamp``; ``False`` before the first record)."""
+        index = bisect.bisect_right(self._times, timestamp) - 1
+        if index < 0:
+            return False
+        return self.records[index].violated
+
+    def violation_intervals(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> List[ViolationInterval]:
+        """Merge consecutive violated records into intervals.
+
+        Each violated record at time ``t_i`` is charged the span until
+        the next record (or until ``end`` for the last one), matching
+        how violation *time* is accounted from a periodically evaluated
+        SLO.
+        """
+        if not self.records:
+            return []
+        lo = start if start is not None else self.records[0].timestamp
+        hi = end if end is not None else self.records[-1].timestamp
+        intervals: List[ViolationInterval] = []
+        open_start: Optional[float] = None
+        for i, record in enumerate(self.records):
+            next_time = (
+                self.records[i + 1].timestamp if i + 1 < len(self.records) else hi
+            )
+            if record.violated and open_start is None:
+                open_start = record.timestamp
+            if not record.violated and open_start is not None:
+                intervals.append(ViolationInterval(open_start, record.timestamp))
+                open_start = None
+            if next_time >= hi:
+                break
+        if open_start is not None:
+            intervals.append(ViolationInterval(open_start, hi))
+        # Clip to [lo, hi].
+        clipped = [
+            ViolationInterval(max(iv.start, lo), min(iv.end, hi))
+            for iv in intervals
+            if iv.end > lo and iv.start < hi
+        ]
+        return [iv for iv in clipped if iv.duration > 0]
+
+    def violation_time(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> float:
+        """Total SLO violation time in the window (the paper's headline
+        effectiveness measure)."""
+        return sum(iv.duration for iv in self.violation_intervals(start, end))
+
+    def metric_trace(self) -> Tuple[List[float], List[float]]:
+        """(timestamps, metric values) — the Figs. 7/9 series."""
+        return [r.timestamp for r in self.records], [r.metric for r in self.records]
+
+    def labels_for(self, timestamps: Sequence[float]) -> List[bool]:
+        """SLO state at each of the given timestamps (for data labeling)."""
+        return [self.violated_at(t) for t in timestamps]

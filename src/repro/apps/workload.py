@@ -1,0 +1,166 @@
+"""Client workload generators.
+
+The paper drives System S with a client tuple generator and RUBiS with
+an HTTP client emulating "the workload intensity observed in the NASA
+web server trace beginning at 00:00:00 July 1, 1995".  We do not have
+that trace offline, so :class:`NasaTraceWorkload` synthesizes a rate
+process with the same qualitative structure — a diurnal carrier, slow
+self-similar fluctuation, and short heavy-tailed bursts — generated
+deterministically from a seed (see DESIGN.md, substitution table).
+
+Every generator exposes ``rate(t)`` (requests or tuples per second at
+simulated time ``t``) and a mutable ``multiplier`` that the bottleneck
+fault uses to ramp load.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "Workload",
+    "ConstantWorkload",
+    "RampWorkload",
+    "TimeSeriesWorkload",
+    "NasaTraceWorkload",
+]
+
+
+class Workload:
+    """Base class: a time-varying offered rate with a fault multiplier."""
+
+    def __init__(self) -> None:
+        self.multiplier = 1.0
+
+    def base_rate(self, t: float) -> float:
+        raise NotImplementedError
+
+    def rate(self, t: float) -> float:
+        """Offered rate at time ``t`` including any fault multiplier."""
+        return max(0.0, self.base_rate(t) * self.multiplier)
+
+
+class ConstantWorkload(Workload):
+    """A flat offered rate — useful in unit tests and microbenchmarks."""
+
+    def __init__(self, rate: float) -> None:
+        super().__init__()
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        self._rate = rate
+
+    def base_rate(self, t: float) -> float:
+        return self._rate
+
+
+class RampWorkload(Workload):
+    """Linear ramp from ``start_rate`` to ``end_rate`` over an interval."""
+
+    def __init__(self, start_rate: float, end_rate: float,
+                 ramp_start: float, ramp_end: float) -> None:
+        super().__init__()
+        if ramp_end <= ramp_start:
+            raise ValueError("ramp_end must be after ramp_start")
+        self.start_rate = start_rate
+        self.end_rate = end_rate
+        self.ramp_start = ramp_start
+        self.ramp_end = ramp_end
+
+    def base_rate(self, t: float) -> float:
+        if t <= self.ramp_start:
+            return self.start_rate
+        if t >= self.ramp_end:
+            return self.end_rate
+        frac = (t - self.ramp_start) / (self.ramp_end - self.ramp_start)
+        return self.start_rate + frac * (self.end_rate - self.start_rate)
+
+
+class TimeSeriesWorkload(Workload):
+    """Replay a fixed-resolution rate series (held constant per slot)."""
+
+    def __init__(self, rates: Sequence[float], slot_seconds: float = 1.0) -> None:
+        super().__init__()
+        if slot_seconds <= 0:
+            raise ValueError("slot_seconds must be positive")
+        arr = np.asarray(rates, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("rates must be a non-empty 1-D sequence")
+        if (arr < 0).any():
+            raise ValueError("rates must be non-negative")
+        self._rates = arr
+        self._slot = slot_seconds
+
+    def base_rate(self, t: float) -> float:
+        index = min(int(t / self._slot), self._rates.size - 1)
+        return float(self._rates[max(index, 0)])
+
+
+class NasaTraceWorkload(Workload):
+    """Synthetic stand-in for the NASA July-1995 web-server trace.
+
+    The rate is a product of three seeded, deterministic components:
+
+    * a diurnal sinusoid (24 h period, starting at midnight where the
+      NASA trace starts, i.e. near the daily minimum);
+    * slow fluctuation from a smoothed Gaussian random walk (periods of
+      minutes, mimicking the trace's self-similar medium-scale burstiness);
+    * short lognormal request bursts a few samples wide.
+
+    The whole path is precomputed at 1 s resolution so ``rate(t)`` is a
+    pure lookup — repeatable across runs with the same seed.
+    """
+
+    def __init__(
+        self,
+        mean_rate: float,
+        duration: float = 7200.0,
+        seed: int = 1995,
+        diurnal_amplitude: float = 0.25,
+        fluctuation: float = 0.10,
+        burstiness: float = 0.06,
+    ) -> None:
+        super().__init__()
+        if mean_rate <= 0:
+            raise ValueError("mean_rate must be positive")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.mean_rate = mean_rate
+        n = int(math.ceil(duration)) + 1
+        rng = np.random.default_rng(seed)
+        t = np.arange(n, dtype=float)
+
+        # Diurnal carrier: minimum at t=0 (midnight), peak mid-afternoon.
+        diurnal = 1.0 + diurnal_amplitude * -np.cos(2.0 * np.pi * t / 86400.0)
+
+        # Slow fluctuation: random walk low-pass filtered with ~120 s
+        # smoothing, normalized to the requested relative std.
+        walk = np.cumsum(rng.normal(0.0, 1.0, n))
+        kernel = np.exp(-np.arange(0, 600) / 120.0)
+        kernel /= kernel.sum()
+        smooth = np.convolve(walk, kernel, mode="same")
+        smooth -= smooth.mean()
+        std = smooth.std()
+        if std > 0:
+            smooth = smooth / std * fluctuation
+        slow = 1.0 + smooth
+
+        # Bursts: sparse lognormal spikes, each decaying over ~5 s.
+        bursts = np.zeros(n)
+        n_bursts = max(1, int(n / 120))
+        starts = rng.integers(0, n, n_bursts)
+        sizes = rng.lognormal(mean=0.0, sigma=0.6, size=n_bursts) * burstiness
+        for start, size in zip(starts, sizes):
+            length = min(8, n - start)
+            decay = np.exp(-np.arange(length) / 3.0)
+            bursts[start:start + length] += size * decay
+
+        path = mean_rate * diurnal * slow * (1.0 + bursts)
+        self._path = np.clip(path, 0.05 * mean_rate, None)
+        self._duration = float(duration)
+
+    def base_rate(self, t: float) -> float:
+        index = min(int(t), self._path.size - 1)
+        return float(self._path[max(index, 0)])

@@ -1,0 +1,241 @@
+"""Command-line interface.
+
+Exposes the experiment harness without writing Python::
+
+    prepare-repro run --app rubis --fault memory_leak --scheme prepare
+    prepare-repro reproduce fig6 --repeats 2
+    prepare-repro reproduce table1
+    prepare-repro accuracy --app system-s --fault memory_leak
+    prepare-repro leadtime
+
+Also runnable as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.faults.base import FaultKind
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = (
+    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "table1",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="prepare-repro",
+        description="PREPARE (ICDCS 2012) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("--app", choices=("system-s", "rubis"), default="rubis")
+    run.add_argument(
+        "--fault", choices=[k.value for k in FaultKind], default="memory_leak"
+    )
+    run.add_argument(
+        "--scheme", choices=("prepare", "reactive", "none"), default="prepare"
+    )
+    run.add_argument(
+        "--mode", choices=("scaling", "migration", "auto"), default="scaling"
+    )
+    run.add_argument("--seed", type=int, default=11)
+    run.add_argument("--duration", type=float, default=1500.0)
+    run.add_argument("--json", action="store_true",
+                     help="print machine-readable output")
+
+    rep = sub.add_parser("reproduce", help="regenerate a paper artifact")
+    rep.add_argument("artifact", choices=_FIGURES)
+    rep.add_argument("--repeats", type=int, default=2,
+                     help="replicates per cell (fig6/fig8)")
+    rep.add_argument("--seed", type=int, default=None)
+
+    acc = sub.add_parser("accuracy", help="trace-driven A_T/A_F sweep")
+    acc.add_argument("--app", choices=("system-s", "rubis"),
+                     default="system-s")
+    acc.add_argument(
+        "--fault", choices=[k.value for k in FaultKind], default="memory_leak"
+    )
+    acc.add_argument("--model", choices=("per-vm", "monolithic"),
+                     default="per-vm")
+    acc.add_argument("--markov", choices=("2dep", "simple"), default="2dep")
+    acc.add_argument("--seed", type=int, default=2)
+
+    sub.add_parser("leadtime", help="alert lead time per fault kind")
+
+    rep_all = sub.add_parser(
+        "report", help="regenerate the whole evaluation into a directory"
+    )
+    rep_all.add_argument("output_dir")
+    rep_all.add_argument("--repeats", type=int, default=2)
+    rep_all.add_argument("--quick", action="store_true",
+                         help="trim replicates and skip the slowest artifacts")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentConfig, run_experiment
+
+    result = run_experiment(ExperimentConfig(
+        app=args.app,
+        fault=FaultKind(args.fault),
+        scheme=args.scheme,
+        action_mode=args.mode,
+        seed=args.seed,
+        duration=args.duration,
+    ))
+    if args.json:
+        payload = {
+            "violation_time": result.violation_time,
+            "per_injection_violation": result.per_injection_violation,
+            "proactive_actions": result.proactive_actions,
+            "actions": [
+                {
+                    "t": action.timestamp,
+                    "vm": action.vm,
+                    "verb": action.verb,
+                    "resource": str(action.resource),
+                    "metric": action.metric,
+                    "proactive": action.proactive,
+                }
+                for action in result.actions
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"SLO violation time: {result.violation_time:.0f} s "
+          f"(per injection: {result.per_injection_violation})")
+    print(f"prevention actions: {len(result.actions)} "
+          f"({result.proactive_actions} prediction-triggered)")
+    for action in result.actions:
+        trigger = "predicted" if action.proactive else "reactive"
+        print(f"  t={action.timestamp:7.1f}s {action.vm:8s} {action.verb:7s} "
+              f"{str(action.resource):6s} metric={action.metric} [{trigger}]")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fig6_scaling_prevention,
+        fig7_scaling_traces,
+        fig8_migration_prevention,
+        fig9_migration_traces,
+        fig10_per_component_vs_monolithic,
+        fig11_markov_comparison,
+        fig12_alert_filtering,
+        fig13_sampling_intervals,
+        render_accuracy_series,
+        render_overhead_table,
+        render_trace_panel,
+        render_violation_table,
+        table1_overhead,
+    )
+
+    seed = args.seed
+    if args.artifact == "fig6":
+        data = fig6_scaling_prevention(repeats=args.repeats,
+                                       seed=seed if seed is not None else 11)
+        print(render_violation_table(data, "Fig. 6 (scaling prevention)"))
+    elif args.artifact == "fig8":
+        data = fig8_migration_prevention(repeats=args.repeats,
+                                         seed=seed if seed is not None else 11)
+        print(render_violation_table(data, "Fig. 8 (migration prevention)"))
+    elif args.artifact in ("fig7", "fig9"):
+        generator = (fig7_scaling_traces if args.artifact == "fig7"
+                     else fig9_migration_traces)
+        panels = generator(seed=seed if seed is not None else 11)
+        for label, panel in panels.items():
+            print(render_trace_panel(panel, f"{args.artifact}: {label}"))
+            print()
+    elif args.artifact == "fig10":
+        data = fig10_per_component_vs_monolithic(
+            seed=seed if seed is not None else 2)
+        for label, series in data.items():
+            print(render_accuracy_series(series, f"fig10: {label}"))
+            print()
+    elif args.artifact == "fig11":
+        data = fig11_markov_comparison()
+        for label, series in data.items():
+            print(render_accuracy_series(series, f"fig11: {label}"))
+            print()
+    elif args.artifact == "fig12":
+        data = fig12_alert_filtering(seed=seed if seed is not None else 2)
+        print(render_accuracy_series(data, "fig12: k-of-W filtering"))
+    elif args.artifact == "fig13":
+        data = fig13_sampling_intervals(seed=seed if seed is not None else 2)
+        print(render_accuracy_series(data, "fig13: sampling intervals"))
+    elif args.artifact == "table1":
+        print(render_overhead_table(table1_overhead()))
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        accuracy_vs_lookahead,
+        collect_trace,
+        render_accuracy_series,
+    )
+
+    dataset = collect_trace(args.app, FaultKind(args.fault), seed=args.seed)
+    results = accuracy_vs_lookahead(
+        dataset, model=args.model, markov=args.markov,
+        prediction_mode="hard", class_prior="empirical",
+    )
+    series = {
+        f"{args.model}/{args.markov}": {
+            "lookahead": [r.lookahead for r in results],
+            "A_T": [100.0 * r.true_positive_rate for r in results],
+            "A_F": [100.0 * r.false_alarm_rate for r in results],
+        }
+    }
+    print(render_accuracy_series(
+        series, f"accuracy: {args.fault} on {args.app}"
+    ))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import reproduce_all
+
+    path = reproduce_all(
+        args.output_dir, repeats=args.repeats, quick=args.quick
+    )
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_leadtime(_args: argparse.Namespace) -> int:
+    from repro.experiments.leadtime import lead_time_summary
+
+    data = lead_time_summary()
+    print(f"{'app':10s} {'fault':13s} {'lead (s)':>9s} {'proactive':>10s}")
+    for app, faults in data.items():
+        for fault, cell in faults.items():
+            lead = cell["lead_seconds"]
+            lead_text = "n/a" if lead is None else f"{lead:.0f}"
+            print(f"{app:10s} {fault:13s} {lead_text:>9s} "
+                  f"{str(cell['proactive']):>10s}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "reproduce": _cmd_reproduce,
+        "accuracy": _cmd_accuracy,
+        "leadtime": _cmd_leadtime,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""PREPARE core: the paper's primary contribution.
+
+Online anomaly prediction (2-dependent Markov value prediction + TAN
+classification), k-of-W false-alarm filtering, cause inference with
+TAN attribute attribution, and prediction-driven prevention actuation
+with effectiveness validation — assembled into the online loop by
+:class:`~repro.core.controller.PrepareController`.
+"""
+
+from repro.core.actuation import (
+    METRIC_RESOURCE_MAP,
+    EffectivenessValidator,
+    PreventionAction,
+    PreventionActuator,
+    ValidationOutcome,
+)
+from repro.core.bayes import NaiveBayesClassifier, NotTrainedError
+from repro.core.controller import AlertRecord, PrepareConfig, PrepareController
+from repro.core.discretization import DEFAULT_BINS, Discretizer
+from repro.core.events import ControllerEvent, EventLog
+from repro.core.filtering import (
+    DEFAULT_K,
+    DEFAULT_W,
+    MajorityVoteFilter,
+    filter_alert_sequence,
+)
+from repro.core.inference import CauseInference, Diagnosis, detect_change_point
+from repro.core.labeling import TrainingBuffer, label_samples
+from repro.core.markov import (
+    MarkovModel,
+    SimpleMarkovModel,
+    TwoDependentMarkovModel,
+)
+from repro.core.predictor import (
+    AnomalyPredictor,
+    PredictionResult,
+    monolithic_attributes,
+)
+from repro.core.localization import DeviationLocalizer, violation_epochs
+from repro.core.tan import TANClassifier
+from repro.core.unsupervised import OutlierDetector
+
+__all__ = [
+    "AlertRecord",
+    "AnomalyPredictor",
+    "CauseInference",
+    "DEFAULT_BINS",
+    "DEFAULT_K",
+    "DEFAULT_W",
+    "Diagnosis",
+    "Discretizer",
+    "ControllerEvent",
+    "EventLog",
+    "EffectivenessValidator",
+    "MajorityVoteFilter",
+    "MarkovModel",
+    "METRIC_RESOURCE_MAP",
+    "monolithic_attributes",
+    "NaiveBayesClassifier",
+    "NotTrainedError",
+    "PredictionResult",
+    "PrepareConfig",
+    "PrepareController",
+    "PreventionAction",
+    "PreventionActuator",
+    "SimpleMarkovModel",
+    "TANClassifier",
+    "DeviationLocalizer",
+    "OutlierDetector",
+    "violation_epochs",
+    "TrainingBuffer",
+    "TwoDependentMarkovModel",
+    "ValidationOutcome",
+    "detect_change_point",
+    "filter_alert_sequence",
+    "label_samples",
+]

@@ -1,0 +1,398 @@
+"""Predictive prevention actuation (paper Sec. II-D).
+
+Translates a :class:`~repro.core.inference.Diagnosis` into hypervisor
+verbs:
+
+* the ranked metric list is walked top-down and each metric is mapped
+  to the resource it indicts (memory metrics -> memory scaling, CPU
+  metrics -> CPU scaling; I/O metrics are not directly scalable and
+  are skipped, i.e. the actuator moves to "the next metric in the
+  list");
+* **elastic scaling** is preferred — light-weight and near-instant;
+* **live migration** is the fallback when the local host lacks
+  headroom (and the forced action in the Fig. 8/9 experiments).  A
+  migration relocates the faulty VM to an idle host "with desired
+  resources" and grows the indicted allocation there;
+* every action is followed by **effectiveness validation**
+  (:class:`EffectivenessValidator`): resource usage in a look-back
+  window before the action is compared against a look-ahead window
+  after it; an unchanged usage profile with persisting alerts means
+  the wrong metric was scaled, and the actuator escalates to the next
+  ranked metric.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.resources import ResourceError, ResourceKind, ResourceSpec
+from repro.sim.vm import VirtualMachine
+
+__all__ = [
+    "METRIC_RESOURCE_MAP",
+    "PreventionAction",
+    "PreventionActuator",
+    "EffectivenessValidator",
+    "ValidationOutcome",
+]
+
+#: Which resource each monitored attribute indicts.  I/O attributes map
+#: to ``None``: there is no network/disk scaling verb, so the actuator
+#: skips them (paper: try "the next metric in the list").
+METRIC_RESOURCE_MAP: Dict[str, Optional[ResourceKind]] = {
+    "cpu_usage": ResourceKind.CPU,
+    "residual_cpu": ResourceKind.CPU,
+    "load1": ResourceKind.CPU,
+    "load5": ResourceKind.CPU,
+    "ctx_switches": ResourceKind.CPU,
+    "free_mem": ResourceKind.MEMORY,
+    "mem_used": ResourceKind.MEMORY,
+    "swap_used": ResourceKind.MEMORY,
+    "page_faults": ResourceKind.MEMORY,
+    "net_in": None,
+    "net_out": None,
+    "disk_read": None,
+    "disk_write": None,
+}
+
+_ACTION_IDS = itertools.count(1)
+
+
+@dataclass
+class PreventionAction:
+    """One triggered prevention action and its lifecycle."""
+
+    action_id: int
+    timestamp: float
+    vm: str
+    verb: str                      # "scale" or "migrate"
+    resource: Optional[ResourceKind]
+    metric: str                    # the indicted metric that chose the verb
+    detail: str = ""
+    completed: bool = False
+    effective: Optional[bool] = None
+    #: True when the alert that triggered this was a prediction (vs the
+    #: reactive SLO-violation path).
+    proactive: bool = True
+    #: Whether the indicted metric's usage profile moved between the
+    #: look-back and look-ahead windows (diagnostic; set by validation).
+    usage_changed: Optional[bool] = None
+
+
+class PreventionActuator:
+    """Executes scale-first / migrate-fallback prevention on a cluster.
+
+    ``mode`` selects the experiment configuration:
+
+    * ``"scaling"``   — Fig. 6/7: elastic resource scaling only;
+    * ``"migration"`` — Fig. 8/9: live VM migration (the destination
+      grows the indicted allocation);
+    * ``"auto"``      — the deployed policy: scaling first, migration
+      only when the local host lacks headroom.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        sim: Simulator,
+        mode: str = "auto",
+        scale_factor: float = 2.0,
+    ) -> None:
+        if mode not in ("auto", "scaling", "migration"):
+            raise ValueError(f"unknown actuation mode {mode!r}")
+        if scale_factor <= 1.0:
+            raise ValueError(f"scale factor must exceed 1.0, got {scale_factor}")
+        self.cluster = cluster
+        self._sim = sim
+        self.mode = mode
+        self.scale_factor = scale_factor
+        #: After migrating a VM, follow-up preventions within this many
+        #: seconds refine resources locally instead of migrating again
+        #: — repeated migrations degrade the guest far more than the
+        #: anomaly they chase (each pre-copy costs ~10-20 s at reduced
+        #: capacity).
+        self.migration_cooldown = 180.0
+        self.actions: List[PreventionAction] = []
+        self._last_migration_at: Dict[str, float] = {}
+        self._excluded: Dict[str, Set[str]] = {}
+        self._baseline: Dict[str, ResourceSpec] = {
+            vm.name: vm.spec for vm in cluster.vms
+        }
+
+    # ------------------------------------------------------------------
+    # Metric selection
+    # ------------------------------------------------------------------
+    def choose_metric(
+        self, vm_name: str, ranked_metrics: Sequence[Tuple[str, float]]
+    ) -> Optional[Tuple[str, ResourceKind]]:
+        """First scalable, not-yet-excluded metric with positive impact."""
+        excluded = self._excluded.get(vm_name, set())
+        for metric, strength in ranked_metrics:
+            if strength <= 0.0:
+                break  # ranked descending: the rest push toward "normal"
+            if metric in excluded:
+                continue
+            resource = METRIC_RESOURCE_MAP.get(metric)
+            if resource is not None:
+                return metric, resource
+        return None
+
+    # ------------------------------------------------------------------
+    # Actuation
+    # ------------------------------------------------------------------
+    def prevent(
+        self,
+        vm_name: str,
+        ranked_metrics: Sequence[Tuple[str, float]],
+        proactive: bool = True,
+    ) -> Optional[PreventionAction]:
+        """Trigger the best available prevention for a faulty VM.
+
+        Returns the recorded action, or ``None`` when nothing is
+        actionable (no scalable indicted metric, VM already migrating,
+        or no capacity anywhere).
+        """
+        vm = self.cluster.vm(vm_name)
+        if vm.migrating:
+            return None
+        choice = self.choose_metric(vm_name, ranked_metrics)
+        if choice is None:
+            return None
+        metric, resource = choice
+
+        recently_migrated = (
+            self._sim.now - self._last_migration_at.get(vm.name, -1e18)
+            < self.migration_cooldown
+        )
+        if self.mode in ("auto", "scaling") or recently_migrated:
+            action = self._try_scale(vm, resource, metric, proactive)
+            if action is not None:
+                return action
+            if self.mode == "scaling" or recently_migrated:
+                return None
+        return self._try_migrate(vm, resource, metric, proactive)
+
+    def _scale_target(self, vm: VirtualMachine, resource: ResourceKind) -> float:
+        current = vm.spec.get(resource)
+        desired = current * self.scale_factor
+        if vm.host is None:
+            return current
+        return min(desired, current + vm.host.headroom(resource))
+
+    def _try_scale(
+        self, vm: VirtualMachine, resource: ResourceKind, metric: str,
+        proactive: bool,
+    ) -> Optional[PreventionAction]:
+        target = self._scale_target(vm, resource)
+        current = vm.spec.get(resource)
+        # A scale-up must deliver a meaningful share of the requested
+        # factor, or the anomaly will simply out-run it: fall through to
+        # migration instead of burning the cooldown on a token grow.
+        meaningful = 1.0 + 0.4 * (self.scale_factor - 1.0)
+        if target < current * meaningful:
+            return None  # headroom too small to matter -> fall back
+        action = PreventionAction(
+            action_id=next(_ACTION_IDS),
+            timestamp=self._sim.now,
+            vm=vm.name,
+            verb="scale",
+            resource=resource,
+            metric=metric,
+            detail=f"{resource.value}: {current:g} -> {target:g}",
+            proactive=proactive,
+        )
+
+        def done() -> None:
+            action.completed = True
+
+        self.cluster.hypervisor.scale(vm, resource, target, on_done=done)
+        self.actions.append(action)
+        return action
+
+    def _try_migrate(
+        self, vm: VirtualMachine, resource: ResourceKind, metric: str,
+        proactive: bool,
+    ) -> Optional[PreventionAction]:
+        desired = vm.spec.with_amount(
+            resource, vm.spec.get(resource) * self.scale_factor
+        )
+        destination = self.cluster.find_migration_target(vm, required=desired)
+        if destination is None:
+            return None
+        action = PreventionAction(
+            action_id=next(_ACTION_IDS),
+            timestamp=self._sim.now,
+            vm=vm.name,
+            verb="migrate",
+            resource=resource,
+            metric=metric,
+            detail=f"-> {destination.name}, then grow {resource.value}",
+            proactive=proactive,
+        )
+
+        def arrived() -> None:
+            action.completed = True
+            # "Relocating the faulty VM to a host with desired
+            # resources": grow the indicted allocation at the new home.
+            target = self._scale_target(vm, resource)
+            if target > vm.spec.get(resource) * 1.05:
+                self.cluster.hypervisor.scale(vm, resource, target)
+
+        self.cluster.hypervisor.migrate(vm, destination, on_done=arrived)
+        self._last_migration_at[vm.name] = self._sim.now
+        self.actions.append(action)
+        return action
+
+    # ------------------------------------------------------------------
+    # Escalation bookkeeping
+    # ------------------------------------------------------------------
+    def mark_ineffective(self, action: PreventionAction) -> None:
+        """Exclude the action's metric so the next attempt escalates."""
+        action.effective = False
+        self._excluded.setdefault(action.vm, set()).add(action.metric)
+
+    def mark_effective(self, action: PreventionAction) -> None:
+        action.effective = True
+        self._excluded.pop(action.vm, None)
+
+    def clear_exclusions(self, vm_name: Optional[str] = None) -> None:
+        if vm_name is None:
+            self._excluded.clear()
+        else:
+            self._excluded.pop(vm_name, None)
+
+    # ------------------------------------------------------------------
+    # Between-injection reset (experiment protocol)
+    # ------------------------------------------------------------------
+    def reset_allocations(self) -> None:
+        """Elastically return every VM to its baseline allocation.
+
+        The experiment runner invokes this once an anomaly has been
+        over and validated for a settle period, modelling the elastic
+        scale-down of CloudScale/PRESS [4, 5] so repeated fault
+        injections start from identical allocations.
+        """
+        for vm in self.cluster.vms:
+            baseline = self._baseline.get(vm.name)
+            if baseline is None or vm.migrating:
+                continue
+            for resource in (ResourceKind.CPU, ResourceKind.MEMORY):
+                current = vm.spec.get(resource)
+                target = baseline.get(resource)
+                if abs(current - target) > 1e-9:
+                    try:
+                        self.cluster.hypervisor.scale(vm, resource, target)
+                    except ResourceError:
+                        continue
+        self.clear_exclusions()
+
+
+class ValidationOutcome:
+    """Tri-state result of an effectiveness check."""
+
+    PENDING = "pending"
+    EFFECTIVE = "effective"
+    INEFFECTIVE = "ineffective"
+
+
+@dataclass
+class _PendingValidation:
+    action: PreventionAction
+    look_back_mean: float
+    matured_at: float
+
+
+class EffectivenessValidator:
+    """Look-back/look-ahead validation of prevention actions.
+
+    For each action we snapshot the mean of the indicted metric over a
+    look-back window before the action; once the look-ahead window has
+    elapsed we compare against the mean after the action and check the
+    anomaly alerts (Sec. II-D).  The decision is alert-driven: if "the
+    prediction models stop sending any anomaly alert ... we have
+    successfully avoided or corrected a performance anomaly";
+    otherwise the action is ineffective and the controller escalates
+    to the next metric in the TAN ranking.  The look-back/look-ahead
+    usage comparison is recorded on the action
+    (:attr:`PreventionAction.usage_changed`) as the paper's diagnostic
+    for *why* an action failed — an unchanged usage profile means the
+    wrong metric was scaled.
+    """
+
+    def __init__(
+        self,
+        window_samples: int = 4,
+        settle_seconds: float = 20.0,
+        min_relative_change: float = 0.10,
+    ) -> None:
+        if window_samples < 1:
+            raise ValueError("window_samples must be >= 1")
+        self.window_samples = window_samples
+        self.settle_seconds = settle_seconds
+        self.min_relative_change = min_relative_change
+        self._pending: List[_PendingValidation] = []
+
+    def watch(
+        self,
+        action: PreventionAction,
+        look_back_values: np.ndarray,
+        now: float,
+    ) -> None:
+        """Register an action with its pre-action metric window."""
+        values = np.asarray(look_back_values, dtype=float)
+        mean = float(values[-self.window_samples:].mean()) if values.size else 0.0
+        self._pending.append(
+            _PendingValidation(
+                action=action,
+                look_back_mean=mean,
+                matured_at=now + self.settle_seconds,
+            )
+        )
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def check(
+        self,
+        now: float,
+        look_ahead_values: Mapping[str, np.ndarray],
+        alerts_active: Mapping[str, bool],
+    ) -> List[Tuple[PreventionAction, str]]:
+        """Resolve matured validations.
+
+        ``look_ahead_values`` maps VM name to the recent values of
+        *that action's indicted metric*; ``alerts_active`` maps VM name
+        to whether its anomaly alert (or SLO violation) persists.
+        Returns (action, outcome) for every matured action.
+        """
+        resolved: List[Tuple[PreventionAction, str]] = []
+        still_pending: List[_PendingValidation] = []
+        for item in self._pending:
+            if now < item.matured_at or not item.action.completed:
+                still_pending.append(item)
+                continue
+            vm = item.action.vm
+            values = np.asarray(look_ahead_values.get(vm, ()), dtype=float)
+            after = (
+                float(values[-self.window_samples:].mean()) if values.size else 0.0
+            )
+            scale = max(abs(item.look_back_mean), 1e-6)
+            item.action.usage_changed = bool(
+                abs(after - item.look_back_mean) / scale
+                >= self.min_relative_change
+            )
+            if not alerts_active.get(vm, False):
+                item.action.effective = True
+                resolved.append((item.action, ValidationOutcome.EFFECTIVE))
+            else:
+                item.action.effective = False
+                resolved.append((item.action, ValidationOutcome.INEFFECTIVE))
+        self._pending = still_pending
+        return resolved

@@ -1,0 +1,621 @@
+"""The PREPARE controller: the online predict-diagnose-prevent loop.
+
+Wires the four modules of Fig. 1 together on the monitoring cadence:
+
+1. **VM monitoring** delivers a batch of per-VM samples every sampling
+   interval; each lands in that VM's labelled training buffer.
+2. **Online anomaly prediction** — once models are trained, each VM's
+   predictor classifies the Markov-predicted state one look-ahead
+   window ahead; raw alerts stream through the per-VM k-of-W filter.
+3. **Online anomaly cause inference** — confirmed alerts yield a
+   :class:`~repro.core.inference.Diagnosis` (faulty VMs + TAN-ranked
+   metrics + workload-change flag).
+4. **Predictive prevention actuation** — the actuator scales/migrates,
+   and the effectiveness validator escalates to the next-ranked metric
+   when an action provably changed nothing.
+
+Two degraded modes reproduce the paper's baselines: with
+``prediction_enabled=False`` the controller is exactly the *reactive
+intervention* scheme (same inference and actuation, but triggered only
+by an observed SLO violation); dropping the controller entirely is the
+*without intervention* scheme.
+
+Models are trained online from automatically labelled data, so during
+the first injection of a never-seen fault the controller necessarily
+falls back to the reactive path — matching the paper's protocol where
+the model "learns the anomaly during the first fault injection and
+starts to make prediction for the second injected fault".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.base import DistributedApplication
+from repro.core.actuation import (
+    EffectivenessValidator,
+    PreventionAction,
+    PreventionActuator,
+    ValidationOutcome,
+)
+from repro.core.events import EventLog
+from repro.core.filtering import DEFAULT_K, DEFAULT_W, MajorityVoteFilter
+from repro.core.inference import CauseInference, Diagnosis
+from repro.core.labeling import TrainingBuffer
+from repro.core.localization import DeviationLocalizer, violation_epochs
+from repro.core.predictor import AnomalyPredictor, PredictionResult
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.monitor import ATTRIBUTES, MetricSample, VMMonitor
+
+__all__ = ["PrepareConfig", "PrepareController", "AlertRecord"]
+
+
+@dataclass
+class PrepareConfig:
+    """Tunables of the PREPARE loop (paper defaults)."""
+
+    #: Look-ahead window for prediction, seconds (Sec. II-B).
+    lookahead_seconds: float = 30.0
+    #: Single states per attribute.
+    n_bins: int = 8
+    #: "2dep" (paper) or "simple" (Fig. 11 baseline).
+    markov: str = "2dep"
+    #: "tan" (paper) or "naive" (baseline from [10]).
+    classifier: str = "tan"
+    #: "soft" (expected Eq. 1 statistic, default) or "hard" (classify
+    #: the rounded point prediction — the paper's original mode).
+    prediction_mode: str = "soft"
+    #: Class-prior policy: "balanced" (default), "capped", "empirical".
+    class_prior: str = "balanced"
+    #: False disables the robustness extensions (attribute selection,
+    #: ordinal smoothing, support masks, CPT backoff) — the classic
+    #: algorithm, for ablation.
+    robust: bool = True
+    #: k-of-W false-alarm filter (Sec. II-C; k=3, W=4 in the paper).
+    filter_k: int = DEFAULT_K
+    filter_w: int = DEFAULT_W
+    #: Retrain the per-VM models every this many samples.
+    retrain_every: int = 12
+    #: Minimum buffered samples before first training.
+    min_training_samples: int = 24
+    #: Minimum abnormal samples a VM must be implicated in before its
+    #: model trains — a classifier built from one or two violated
+    #: samples is noise, and a noisy model spams false alarms.
+    min_abnormal_samples: int = 4
+    #: Consecutive violated monitoring ticks before the reactive path
+    #: declares an SLO violation (real monitors debounce flapping and
+    #: an external SLO-tracking tool reports with its own cadence).
+    reactive_confirmations: int = 4
+    #: Per-VM minimum gap between prevention actions, seconds.
+    action_cooldown: float = 30.0
+    #: Cap on VMs acted upon per confirmed alert event.
+    max_vms_per_event: int = 2
+    #: False disables the predictive path -> reactive intervention.
+    prediction_enabled: bool = True
+    #: False observes/alerts but never actuates (debugging aid).
+    prevention_enabled: bool = True
+    #: Validation look-back/look-ahead width, samples, and settle time.
+    validation_samples: int = 4
+    validation_settle: float = 45.0
+    #: Margin (in nats of classifier log-odds) a *predicted* state must
+    #: exceed to raise a raw alert.  Zero is Eq. (1) verbatim; a small
+    #: positive margin demands confident evidence before acting on a
+    #: forecast (the reactive path, triggered by an actual SLO
+    #: violation, always uses the plain Eq. (1) sign).
+    alert_threshold: float = 0.0
+    #: Predictive-alert suppression window after any hypervisor
+    #: operation touches a VM (scaling, migration, elastic scale-back).
+    #: Allocation changes shift the very metric distributions the
+    #: models were trained on, so alerts raised while the guest
+    #: re-equilibrates are meaningless; suppression must end before
+    #: validation matures so the validator sees fresh alert state.
+    post_action_grace: float = 35.0
+
+
+@dataclass(frozen=True)
+class AlertRecord:
+    """One confirmed anomaly alert event."""
+
+    timestamp: float
+    vms: Tuple[str, ...]
+    proactive: bool
+
+
+class PrepareController:
+    """Online PREPARE instance managing one distributed application."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        app: DistributedApplication,
+        monitor: VMMonitor,
+        actuator: PreventionActuator,
+        config: Optional[PrepareConfig] = None,
+        attributes: Sequence[str] = ATTRIBUTES,
+    ) -> None:
+        self._sim = sim
+        self.cluster = cluster
+        self.app = app
+        self.monitor = monitor
+        self.actuator = actuator
+        self.config = config or PrepareConfig()
+        self.attributes = tuple(attributes)
+
+        vm_names = [vm.name for vm in app.vms]
+        self.buffers: Dict[str, TrainingBuffer] = {
+            name: TrainingBuffer(app.slo, self.attributes) for name in vm_names
+        }
+        self.predictors: Dict[str, AnomalyPredictor] = {
+            name: AnomalyPredictor(
+                self.attributes,
+                n_bins=self.config.n_bins,
+                markov=self.config.markov,
+                classifier=self.config.classifier,
+                prediction_mode=self.config.prediction_mode,
+                class_prior=self.config.class_prior,
+                robust=self.config.robust,
+            )
+            for name in vm_names
+        }
+        self.filters: Dict[str, MajorityVoteFilter] = {
+            name: MajorityVoteFilter(self.config.filter_k, self.config.filter_w)
+            for name in vm_names
+        }
+        self.inference = CauseInference()
+        self.localizer = DeviationLocalizer()
+        self.validator = EffectivenessValidator(
+            window_samples=self.config.validation_samples,
+            settle_seconds=self.config.validation_settle,
+        )
+
+        self.alerts: List[AlertRecord] = []
+        self.diagnoses: List[Diagnosis] = []
+        #: Structured decision log (see :mod:`repro.core.events`).
+        self.events = EventLog()
+        self._latest_results: Dict[str, PredictionResult] = {}
+        #: Strength vectors (with scores) of the current alert episode
+        #: per VM; diagnosis averages them so a single noisy sample
+        #: cannot pick the wrong metric.  A normal result ends the
+        #: episode and clears the window, so stale pre-onset strengths
+        #: never blend into a fresh anomaly's attribution.
+        self._recent_strengths: Dict[str, "deque[Tuple[float, Tuple[float, ...]]]"] = {
+            name: deque(maxlen=self.config.filter_w) for name in vm_names
+        }
+        self._reactive_abnormal: Dict[str, bool] = {}
+        self._last_action_at: Dict[str, float] = {}
+        self._suppressed_until: Dict[str, float] = {}
+        self._ops_seen = 0
+        self._rounds = 0
+        self._violated_ticks = 0
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Subscribe to the monitor's sample stream."""
+        if self._attached:
+            raise RuntimeError("controller already attached")
+        self.monitor.add_listener(self._on_samples)
+        self._attached = True
+
+    @property
+    def lookahead_steps(self) -> int:
+        steps = round(self.config.lookahead_seconds / self.monitor.interval)
+        return max(1, int(steps))
+
+    def trained(self) -> bool:
+        return any(p.trained for p in self.predictors.values())
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def _on_samples(self, batch: List[MetricSample]) -> None:
+        now = self._sim.now
+        for sample in batch:
+            buffer = self.buffers.get(sample.vm)
+            if buffer is not None:
+                buffer.append(sample)
+        self._rounds += 1
+        self._refresh_suppressions(now)
+
+        if self._rounds % self.config.retrain_every == 0:
+            self._retrain()
+
+        slo_violated = self.app.slo.violated_at(now)
+        if slo_violated:
+            if self._violated_ticks == 0:
+                # A fresh violation starts a fresh attribution episode:
+                # whatever the models were muttering beforehand (e.g. a
+                # lingering false-alarm episode) must not contaminate
+                # the new anomaly's metric ranking.
+                for window in self._recent_strengths.values():
+                    window.clear()
+            self._violated_ticks += 1
+        else:
+            self._violated_ticks = 0
+
+        if self.config.prediction_enabled:
+            self._predictive_path(now)
+        if self._violated_ticks >= self.config.reactive_confirmations:
+            self._reactive_path(now)
+        elif not slo_violated:
+            self._reactive_abnormal.clear()
+        self._resolve_validations(now, slo_violated)
+
+    # ------------------------------------------------------------------
+    # Post-operation alert suppression
+    # ------------------------------------------------------------------
+    def _refresh_suppressions(self, now: float) -> None:
+        """Open a grace window on every VM a hypervisor op just touched."""
+        ops = self.cluster.hypervisor.operations
+        for op in ops[self._ops_seen:]:
+            if op.vm in self.filters:
+                self._suppressed_until[op.vm] = max(
+                    self._suppressed_until.get(op.vm, 0.0),
+                    op.finished_at + self.config.post_action_grace,
+                )
+                self.filters[op.vm].reset()
+                self.events.emit(
+                    now, "suppressed", vm=op.vm,
+                    until=self._suppressed_until[op.vm], cause=op.op,
+                )
+        self._ops_seen = len(ops)
+
+    def _suppressed(self, vm_name: str, now: float) -> bool:
+        return now < self._suppressed_until.get(vm_name, 0.0)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _retrain(self) -> None:
+        """Retrain per-VM models with localization-assigned labels.
+
+        The application-level SLO labels are first passed through the
+        fault localizer (Sec. II-B, standing in for PAL [13]) so only
+        the VMs actually implicated in each violation epoch learn it
+        as abnormal — the rest keep a normal label and therefore never
+        alert for someone else's fault.
+        """
+        sizes = {len(buffer) for buffer in self.buffers.values()}
+        if not sizes or min(sizes) < self.config.min_training_samples:
+            return
+        per_vm_values: Dict[str, np.ndarray] = {}
+        labels = None
+        for name, buffer in self.buffers.items():
+            X, y, _t = buffer.matrices()
+            per_vm_values[name] = X
+            labels = y  # identical across VMs (same SLO log + timestamps)
+        if labels is None or not labels.any() or labels.all():
+            return
+        per_vm_allocations = {
+            name: buffer.allocations() for name, buffer in self.buffers.items()
+        }
+        per_vm_labels = self.localizer.localize(
+            per_vm_values, labels, per_vm_allocations=per_vm_allocations
+        )
+        for name, y_vm in per_vm_labels.items():
+            if not y_vm.any():
+                if self.predictors[name].trained:
+                    # Localization has withdrawn this VM's implication:
+                    # retire the stale model rather than let it misfire.
+                    self.predictors[name].invalidate()
+                    self.events.emit(self._sim.now, "model_retired", vm=name)
+                continue
+            # Regime-aware training set.  Normal samples count only
+            # under the VM's *current* allocation (normal profiles from
+            # other regimes dilute the CPTs and cause chronic false
+            # alarms after scale-backs).  Abnormal samples count only
+            # under the allocation their violation epoch *began* with:
+            # once a prevention action rescales the VM mid-epoch, the
+            # remaining "violated" samples describe the already-fixed
+            # state draining out (SLO smoothing, thrash decay) and
+            # teaching the model that healthy-looking states are
+            # abnormal poisons both detection and attribution.
+            vm = self.cluster.vm(name)
+            buffer = self.buffers[name]
+            mask = buffer.regime_mask(vm.cpu_allocated, vm.mem_allocated_mb)
+            mask &= y_vm == 0
+            cpu_alloc, mem_alloc = buffer.allocations()
+            for start, end in violation_epochs(y_vm):
+                same_as_start = (
+                    np.abs(cpu_alloc[start:end] - cpu_alloc[start])
+                    <= 0.02 * max(cpu_alloc[start], 1e-9)
+                ) & (
+                    np.abs(mem_alloc[start:end] - mem_alloc[start])
+                    <= 0.02 * max(mem_alloc[start], 1e-9)
+                )
+                mask[start:end] = same_as_start
+            rows = np.flatnonzero(mask)
+            if rows.size < self.config.min_training_samples:
+                continue
+            y_sel = y_vm[rows]
+            enough = int(y_sel.sum()) >= self.config.min_abnormal_samples
+            if enough and not y_sel.all():
+                # Contiguous runs of kept rows form the Markov segments.
+                segment_ids = np.cumsum(np.diff(rows, prepend=rows[0]) > 1)
+                self.predictors[name].train(
+                    per_vm_values[name][rows], y_sel, segment_ids=segment_ids
+                )
+                self.events.emit(
+                    self._sim.now, "model_trained", vm=name,
+                    samples=int(rows.size), abnormal=int(y_sel.sum()),
+                )
+
+    # ------------------------------------------------------------------
+    # Predictive path
+    # ------------------------------------------------------------------
+    def _predictive_path(self, now: float) -> None:
+        confirmed: List[Tuple[str, PredictionResult]] = []
+        for name, predictor in self.predictors.items():
+            if not predictor.trained:
+                continue
+            buffer = self.buffers[name]
+            history = buffer.recent_values(predictor.history_needed)
+            if history.shape[0] < predictor.history_needed:
+                continue
+            result = predictor.predict(history, steps=self.lookahead_steps)
+            self._latest_results[name] = result
+            self._note_strengths(name, result)
+            if self._suppressed(name, now):
+                continue
+            raw_alert = result.score > self.config.alert_threshold
+            if raw_alert:
+                self.events.emit(
+                    now, "raw_alert", vm=name, score=round(result.score, 3)
+                )
+            if self.filters[name].push(raw_alert):
+                self.events.emit(now, "alert_confirmed", vm=name)
+                confirmed.append((name, result))
+        if confirmed:
+            self._handle_confirmed_alert(now, dict(confirmed), proactive=True)
+
+    # ------------------------------------------------------------------
+    # Reactive path ("if the anomaly predictor fails to raise advance
+    # alert ... the prevention is performed reactively")
+    # ------------------------------------------------------------------
+    def _reactive_path(self, now: float) -> None:
+        # A violation is the labelled data the supervised model needs:
+        # make sure models reflect it before diagnosing.
+        if not self.trained():
+            self._retrain()
+        results: Dict[str, PredictionResult] = {}
+        for name, predictor in self.predictors.items():
+            if not predictor.trained:
+                continue
+            buffer = self.buffers[name]
+            current = buffer.recent_values(1)
+            if current.shape[0] == 0:
+                continue
+            results[name] = predictor.classify_current(current[0])
+        for name, result in results.items():
+            self._reactive_abnormal[name] = result.abnormal
+            self._latest_results[name] = result
+            self._note_strengths(name, result)
+        # VMs without a trained model cannot speak for themselves during
+        # a violation (first occurrence of a fault, or localization has
+        # reassigned their epochs).  Bootstrap those with a model-free
+        # deviation diagnosis so the true culprit is never invisible
+        # just because a *different* VM's model happens to alert.
+        fallback = self._deviation_results(now)
+        for name, result in fallback.items():
+            if name not in results:
+                results[name] = result
+                self._reactive_abnormal[name] = result.abnormal
+        if any(result.abnormal for result in results.values()):
+            self._handle_confirmed_alert(now, results, proactive=False)
+
+    def _deviation_results(self, now: float) -> Dict[str, PredictionResult]:
+        """Model-free diagnosis: z-score deviations as pseudo-strengths.
+
+        Compares each VM's recent samples against a reference window
+        further back (same change-point view as the fault localizer)
+        and fabricates :class:`PredictionResult` objects so the normal
+        diagnosis/actuation machinery applies unchanged.
+        """
+        epoch_len, gap, ref_len = 4, 4, 12
+        needed = epoch_len + gap + ref_len
+        scores: Dict[str, Tuple[float, np.ndarray]] = {}
+        for name, buffer in self.buffers.items():
+            values = buffer.recent_values(needed)
+            if values.shape[0] < needed:
+                return {}
+            reference = values[:ref_len]
+            epoch = values[-epoch_len:]
+            scale = np.maximum(
+                np.maximum(reference.std(axis=0), epoch.std(axis=0)),
+                1e-3 * np.maximum(np.abs(reference.mean(axis=0)), 1.0),
+            )
+            z = np.abs(epoch.mean(axis=0) - reference.mean(axis=0)) / scale
+            scores[name] = (float(z.max()), z)
+        top = max(score for score, _z in scores.values())
+        if top < 2.0:
+            return {}
+        # Implication cut-off: within 60% of the most deviant VM, but
+        # never above an absolute z of 6 — a throughput collapse makes
+        # *downstream* VMs' network z-scores explode (tiny noise std),
+        # and a purely relative cut would then exclude the actual
+        # culprit whose own deviation is merely large.
+        cutoff = max(2.0, min(0.6 * top, 6.0))
+        results: Dict[str, PredictionResult] = {}
+        for name, (score, z) in scores.items():
+            abnormal = score >= cutoff
+            results[name] = PredictionResult(
+                abnormal=abnormal,
+                probability=1.0 - 1.0 / (1.0 + score),
+                score=score,
+                bins=tuple(0 for _ in self.attributes),
+                strengths=tuple(float(v) for v in z),
+                attributes=self.attributes,
+                steps=0,
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Diagnosis + actuation
+    # ------------------------------------------------------------------
+    def _handle_confirmed_alert(
+        self,
+        now: float,
+        results: Dict[str, PredictionResult],
+        proactive: bool,
+    ) -> None:
+        abnormal_vms = [n for n, r in results.items() if r.abnormal]
+        if not abnormal_vms:
+            return
+        actionable = [
+            name for name in abnormal_vms
+            if now - self._last_action_at.get(name, -1e18)
+            >= self.config.action_cooldown
+            and not self._suppressed(name, now)
+        ]
+        if not actionable:
+            return
+        self.alerts.append(
+            AlertRecord(timestamp=now, vms=tuple(sorted(abnormal_vms)),
+                        proactive=proactive)
+        )
+        windows = {
+            name: self.buffers[name].recent_values(12) for name in results
+        }
+        smoothed = {
+            name: self._window_averaged(name, result)
+            for name, result in results.items()
+        }
+        diagnosis = self.inference.diagnose(now, smoothed, recent_windows=windows)
+        self.diagnoses.append(diagnosis)
+        self.events.emit(
+            now, "diagnosis",
+            faulty=list(diagnosis.faulty_vms),
+            workload_change=diagnosis.workload_change,
+            proactive=proactive,
+        )
+        if not self.config.prevention_enabled:
+            return
+        # A workload change affects every component (Sec. II-C); only
+        # the most saturated one needs more resources, so cap the
+        # per-event fan-out at one VM and pick it by CPU saturation —
+        # classifier scores rank anomaly *evidence*, which under an
+        # app-wide load change does not identify the capacity
+        # bottleneck.
+        ordered = list(diagnosis.faulty_vms)
+        limit = self.config.max_vms_per_event
+        if diagnosis.workload_change:
+            limit = 1
+            ordered.sort(key=lambda name: -self._current_cpu_usage(name))
+        acted = 0
+        for vm_name in ordered:
+            if vm_name not in actionable:
+                continue
+            if acted >= limit:
+                break
+            ranking = diagnosis.ranked_metrics.get(vm_name, ())
+            action = self.actuator.prevent(vm_name, ranking, proactive=proactive)
+            if action is None:
+                continue
+            acted += 1
+            self._last_action_at[vm_name] = now
+            self._watch_action(action, now)
+            self.events.emit(
+                now, "action", vm=vm_name, verb=action.verb,
+                resource=str(action.resource), metric=action.metric,
+                proactive=action.proactive,
+            )
+
+    def _current_cpu_usage(self, name: str) -> float:
+        """Latest cpu_usage reading for a VM (0 when unavailable)."""
+        column = self._metric_column(name, "cpu_usage", count=2)
+        return float(column[-1]) if column.size else 0.0
+
+    def _note_strengths(self, name: str, result: PredictionResult) -> None:
+        """Track the current alert episode's strength vectors."""
+        window = self._recent_strengths[name]
+        if result.abnormal:
+            window.append((max(result.score, 0.1), result.strengths))
+        else:
+            window.clear()
+
+    def _window_averaged(
+        self, name: str, result: PredictionResult
+    ) -> PredictionResult:
+        """Replace a result's strengths with the episode's weighted mean.
+
+        Metric attribution from a single sample is noisy — a chance
+        co-occurrence can out-rank the genuinely implicated metric.
+        Averaging the Eq. (2) strengths over the alert episode (score-
+        weighted, so confident samples dominate) washes that out.
+        """
+        window = self._recent_strengths.get(name)
+        if not window or len(window) < 2:
+            return result
+        weights = np.array([w for w, _s in window])
+        matrix = np.array([s for _w, s in window])
+        mean = tuple(float(v) for v in (weights @ matrix) / weights.sum())
+        return dataclasses.replace(result, strengths=mean)
+
+    def _watch_action(self, action: PreventionAction, now: float) -> None:
+        buffer = self.buffers[action.vm]
+        column = self._metric_column(action.vm, action.metric)
+        self.validator.watch(action, column, now)
+
+    def _metric_column(self, vm_name: str, metric: str, count: int = 12) -> np.ndarray:
+        buffer = self.buffers[vm_name]
+        values = buffer.recent_values(count)
+        if values.size == 0 or metric not in self.attributes:
+            return np.empty(0)
+        return values[:, self.attributes.index(metric)]
+
+    # ------------------------------------------------------------------
+    # Effectiveness validation + escalation
+    # ------------------------------------------------------------------
+    def _resolve_validations(self, now: float, slo_violated: bool) -> None:
+        if self.validator.pending_count == 0:
+            return
+        alerts_active = {
+            name: not self._suppressed(name, now)
+            and (
+                self.filters[name].confirmed
+                or (slo_violated and self._reactive_abnormal.get(name, False))
+            )
+            for name in self.buffers
+        }
+        resolved = self.validator.check(
+            now,
+            {
+                action.vm: self._metric_column(action.vm, action.metric)
+                for action in self.actuator.actions
+                if action.effective is None
+            },
+            alerts_active,
+        )
+        for action, outcome in resolved:
+            self.events.emit(
+                now, "validation", vm=action.vm, outcome=outcome,
+                metric=action.metric, usage_changed=action.usage_changed,
+            )
+            if outcome == ValidationOutcome.EFFECTIVE:
+                self.actuator.mark_effective(action)
+                self.filters[action.vm].reset()
+            else:
+                self.actuator.mark_ineffective(action)
+                self._escalate(action, now)
+
+    def _escalate(self, action: PreventionAction, now: float) -> None:
+        """Try the next-ranked metric after an ineffective action."""
+        latest = self._latest_results.get(action.vm)
+        if latest is None or not self.config.prevention_enabled:
+            return
+        ranking = latest.ranked_attributes()
+        retry = self.actuator.prevent(
+            action.vm, ranking, proactive=action.proactive
+        )
+        if retry is not None:
+            self._last_action_at[action.vm] = now
+            self._watch_action(retry, now)

@@ -1,0 +1,128 @@
+"""Metric discretization.
+
+Both building blocks of the paper's predictor operate on *discrete*
+attribute states: the (2-dependent) Markov chains transition between
+"single states" obtained by discretizing each attribute's value range
+(Fig. 2 shows an attribute discretized into three states), and the TAN
+classifier's CPTs are over the same discrete bins.
+
+:class:`Discretizer` learns per-attribute bin edges from training data
+(equal-width by default, equal-frequency optionally) and maps values to
+bin indices and back to representative bin centers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["Discretizer", "DEFAULT_BINS"]
+
+#: Default number of single states per attribute.
+DEFAULT_BINS = 8
+
+
+@dataclass
+class _AttributeBins:
+    """Learned binning for one attribute."""
+
+    edges: np.ndarray    # interior edges, length n_bins - 1
+    centers: np.ndarray  # representative value per bin, length n_bins
+
+
+class Discretizer:
+    """Per-attribute value <-> bin-index mapping.
+
+    Values outside the training range clamp to the first/last bin, so
+    the Markov models never see an out-of-range state at prediction
+    time.
+    """
+
+    def __init__(self, n_bins: int = DEFAULT_BINS, strategy: str = "width") -> None:
+        if n_bins < 2:
+            raise ValueError(f"need at least 2 bins, got {n_bins}")
+        if strategy not in ("width", "quantile"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.n_bins = n_bins
+        self.strategy = strategy
+        self._bins: Optional[List[_AttributeBins]] = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._bins is not None
+
+    @property
+    def n_attributes(self) -> int:
+        if self._bins is None:
+            raise RuntimeError("discretizer is not fitted")
+        return len(self._bins)
+
+    def fit(self, data: np.ndarray) -> "Discretizer":
+        """Learn bin edges from ``data`` of shape (n_samples, n_attrs)."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2 or data.shape[0] < 2:
+            raise ValueError(
+                f"expected 2-D training data with >= 2 rows, got shape {data.shape}"
+            )
+        bins: List[_AttributeBins] = []
+        for col in data.T:
+            bins.append(self._fit_column(col))
+        self._bins = bins
+        return self
+
+    def _fit_column(self, col: np.ndarray) -> _AttributeBins:
+        lo, hi = float(np.min(col)), float(np.max(col))
+        if hi - lo < 1e-12:
+            # Constant attribute: single informative bin; widen the
+            # range artificially so every value maps to bin 0.
+            edges = np.linspace(lo + 1.0, lo + 2.0, self.n_bins - 1)
+            centers = np.full(self.n_bins, lo)
+            return _AttributeBins(edges=edges, centers=centers)
+        if self.strategy == "width":
+            all_edges = np.linspace(lo, hi, self.n_bins + 1)
+        else:
+            quantiles = np.linspace(0.0, 1.0, self.n_bins + 1)
+            all_edges = np.quantile(col, quantiles)
+            # Guard against duplicate quantile edges on spiky data.
+            all_edges = np.maximum.accumulate(
+                all_edges + np.arange(self.n_bins + 1) * 1e-9
+            )
+        edges = all_edges[1:-1]
+        centers = 0.5 * (all_edges[:-1] + all_edges[1:])
+        return _AttributeBins(edges=edges, centers=centers)
+
+    # ------------------------------------------------------------------
+    # Transform
+    # ------------------------------------------------------------------
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Map values to bin indices; shape-preserving for 1-D / 2-D."""
+        if self._bins is None:
+            raise RuntimeError("discretizer is not fitted")
+        arr = np.asarray(data, dtype=float)
+        squeeze = arr.ndim == 1
+        if squeeze:
+            arr = arr[np.newaxis, :]
+        if arr.shape[1] != len(self._bins):
+            raise ValueError(
+                f"expected {len(self._bins)} attributes, got {arr.shape[1]}"
+            )
+        out = np.empty(arr.shape, dtype=np.intp)
+        for j, bins in enumerate(self._bins):
+            out[:, j] = np.searchsorted(bins.edges, arr[:, j], side="right")
+        return out[0] if squeeze else out
+
+    def transform_value(self, attribute_index: int, value: float) -> int:
+        """Bin index for a single attribute value."""
+        if self._bins is None:
+            raise RuntimeError("discretizer is not fitted")
+        bins = self._bins[attribute_index]
+        return int(np.searchsorted(bins.edges, value, side="right"))
+
+    def center(self, attribute_index: int, bin_index: int) -> float:
+        """Representative value of a bin (for reports and round-trips)."""
+        if self._bins is None:
+            raise RuntimeError("discretizer is not fitted")
+        centers = self._bins[attribute_index].centers
+        return float(centers[int(np.clip(bin_index, 0, self.n_bins - 1))])

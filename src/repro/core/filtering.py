@@ -1,0 +1,62 @@
+"""False-alarm filtering (paper Sec. II-C).
+
+"PREPARE triggers prevention actions only after receiving at least k
+alerts in the recent W predictions."  Real anomaly symptoms persist;
+most false alarms come from transient resource spikes, so a k-of-W
+majority vote filters them at the cost of a small confirmation delay
+(k-1 extra sampling intervals in the worst case).  The paper uses
+k = 3, W = 4; Fig. 12 sweeps k.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List
+
+__all__ = ["MajorityVoteFilter", "filter_alert_sequence", "DEFAULT_K", "DEFAULT_W"]
+
+DEFAULT_K = 3
+DEFAULT_W = 4
+
+
+class MajorityVoteFilter:
+    """Streaming k-of-W alert confirmation."""
+
+    def __init__(self, k: int = DEFAULT_K, window: int = DEFAULT_W) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 1 <= k <= window:
+            raise ValueError(f"k must be in [1, {window}], got {k}")
+        self.k = k
+        self.window = window
+        self._recent: Deque[bool] = deque(maxlen=window)
+
+    def push(self, alert: bool) -> bool:
+        """Record one raw prediction; return True if now confirmed."""
+        self._recent.append(bool(alert))
+        return self.confirmed
+
+    @property
+    def confirmed(self) -> bool:
+        """At least k alerts among the last W predictions."""
+        return sum(self._recent) >= self.k
+
+    @property
+    def recent_alerts(self) -> int:
+        return sum(self._recent)
+
+    def reset(self) -> None:
+        """Clear history (used after a prevention action succeeds)."""
+        self._recent.clear()
+
+
+def filter_alert_sequence(
+    alerts: Iterable[bool], k: int = DEFAULT_K, window: int = DEFAULT_W
+) -> List[bool]:
+    """Apply the k-of-W filter over a whole alert sequence.
+
+    Used by the trace-driven accuracy experiments (Fig. 12) to compare
+    filtered prediction sequences against ground truth.
+    """
+    vote = MajorityVoteFilter(k=k, window=window)
+    return [vote.push(alert) for alert in alerts]

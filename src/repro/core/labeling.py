@@ -1,0 +1,120 @@
+"""Automatic runtime data labeling (paper Sec. II-B).
+
+"PREPARE supports automatic runtime data labeling by matching the
+timestamps of system-level metric measurements and SLO violation
+logs."  :class:`TrainingBuffer` accumulates one VM's metric samples and
+pairs each with the application's SLO state at the sample's timestamp,
+yielding the labelled matrices the supervised models train on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.slo import SLOTracker
+from repro.sim.monitor import ATTRIBUTES, MetricSample
+
+__all__ = ["TrainingBuffer", "label_samples"]
+
+
+def label_samples(
+    samples: Sequence[MetricSample], slo: SLOTracker,
+    attributes: Sequence[str] = ATTRIBUTES,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Label a sample list against an SLO log.
+
+    Returns ``(X, y, t)``: the value matrix (n_samples, n_attributes),
+    binary labels (1 = SLO violated at the sample's timestamp), and the
+    timestamps.
+    """
+    if not samples:
+        return (
+            np.empty((0, len(attributes))),
+            np.empty(0, dtype=np.intp),
+            np.empty(0),
+        )
+    X = np.stack([s.vector(attributes) for s in samples])
+    t = np.array([s.timestamp for s in samples])
+    y = np.array([int(slo.violated_at(ts)) for ts in t], dtype=np.intp)
+    return X, y, t
+
+
+class TrainingBuffer:
+    """Sliding labelled-training-set for one VM's prediction model.
+
+    Samples are appended as monitoring delivers them; labels are
+    resolved lazily at :meth:`matrices` time so late-arriving SLO
+    records still label earlier samples correctly.  ``max_samples``
+    bounds memory (oldest samples are dropped), matching the paper's
+    periodically-updated models.
+    """
+
+    def __init__(
+        self,
+        slo: SLOTracker,
+        attributes: Sequence[str] = ATTRIBUTES,
+        max_samples: int = 2000,
+    ) -> None:
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self._slo = slo
+        self.attributes = tuple(attributes)
+        self.max_samples = max_samples
+        self._samples: List[MetricSample] = []
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def append(self, sample: MetricSample) -> None:
+        self._samples.append(sample)
+        if len(self._samples) > self.max_samples:
+            del self._samples[: len(self._samples) - self.max_samples]
+
+    def recent_values(self, count: int) -> np.ndarray:
+        """Value matrix of the most recent ``count`` samples."""
+        recent = self._samples[-count:]
+        if not recent:
+            return np.empty((0, len(self.attributes)))
+        return np.stack([s.vector(self.attributes) for s in recent])
+
+    def matrices(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Labelled ``(X, y, t)`` for everything currently buffered."""
+        return label_samples(self._samples, self._slo, self.attributes)
+
+    def allocations(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-sample (CPU cores, memory MB) allocations at sample time."""
+        cpu = np.array([s.cpu_allocated for s in self._samples])
+        mem = np.array([s.mem_allocated_mb for s in self._samples])
+        return cpu, mem
+
+    def regime_mask(
+        self, cpu_allocated: float, mem_allocated_mb: float,
+        rel_tol: float = 0.02,
+    ) -> np.ndarray:
+        """Boolean mask of samples taken under the given allocation.
+
+        Allocation-dependent attributes (free memory, residual CPU,
+        utilization percentages) mean different things under different
+        allocations; training a *normal* profile on samples from a
+        scaled-up regime dilutes the current regime's profile and
+        produces chronic false alarms once the allocation returns to
+        baseline.
+        """
+        mask = np.empty(len(self._samples), dtype=bool)
+        for i, sample in enumerate(self._samples):
+            cpu_ok = abs(sample.cpu_allocated - cpu_allocated) <= rel_tol * max(
+                cpu_allocated, 1e-9
+            )
+            mem_ok = abs(sample.mem_allocated_mb - mem_allocated_mb) <= rel_tol * max(
+                mem_allocated_mb, 1e-9
+            )
+            mask[i] = cpu_ok and mem_ok
+        return mask
+
+    def has_both_classes(self) -> bool:
+        """True once the buffer holds normal *and* abnormal samples —
+        the precondition for training the supervised classifier."""
+        _X, y, _t = self.matrices()
+        return bool(y.size) and bool(y.any()) and bool((1 - y).any())

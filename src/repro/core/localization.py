@@ -1,0 +1,299 @@
+"""Fault localization for training-label assignment.
+
+The paper does not train every per-VM model on every SLO violation:
+"to maintain per-VM anomaly prediction models, PREPARE relies on
+previously developed fault localization techniques [13], [14] to
+identify the faulty VMs and train the corresponding per-VM anomaly
+predictors" (Sec. II-B).  Without this, every VM's classifier learns
+the application-wide violation label and every VM alerts during every
+anomaly, destroying the faulty-VM pinpointing.
+
+:class:`DeviationLocalizer` is a compact stand-in for PAL [13]: for
+each contiguous violation epoch it scores every VM by how far its
+metric means deviate from that VM's own normal profile (in units of
+the normal-period spread) and implicates the VMs whose deviation is
+within a factor of the most deviant one.  Samples of non-implicated
+VMs keep their *normal* label for that epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DeviationLocalizer", "violation_epochs"]
+
+
+def violation_epochs(y: np.ndarray) -> List[Tuple[int, int]]:
+    """Half-open index ranges [start, end) of contiguous ``y == 1`` runs."""
+    y = np.asarray(y, dtype=np.intp)
+    epochs: List[Tuple[int, int]] = []
+    start = None
+    for i, label in enumerate(y):
+        if label and start is None:
+            start = i
+        elif not label and start is not None:
+            epochs.append((start, i))
+            start = None
+    if start is not None:
+        epochs.append((start, len(y)))
+    return epochs
+
+
+class DeviationLocalizer:
+    """Implicates faulty VMs per violation epoch by metric deviation.
+
+    ``share_of_max`` controls how close to the most-deviant VM another
+    VM must be to also be implicated (1.0 = strictly the single most
+    deviant; 0.0 = everyone).  ``min_score`` additionally requires an
+    absolute deviation of that many normal-period standard deviations
+    for *secondary* VMs; the most deviant VM is always implicated so
+    every anomaly trains at least one model.
+    """
+
+    def __init__(
+        self,
+        share_of_max: float = 0.6,
+        min_score: float = 2.0,
+        reference_window: int = 12,
+        reference_gap: int = 12,
+    ) -> None:
+        if not 0.0 <= share_of_max <= 1.0:
+            raise ValueError(f"share_of_max must be in [0, 1], got {share_of_max}")
+        if min_score < 0:
+            raise ValueError(f"min_score must be >= 0, got {min_score}")
+        if reference_window < 3:
+            raise ValueError(f"reference_window must be >= 3, got {reference_window}")
+        if reference_gap < 0:
+            raise ValueError(f"reference_gap must be >= 0, got {reference_gap}")
+        self.share_of_max = share_of_max
+        self.min_score = min_score
+        #: Reference window size (samples) and how far before the epoch
+        #: it ends.  The gap skips the pre-violation build-up of a
+        #: gradually manifesting fault, which would otherwise
+        #: contaminate the reference with the anomaly's own trend.
+        self.reference_window = reference_window
+        self.reference_gap = reference_gap
+        #: Per-sample z a VM must sustain (2 consecutive samples) to
+        #: register a manifestation *onset*, and how close (samples) to
+        #: the earliest onset another VM must be to co-implicate.  The
+        #: slack must comfortably cover noise jitter in *simultaneous*
+        #: manifestations (a workload ramp hits every component at
+        #: once) while staying below the tens of samples by which a
+        #: propagated effect lags its root cause.
+        self.onset_threshold = 4.0
+        self.onset_slack = 6
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    @staticmethod
+    def deviation_score(
+        epoch_values: np.ndarray,
+        normal_mean: np.ndarray,
+        normal_std: np.ndarray,
+    ) -> float:
+        """Max-over-attributes z-distance of the epoch's metric means.
+
+        The scale pools the reference and epoch spreads (with a small
+        relative floor): a reference window where a clipped-at-zero
+        metric happens to read all zeros must not make ordinary noise
+        look like an astronomic deviation.
+        """
+        if epoch_values.size == 0:
+            return 0.0
+        epoch_mean = epoch_values.mean(axis=0)
+        epoch_std = epoch_values.std(axis=0)
+        scale = np.maximum(
+            np.maximum(normal_std, epoch_std),
+            1e-3 * np.maximum(np.abs(normal_mean), 1.0),
+        )
+        z = np.abs(epoch_mean - normal_mean) / scale
+        return float(z.max())
+
+    def localize(
+        self,
+        per_vm_values: Mapping[str, np.ndarray],
+        labels: np.ndarray,
+        per_vm_allocations: Optional[
+            Mapping[str, Tuple[np.ndarray, np.ndarray]]
+        ] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Per-VM training labels from application-level SLO labels.
+
+        ``per_vm_values`` maps VM name to a (n_samples, n_attributes)
+        matrix; all matrices share the row axis (common timestamps)
+        matching ``labels``.  Returns one label vector per VM in which
+        a violation epoch stays abnormal only for implicated VMs.
+
+        ``per_vm_allocations`` optionally maps VM name to per-sample
+        (CPU, memory) allocation arrays.  When given, an epoch's
+        evidence is restricted to samples taken under the epoch's
+        *starting* allocation: prevention actions landing mid-epoch
+        shift allocation-dependent metrics (free memory jumps when the
+        balloon grows) and would otherwise register as enormous
+        deviations on whichever VM was scaled — including the wrong
+        one.
+        """
+        labels = np.asarray(labels, dtype=np.intp)
+        names = list(per_vm_values)
+        matrices = {}
+        for name in names:
+            matrix = np.asarray(per_vm_values[name], dtype=float)
+            if matrix.shape[0] != labels.shape[0]:
+                raise ValueError(
+                    f"{name}: {matrix.shape[0]} samples vs {labels.shape[0]} labels"
+                )
+            matrices[name] = matrix
+        out = {name: np.zeros_like(labels) for name in names}
+        epochs = violation_epochs(labels)
+        if not epochs:
+            return out
+
+        for start, end in epochs:
+            # Reference: a window shortly before the epoch, separated
+            # by a gap that skips the gradual pre-violation build-up.
+            # This is deliberately *local* (a change-point view, as in
+            # PAL [13]): global normal statistics would mix
+            # measurements from different allocation regimes and
+            # dilute the z-score of exactly the VM that was recently
+            # scaled.
+            ref_end = max(0, start - self.reference_gap)
+            ref_start = max(0, ref_end - self.reference_window)
+            scores = {}
+            ref_stats: Dict[str, Optional[Tuple[np.ndarray, np.ndarray]]] = {}
+            for name in names:
+                matrix = matrices[name]
+                rows = np.arange(start, end)
+                ref_rows = np.arange(ref_start, ref_end)
+                if per_vm_allocations is not None:
+                    cpu, mem = per_vm_allocations[name]
+
+                    def same_alloc(idx: np.ndarray) -> np.ndarray:
+                        return (
+                            np.abs(cpu[idx] - cpu[start])
+                            <= 0.02 * max(cpu[start], 1e-9)
+                        ) & (
+                            np.abs(mem[idx] - mem[start])
+                            <= 0.02 * max(mem[start], 1e-9)
+                        )
+
+                    same = same_alloc(rows)
+                    if same.any():
+                        rows = rows[same]
+                    ref_same = same_alloc(ref_rows)
+                    if ref_same.sum() >= 3:
+                        ref_rows = ref_rows[ref_same]
+                reference = matrix[ref_rows]
+                if reference.shape[0] < 3:
+                    scores[name] = float("inf")
+                    ref_stats[name] = None
+                else:
+                    ref_stats[name] = (
+                        reference.mean(axis=0), reference.std(axis=0)
+                    )
+                    scores[name] = self.deviation_score(
+                        matrix[rows], *ref_stats[name]
+                    )
+            # Propagation awareness (the heart of PAL [13]): the root
+            # cause manifests *before* the components it starves, so
+            # among sufficiently deviant VMs prefer the earliest onset.
+            onsets = {
+                name: self._onset_index(
+                    matrices[name], ref_stats[name], start, end
+                )
+                for name in names
+            }
+            finite = {n: o for n, o in onsets.items() if o is not None}
+            if finite:
+                earliest = min(finite.values())
+                implicated = [
+                    n for n, o in finite.items()
+                    if o <= earliest + self.onset_slack
+                    and scores[n] >= self.min_score
+                ]
+                if not implicated:
+                    implicated = [min(finite, key=finite.get)]
+            else:
+                top = max(scores.values())
+                if top < self.min_score or not np.isfinite(top):
+                    implicated = [n for n, s in scores.items() if s == top]
+                else:
+                    implicated = [
+                        n for n, s in scores.items()
+                        if s >= self.share_of_max * top and s >= self.min_score
+                    ]
+            for name in implicated:
+                # Within the epoch, mark only samples that actually
+                # deviate from the VM's *global normal profile*.  An
+                # SLO violation outlives its cause (smoothed metrics,
+                # queue draining, thrash decay): tail samples whose
+                # system metrics have already returned to normal must
+                # not teach the model that healthy-looking states are
+                # abnormal.  The local pre-epoch reference is the wrong
+                # yardstick here — for a gradual fault it sits mid-
+                # decline, so even recovered states "deviate" from it.
+                profile = self._normal_profile(
+                    matrices[name], labels,
+                    None if per_vm_allocations is None
+                    else (per_vm_allocations[name], start),
+                )
+                if profile is None:
+                    out[name][start:end] = 1
+                    continue
+                mean, std = profile
+                scale = np.maximum(std, 1e-3 * np.maximum(np.abs(mean), 1.0))
+                z = np.abs(matrices[name][start:end] - mean) / scale
+                per_sample = z.max(axis=1)
+                # Gate relative to the epoch's own peak: a sample whose
+                # deviation is a tiny fraction of what the fault showed
+                # at full strength (e.g. an incidental workload wiggle
+                # during the recovery tail) is not anomaly evidence.
+                cutoff = max(self.min_score, 0.1 * float(per_sample.max()))
+                deviant = per_sample >= cutoff
+                out[name][start:end] = deviant.astype(out[name].dtype)
+        return out
+
+    @staticmethod
+    def _normal_profile(matrix, labels, alloc_and_epoch_start):
+        """Mean/std over normal-labelled rows, allocation-matched."""
+        normal = labels == 0
+        if alloc_and_epoch_start is not None:
+            (cpu, mem), start = alloc_and_epoch_start
+            normal = normal & (
+                np.abs(cpu - cpu[start]) <= 0.02 * max(cpu[start], 1e-9)
+            ) & (
+                np.abs(mem - mem[start]) <= 0.02 * max(mem[start], 1e-9)
+            )
+        if normal.sum() < 6:
+            return None
+        rows = matrix[normal]
+        return rows.mean(axis=0), rows.std(axis=0)
+
+    def _onset_index(
+        self,
+        matrix: np.ndarray,
+        ref: Optional[Tuple[np.ndarray, np.ndarray]],
+        start: int,
+        end: int,
+        lead: int = 24,
+    ) -> Optional[int]:
+        """First index with a sustained deviation near the epoch.
+
+        Scans from ``lead`` samples before the epoch (faults manifest
+        in system metrics before the SLO breaks) to the epoch's end;
+        returns the first index where the per-sample max-z against the
+        reference stays above :attr:`onset_threshold` for two
+        consecutive samples, or ``None``.
+        """
+        if ref is None:
+            return None
+        mean, std = ref
+        scale = np.maximum(std, 1e-3 * np.maximum(np.abs(mean), 1.0))
+        scan_start = max(0, start - lead)
+        z = np.abs(matrix[scan_start:end] - mean) / scale
+        above = z.max(axis=1) > self.onset_threshold
+        sustained = above[:-1] & above[1:]
+        hits = np.flatnonzero(sustained)
+        return int(scan_start + hits[0]) if hits.size else None

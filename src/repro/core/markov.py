@@ -1,0 +1,227 @@
+"""Attribute-value prediction with Markov chain models.
+
+The paper's predictor estimates each attribute's value distribution at
+a future time (Sec. II-B).  Two models are implemented:
+
+* :class:`SimpleMarkovModel` — the first-order chain of the authors'
+  earlier work [10]: the next state depends only on the current state.
+* :class:`TwoDependentMarkovModel` — the paper's contribution (Fig. 2):
+  every pair of consecutive single states forms a *combined* state, so
+  transitions depend on the current **and** the previous value.  This
+  converts slope information (rising vs falling) into the state itself,
+  which is what lets the model extrapolate gradually trending
+  attributes (memory leaks, workload ramps) across multi-step
+  look-ahead windows.
+
+Both models share the same interface: train on a discrete state
+sequence, then predict the state distribution ``steps`` transitions
+ahead.  Counts are Laplace-smoothed; :meth:`update` adds new
+observations so the model can "periodically update with new data
+measurements to adapt to dynamic systems".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["MarkovModel", "SimpleMarkovModel", "TwoDependentMarkovModel"]
+
+
+class MarkovModel:
+    """Common machinery for the two chain variants."""
+
+    #: How many trailing observations the predictor needs to condition on.
+    history_needed = 1
+
+    def __init__(
+        self, n_states: int, smoothing: float = 0.05, persistence: float = 3.0
+    ) -> None:
+        if n_states < 1:
+            raise ValueError(f"n_states must be >= 1, got {n_states}")
+        if smoothing <= 0:
+            raise ValueError(f"smoothing must be positive, got {smoothing}")
+        if persistence < 0:
+            raise ValueError(f"persistence must be >= 0, got {persistence}")
+        self.n_states = n_states
+        self.smoothing = smoothing
+        #: Pseudo-count mass on "stay in the current state".  Rarely or
+        #: never visited conditioning states then predict persistence
+        #: instead of a near-uniform distribution — physically sensible
+        #: for system metrics and essential for stable multi-step
+        #: prediction from sparse training data.
+        self.persistence = persistence
+        self._counts = np.zeros(
+            (self._n_condition_states(), n_states), dtype=float
+        )
+        self._trained = False
+
+    # -- subclass hooks -------------------------------------------------
+    def _n_condition_states(self) -> int:
+        raise NotImplementedError
+
+    def _condition_index(self, history: Sequence[int]) -> int:
+        """Row index for the conditioning state given trailing history."""
+        raise NotImplementedError
+
+    def _extract_transitions(self, seq: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(condition indices, next states) pairs from a state sequence."""
+        raise NotImplementedError
+
+    # -- training --------------------------------------------------------
+    def fit(self, sequence: Sequence[int]) -> "MarkovModel":
+        """Train from scratch on a discrete state sequence."""
+        self._counts[:] = 0.0
+        self._trained = False
+        return self.update(sequence)
+
+    def update(self, sequence: Sequence[int]) -> "MarkovModel":
+        """Accumulate transition counts from an additional sequence."""
+        seq = self._validate(sequence)
+        if seq.size > self.history_needed:
+            rows, nxt = self._extract_transitions(seq)
+            np.add.at(self._counts, (rows, nxt), 1.0)
+        self._trained = True
+        return self
+
+    def _validate(self, sequence: Sequence[int]) -> np.ndarray:
+        seq = np.asarray(sequence, dtype=np.intp)
+        if seq.ndim != 1:
+            raise ValueError("state sequence must be 1-D")
+        if seq.size and (seq.min() < 0 or seq.max() >= self.n_states):
+            raise ValueError(
+                f"states must lie in [0, {self.n_states}), "
+                f"got range [{seq.min()}, {seq.max()}]"
+            )
+        return seq
+
+    def _persistence_targets(self) -> np.ndarray:
+        """For each conditioning state, the 'stay put' next state."""
+        raise NotImplementedError
+
+    def transition_matrix(self) -> np.ndarray:
+        """Smoothed row-stochastic transition matrix.
+
+        Rows get Laplace smoothing plus a persistence pseudo-count on
+        the stay-put target, so unseen conditioning states predict "no
+        change" rather than uniform noise.
+        """
+        smoothed = self._counts + self.smoothing
+        if self.persistence > 0:
+            rows = np.arange(smoothed.shape[0])
+            smoothed[rows, self._persistence_targets()] += self.persistence
+        return smoothed / smoothed.sum(axis=1, keepdims=True)
+
+    # -- prediction --------------------------------------------------------
+    def predict_distribution(self, history: Sequence[int], steps: int = 1) -> np.ndarray:
+        """Distribution over single states ``steps`` transitions ahead.
+
+        ``history`` is the trailing observed states (at least
+        :attr:`history_needed` of them; extra leading entries are
+        ignored).
+        """
+        if not self._trained:
+            raise RuntimeError("model is not trained")
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        if len(history) < self.history_needed:
+            raise ValueError(
+                f"need {self.history_needed} trailing states, got {len(history)}"
+            )
+        return self._predict(list(history), steps)
+
+    def _predict(self, history: Sequence[int], steps: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def predict_state(self, history: Sequence[int], steps: int = 1) -> int:
+        """Expected state ``steps`` ahead (distribution mean, rounded).
+
+        Using the expectation rather than the mode keeps multi-step
+        predictions of trending attributes from collapsing onto the
+        most-visited state.
+        """
+        dist = self.predict_distribution(history, steps)
+        expected = float(np.dot(np.arange(self.n_states), dist))
+        return int(np.clip(round(expected), 0, self.n_states - 1))
+
+
+class SimpleMarkovModel(MarkovModel):
+    """First-order chain: ``P(next | current)``."""
+
+    history_needed = 1
+
+    def _n_condition_states(self) -> int:
+        return self.n_states
+
+    def _condition_index(self, history: Sequence[int]) -> int:
+        return int(history[-1])
+
+    def _extract_transitions(self, seq: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return seq[:-1], seq[1:]
+
+    def _persistence_targets(self) -> np.ndarray:
+        return np.arange(self.n_states)
+
+    def _predict(self, history: Sequence[int], steps: int) -> np.ndarray:
+        matrix = self.transition_matrix()
+        dist = np.zeros(self.n_states)
+        dist[self._condition_index(history)] = 1.0
+        for _ in range(steps):
+            dist = dist @ matrix
+        return dist
+
+
+class TwoDependentMarkovModel(MarkovModel):
+    """Second-order chain over combined states (Fig. 2).
+
+    Combined state ``(prev, cur)`` is encoded as ``prev * n + cur``; a
+    transition emits the next single state, moving to combined state
+    ``(cur, next)``.  With ``n`` single states there are ``n**2``
+    combined states — nine in the paper's three-state example.
+    """
+
+    history_needed = 2
+
+    def _n_condition_states(self) -> int:
+        return self.n_states * self.n_states
+
+    def encode(self, prev: int, cur: int) -> int:
+        """Combined-state index for a (previous, current) pair."""
+        return int(prev) * self.n_states + int(cur)
+
+    def _condition_index(self, history: Sequence[int]) -> int:
+        return self.encode(history[-2], history[-1])
+
+    def _extract_transitions(self, seq: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        rows = seq[:-2] * self.n_states + seq[1:-1]
+        return rows, seq[2:]
+
+    def _persistence_targets(self) -> np.ndarray:
+        # Combined state (prev, cur) persists by emitting cur again.
+        return np.tile(np.arange(self.n_states), self.n_states)
+
+    def _predict(self, history: Sequence[int], steps: int) -> np.ndarray:
+        matrix = self.transition_matrix()  # (n^2, n)
+        n = self.n_states
+        combined = np.zeros(n * n)
+        combined[self._condition_index(history)] = 1.0
+        single = np.zeros(n)
+        for _ in range(steps):
+            # P(next single state) given the combined-state distribution.
+            single = combined @ matrix
+            # Advance the combined distribution: (prev, cur) -> (cur, next).
+            next_combined = np.zeros(n * n)
+            rows = combined.reshape(n, n)  # rows[prev, cur]
+            cur_mass = rows.sum(axis=0)    # P(cur = c)
+            for cur in range(n):
+                if cur_mass[cur] <= 0.0:
+                    continue
+                # Distribution of next given cur, weighted over prev;
+                # combined rows for (prev, cur) live at index prev*n+cur.
+                weights = rows[:, cur]
+                row_indices = np.arange(n) * n + cur
+                next_given = weights @ matrix[row_indices]
+                next_combined[cur * n: (cur + 1) * n] += next_given
+            combined = next_combined
+        return single

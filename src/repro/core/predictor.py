@@ -1,0 +1,287 @@
+"""The anomaly prediction model (paper Sec. II-B).
+
+Combines attribute-value prediction with multi-variant anomaly
+classification: each attribute's future bin is predicted by a Markov
+chain (2-dependent by default), and the vector of predicted bins is
+classified normal/abnormal by a TAN classifier, yielding an early
+alarm a look-ahead window before the anomaly manifests.
+
+One :class:`AnomalyPredictor` is instantiated per VM ("per-component"
+in Fig. 10); the *monolithic* baseline of Fig. 10 is the same class
+trained over the concatenated attributes of every VM (see
+:func:`monolithic_attributes` and
+:meth:`AnomalyPredictor.concat_histories`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bayes import NaiveBayesClassifier
+from repro.core.discretization import DEFAULT_BINS, Discretizer
+from repro.core.markov import (
+    MarkovModel,
+    SimpleMarkovModel,
+    TwoDependentMarkovModel,
+)
+from repro.core.tan import TANClassifier
+
+__all__ = [
+    "AnomalyPredictor",
+    "PredictionResult",
+    "monolithic_attributes",
+]
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """Outcome of one look-ahead prediction (or current classification)."""
+
+    abnormal: bool
+    probability: float
+    #: classifier log-odds (Eq. 1 left-hand side); unlike the posterior
+    #: probability it does not saturate, so it ranks VMs reliably.
+    score: float
+    #: predicted (or observed) bin per attribute
+    bins: Tuple[int, ...]
+    #: Eq. (2) strength per attribute, aligned with ``attributes``
+    strengths: Tuple[float, ...]
+    attributes: Tuple[str, ...]
+    #: look-ahead steps this prediction was made for (0 = now)
+    steps: int = 0
+
+    def ranked_attributes(self) -> List[Tuple[str, float]]:
+        """Attributes sorted by anomaly-impact strength, strongest first."""
+        return sorted(
+            zip(self.attributes, self.strengths), key=lambda kv: -kv[1]
+        )
+
+
+def monolithic_attributes(
+    vm_names: Sequence[str], attributes: Sequence[str]
+) -> List[str]:
+    """Attribute names for the monolithic (one-big-model) baseline."""
+    return [f"{vm}:{attr}" for vm in vm_names for attr in attributes]
+
+
+class AnomalyPredictor:
+    """Per-component online anomaly prediction model.
+
+    Parameters
+    ----------
+    attributes:
+        Names of the metric attributes, defining vector order.
+    n_bins:
+        Single states per attribute for discretization and the chains.
+    markov:
+        ``"2dep"`` (paper) or ``"simple"`` (baseline of Fig. 11).
+    classifier:
+        ``"tan"`` (paper) or ``"naive"`` (baseline from [10]).
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        n_bins: int = DEFAULT_BINS,
+        markov: str = "2dep",
+        classifier: str = "tan",
+        smoothing: float = 0.15,
+        class_prior: str = "balanced",
+        prediction_mode: str = "soft",
+        robust: bool = True,
+    ) -> None:
+        if not attributes:
+            raise ValueError("need at least one attribute")
+        if markov not in ("2dep", "simple"):
+            raise ValueError(f"unknown markov variant {markov!r}")
+        if classifier not in ("tan", "naive"):
+            raise ValueError(f"unknown classifier {classifier!r}")
+        if prediction_mode not in ("soft", "hard"):
+            raise ValueError(f"unknown prediction mode {prediction_mode!r}")
+        self.attributes = tuple(attributes)
+        self.n_bins = n_bins
+        self.markov_kind = markov
+        self.classifier_kind = classifier
+        self.smoothing = smoothing
+        #: "soft" classifies the *distribution* the value predictor
+        #: returns (expected Eq. 1 statistic); "hard" rounds each
+        #: attribute to one predicted bin first (ablation baseline).
+        self.prediction_mode = prediction_mode
+        self.discretizer = Discretizer(n_bins=n_bins)
+        self.value_models: List[MarkovModel] = []
+        self.robust = robust
+        if classifier == "tan":
+            self.classifier: "TANClassifier | NaiveBayesClassifier" = TANClassifier(
+                n_bins=n_bins, smoothing=smoothing, class_prior=class_prior,
+                robust=robust,
+            )
+        else:
+            self.classifier = NaiveBayesClassifier(
+                n_bins=n_bins, smoothing=smoothing, class_prior=class_prior,
+                robust=robust,
+            )
+        self._trained = False
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    @property
+    def trained(self) -> bool:
+        return self._trained
+
+    def invalidate(self) -> None:
+        """Forget the trained state (used when fault localization no
+        longer implicates this VM in any buffered anomaly — a model
+        trained on evidence that has since been reinterpreted must not
+        keep raising alerts)."""
+        self._trained = False
+
+    @property
+    def history_needed(self) -> int:
+        """Trailing samples required to condition a prediction."""
+        return 2 if self.markov_kind == "2dep" else 1
+
+    def _new_markov(self) -> MarkovModel:
+        if self.markov_kind == "2dep":
+            return TwoDependentMarkovModel(self.n_bins, smoothing=self.smoothing)
+        return SimpleMarkovModel(self.n_bins, smoothing=self.smoothing)
+
+    def train(
+        self,
+        values: np.ndarray,
+        labels: Sequence[int],
+        segment_ids: Optional[Sequence[int]] = None,
+    ) -> "AnomalyPredictor":
+        """(Re)train from a labelled window of raw metric vectors.
+
+        ``values`` has shape (n_samples, n_attributes); ``labels`` are
+        the matching SLO states (1 = violated).  Both classes must be
+        present — callers gate on
+        :meth:`~repro.core.labeling.TrainingBuffer.has_both_classes`.
+
+        ``segment_ids`` marks contiguous monitoring runs: when the
+        training window has gaps (samples filtered out by regime,
+        monitoring restarts), state transitions must not be counted
+        across a gap.  Rows sharing an id form one unbroken sequence.
+        """
+        values = np.asarray(values, dtype=float)
+        labels = np.asarray(labels, dtype=np.intp)
+        if values.ndim != 2 or values.shape[1] != len(self.attributes):
+            raise ValueError(
+                f"expected (n, {len(self.attributes)}) values, got {values.shape}"
+            )
+        if labels.shape != (values.shape[0],):
+            raise ValueError("labels must match values rows")
+        if segment_ids is None:
+            segments = [np.arange(values.shape[0])]
+        else:
+            ids = np.asarray(segment_ids)
+            if ids.shape != (values.shape[0],):
+                raise ValueError("segment_ids must match values rows")
+            segments = [np.flatnonzero(ids == seg) for seg in np.unique(ids)]
+        self.discretizer.fit(values)
+        binned = self.discretizer.transform(values)
+        self.value_models = []
+        for j in range(len(self.attributes)):
+            model = self._new_markov()
+            for rows in segments:
+                model.update(binned[rows, j])
+            self.value_models.append(model)
+        self.classifier.fit(binned, labels)
+        self._trained = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def _require_trained(self) -> None:
+        if not self._trained:
+            raise RuntimeError("predictor is not trained")
+
+    def classify_current(self, values: Sequence[float]) -> PredictionResult:
+        """Classify the *observed* current state (the reactive path)."""
+        self._require_trained()
+        bins = self.discretizer.transform(np.asarray(values, dtype=float))
+        return self._classify(tuple(int(b) for b in bins), steps=0)
+
+    def predict(self, recent_values: np.ndarray, steps: int) -> PredictionResult:
+        """Classify the *predicted* state ``steps`` samples ahead.
+
+        ``recent_values`` is a (>= history_needed, n_attributes) matrix
+        of the most recent raw samples, oldest first.
+        """
+        self._require_trained()
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        recent = np.asarray(recent_values, dtype=float)
+        if recent.ndim != 2 or recent.shape[1] != len(self.attributes):
+            raise ValueError(
+                f"expected (n, {len(self.attributes)}) recent values, "
+                f"got {recent.shape}"
+            )
+        if recent.shape[0] < self.history_needed:
+            raise ValueError(
+                f"need {self.history_needed} recent samples, got {recent.shape[0]}"
+            )
+        binned = self.discretizer.transform(recent)
+        distributions: List[np.ndarray] = []
+        predicted_bins: List[int] = []
+        for j, model in enumerate(self.value_models):
+            history = binned[:, j].tolist()
+            dist = model.predict_distribution(history, steps=steps)
+            distributions.append(dist)
+            expected = float(np.dot(np.arange(self.n_bins), dist))
+            predicted_bins.append(int(np.clip(round(expected), 0, self.n_bins - 1)))
+        if self.prediction_mode == "hard":
+            return self._classify(tuple(predicted_bins), steps=steps)
+        return self._classify_soft(distributions, tuple(predicted_bins), steps)
+
+    def _classify_soft(
+        self,
+        distributions: List[np.ndarray],
+        bins: Tuple[int, ...],
+        steps: int,
+    ) -> PredictionResult:
+        strengths = tuple(self.classifier.expected_strengths(distributions))
+        score = self.classifier.expected_log_odds(distributions)
+        probability = float(1.0 / (1.0 + np.exp(-score)))
+        return PredictionResult(
+            abnormal=score > 0.0,
+            probability=probability,
+            score=float(score),
+            bins=bins,
+            strengths=strengths,
+            attributes=self.attributes,
+            steps=steps,
+        )
+
+    def _classify(self, bins: Tuple[int, ...], steps: int) -> PredictionResult:
+        score = self.classifier.log_odds(bins)
+        probability = float(1.0 / (1.0 + np.exp(-score)))
+        strengths = tuple(self.classifier.attribute_strengths(bins))
+        return PredictionResult(
+            abnormal=score > 0.0,
+            probability=probability,
+            score=float(score),
+            bins=bins,
+            strengths=strengths,
+            attributes=self.attributes,
+            steps=steps,
+        )
+
+    # ------------------------------------------------------------------
+    # Monolithic-model helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concat_histories(per_vm_values: Sequence[np.ndarray]) -> np.ndarray:
+        """Column-concatenate per-VM value matrices for the monolithic
+        baseline (all matrices must share the row count)."""
+        if not per_vm_values:
+            raise ValueError("no value matrices given")
+        rows = {np.asarray(v).shape[0] for v in per_vm_values}
+        if len(rows) != 1:
+            raise ValueError(f"per-VM matrices disagree on rows: {sorted(rows)}")
+        return np.concatenate([np.asarray(v, dtype=float) for v in per_vm_values], axis=1)

@@ -1,0 +1,351 @@
+"""Tree-Augmented Naive Bayes (TAN) anomaly classifier.
+
+The paper adopts the TAN model of Cohen et al. [12] for two reasons
+(Sec. II-B/II-C): it captures dependencies among system metrics, and
+its per-attribute log-likelihood-ratio decomposition gives a ranked
+list of the metrics most related to a predicted anomaly — the signal
+the prevention actuator scales.
+
+Structure learning is the classic Chow–Liu construction restricted to
+class-conditioned attributes (Friedman et al. 1997):
+
+1. estimate the conditional mutual information I(a_i; a_j | C) for all
+   attribute pairs from the discretized training data;
+2. build a maximum-weight spanning tree over the attributes;
+3. root the tree at attribute 0 and direct edges outward — each
+   attribute gets at most one attribute parent, plus the class.
+
+Classification implements Eq. (1):
+
+    sum_i log[P(a_i | a_pi, C=1) / P(a_i | a_pi, C=0)]
+        + log[P(C=1) / P(C=0)]  >  0   =>  abnormal
+
+and :meth:`attribute_strengths` returns the per-attribute terms L_i of
+Eq. (2) used for metric attribution (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bayes import (
+    ABNORMAL,
+    NORMAL,
+    ORDINAL_KERNEL_WEIGHT,
+    STRENGTH_CLIP,
+    NotTrainedError,
+    _class_log_prior,
+    check_training_data,
+    ordinal_smooth,
+    select_attributes,
+)
+
+__all__ = ["TANClassifier"]
+
+#: Equivalent-sample-size for shrinking child CPT rows toward the
+#: class-conditional marginal (Friedman et al. 1997 recommend exactly
+#: this backoff for TAN on sparse data).  A parent cell observed fewer
+#: than ~CPT_BACKOFF times contributes mostly marginal evidence, so a
+#: correlated parent cannot "explain away" a sparsely-observed child
+#: signal.
+CPT_BACKOFF = 5.0
+
+
+class TANClassifier:
+    """Tree-augmented naive Bayes over binned attribute vectors."""
+
+    def __init__(
+        self, n_bins: int, smoothing: float = 0.15,
+        class_prior: str = "balanced", robust: bool = True,
+    ) -> None:
+        if n_bins < 1:
+            raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+        if smoothing <= 0:
+            raise ValueError(f"smoothing must be positive, got {smoothing}")
+        if class_prior not in ("balanced", "empirical", "capped"):
+            raise ValueError(f"unknown class_prior {class_prior!r}")
+        self.n_bins = n_bins
+        self.smoothing = smoothing
+        #: See :class:`~repro.core.bayes.NaiveBayesClassifier` — online
+        #: training data is skewed; "balanced" keeps the attribute
+        #: evidence in charge and leaves transient mistakes to the
+        #: k-of-W filter.
+        self.class_prior = class_prior
+        #: See :class:`~repro.core.bayes.NaiveBayesClassifier.robust`.
+        self.robust = robust
+        self.n_attributes: Optional[int] = None
+        #: Boolean keep-mask from attribute selection (set by fit).
+        self.attribute_mask: Optional[np.ndarray] = None
+        #: parent[i] is the attribute parent of i, or -1 for the root(s).
+        self.parents: Optional[np.ndarray] = None
+        self._log_prior: Optional[np.ndarray] = None
+        # CPTs: for roots, shape (2, n_bins); for children, (2, n_bins
+        # parent values, n_bins child values), stored per attribute.
+        self._log_cpt: Optional[List[np.ndarray]] = None
+
+    @property
+    def trained(self) -> bool:
+        return self._log_cpt is not None
+
+    # ------------------------------------------------------------------
+    # Structure learning
+    # ------------------------------------------------------------------
+    def _conditional_mutual_information(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> np.ndarray:
+        """I(a_i; a_j | C) matrix estimated with smoothed counts."""
+        n_attrs = X.shape[1]
+        b = self.n_bins
+        cmi = np.zeros((n_attrs, n_attrs))
+        for label in (NORMAL, ABNORMAL):
+            rows = X[y == label]
+            if rows.shape[0] == 0:
+                continue
+            class_weight = rows.shape[0] / X.shape[0]
+            # Per-attribute marginals under this class.
+            marg = np.empty((n_attrs, b))
+            for i in range(n_attrs):
+                counts = np.bincount(rows[:, i], minlength=b) + self.smoothing
+                marg[i] = counts / counts.sum()
+            for i in range(n_attrs):
+                for j in range(i + 1, n_attrs):
+                    joint = np.full((b, b), self.smoothing, dtype=float)
+                    np.add.at(joint, (rows[:, i], rows[:, j]), 1.0)
+                    joint /= joint.sum()
+                    denom = np.outer(marg[i], marg[j])
+                    term = float(np.sum(joint * (np.log(joint) - np.log(denom))))
+                    contribution = class_weight * max(term, 0.0)
+                    cmi[i, j] += contribution
+                    cmi[j, i] += contribution
+        return cmi
+
+    @staticmethod
+    def _maximum_spanning_tree(weights: np.ndarray) -> np.ndarray:
+        """Prim's algorithm; returns parent indices with root = 0."""
+        n = weights.shape[0]
+        parents = np.full(n, -1, dtype=np.intp)
+        if n <= 1:
+            return parents
+        in_tree = np.zeros(n, dtype=bool)
+        in_tree[0] = True
+        best_weight = weights[0].copy()
+        best_parent = np.zeros(n, dtype=np.intp)
+        for _ in range(n - 1):
+            candidates = np.where(~in_tree)[0]
+            nxt = candidates[np.argmax(best_weight[candidates])]
+            parents[nxt] = best_parent[nxt]
+            in_tree[nxt] = True
+            improved = weights[nxt] > best_weight
+            best_weight = np.where(improved, weights[nxt], best_weight)
+            best_parent = np.where(improved, nxt, best_parent)
+        return parents
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, X: Sequence[Sequence[int]], y: Sequence[int]) -> "TANClassifier":
+        X, y = check_training_data(np.asarray(X), np.asarray(y), self.n_bins)
+        n_samples, n_attrs = X.shape
+        self.n_attributes = n_attrs
+
+        cmi = self._conditional_mutual_information(X, y)
+        self.parents = self._maximum_spanning_tree(cmi)
+
+        self._log_prior = _class_log_prior(y, self.class_prior, self.smoothing)
+
+        cpts: List[np.ndarray] = []
+        supports: List[np.ndarray] = []
+        for i in range(n_attrs):
+            parent = self.parents[i]
+            marg_raw = np.zeros((2, self.n_bins))
+            for label in (NORMAL, ABNORMAL):
+                rows = X[y == label]
+                if rows.size:
+                    marg_raw[label] += np.bincount(rows[:, i], minlength=self.n_bins)
+            if self.robust:
+                marg_raw = ordinal_smooth(marg_raw, axis=1)
+            marginal = marg_raw + self.smoothing
+            marginal /= marginal.sum(axis=1, keepdims=True)
+            if parent < 0:
+                table = marginal
+                if self.robust:
+                    supports.append(
+                        marg_raw.sum(axis=0) >= ORDINAL_KERNEL_WEIGHT
+                    )
+                else:
+                    supports.append(np.ones(self.n_bins, dtype=bool))
+            else:
+                raw = np.zeros((2, self.n_bins, self.n_bins))
+                for label in (NORMAL, ABNORMAL):
+                    rows = X[y == label]
+                    if rows.size:
+                        np.add.at(raw[label], (rows[:, parent], rows[:, i]), 1.0)
+                if self.robust:
+                    raw = ordinal_smooth(ordinal_smooth(raw, axis=2), axis=1)
+                cond = raw + self.smoothing
+                cond /= cond.sum(axis=2, keepdims=True)
+                # Hierarchical shrinkage: blend each (class, parent-
+                # value) row toward the class marginal by how often the
+                # parent value was actually observed in that class.
+                row_counts = raw.sum(axis=2, keepdims=True)
+                backoff = CPT_BACKOFF if self.robust else 0.0
+                lam = row_counts / (row_counts + backoff) if backoff else 1.0
+                lam = np.broadcast_to(np.asarray(lam), cond.shape) if np.isscalar(lam) else lam
+                table = lam * cond + (1.0 - lam) * marginal[:, np.newaxis, :]
+                # Support follows the marginal: the blended evidence is
+                # meaningful wherever the child bin itself was observed.
+                if self.robust:
+                    child_support = (
+                        marg_raw.sum(axis=0) >= ORDINAL_KERNEL_WEIGHT
+                    )
+                else:
+                    child_support = np.ones(self.n_bins, dtype=bool)
+                supports.append(
+                    np.broadcast_to(child_support, (self.n_bins, self.n_bins)).copy()
+                )
+            cpts.append(np.log(table))
+        self._log_cpt = cpts
+        self._support = supports
+        # Attribute selection (as in Cohen et al. [12]): keep only
+        # attributes whose strengths separate the classes on the
+        # training set itself.
+        self.attribute_mask = np.ones(n_attrs, dtype=bool)
+        if self.robust:
+            sample_strengths = np.stack(
+                [self._raw_strengths(row) for row in X]
+            )
+            self.attribute_mask = select_attributes(sample_strengths, y)
+        return self
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _require_trained(self) -> None:
+        if not self.trained:
+            raise NotTrainedError("TANClassifier is not trained")
+
+    def _check_sample(self, x: Sequence[int]) -> np.ndarray:
+        x = np.asarray(x, dtype=np.intp)
+        if x.shape != (self.n_attributes,):
+            raise ValueError(
+                f"expected {self.n_attributes} attributes, got shape {x.shape}"
+            )
+        return np.clip(x, 0, self.n_bins - 1)
+
+    def _raw_strengths(self, x: np.ndarray) -> np.ndarray:
+        """Unmasked Eq. (2) terms for one binned sample."""
+        strengths = np.empty(self.n_attributes)
+        for i in range(self.n_attributes):
+            parent = self.parents[i]
+            table = self._log_cpt[i]
+            support = self._support[i]
+            if parent < 0:
+                if not support[x[i]]:
+                    strengths[i] = 0.0
+                else:
+                    strengths[i] = table[ABNORMAL, x[i]] - table[NORMAL, x[i]]
+            elif not support[x[parent], x[i]]:
+                strengths[i] = 0.0
+            else:
+                strengths[i] = (
+                    table[ABNORMAL, x[parent], x[i]]
+                    - table[NORMAL, x[parent], x[i]]
+                )
+        return strengths
+
+    def attribute_strengths(self, x: Sequence[int]) -> List[float]:
+        """The L_i terms of Eq. (2) for one sample.
+
+        L_i = log[P(a_i | a_pi, C=1) / P(a_i | a_pi, C=0)]; a larger
+        L_i means attribute i pushes the decision harder toward
+        "abnormal" — the attribute-selection signal of Fig. 3.
+        Attributes pruned by training-time attribute selection
+        contribute zero.
+        """
+        self._require_trained()
+        x = self._check_sample(x)
+        raw = self._raw_strengths(x)
+        raw = np.where(self.attribute_mask, raw, 0.0)
+        return [float(v) for v in raw]
+
+    def log_odds(self, x: Sequence[int]) -> float:
+        """Left-hand side of Eq. (1)."""
+        self._require_trained()
+        strengths = self.attribute_strengths(x)
+        return float(
+            sum(strengths) + self._log_prior[ABNORMAL] - self._log_prior[NORMAL]
+        )
+
+    def predict_proba(self, x: Sequence[int]) -> float:
+        """Posterior probability of the abnormal class."""
+        odds = self.log_odds(x)
+        return float(1.0 / (1.0 + np.exp(-odds)))
+
+    def classify(self, x: Sequence[int]) -> bool:
+        """Eq. (1): abnormal when the log-odds sum is positive."""
+        return self.log_odds(x) > 0.0
+
+    # ------------------------------------------------------------------
+    # Soft (distribution-based) classification
+    # ------------------------------------------------------------------
+    def expected_strengths(self, distributions: Sequence[np.ndarray]) -> List[float]:
+        """Expected L_i under independent predicted bin distributions.
+
+        For a child attribute the expectation runs over both its own
+        and its parent's predicted distribution:
+        E[L_i] = sum_{p,s} P_pi(p) P_i(s) (log P(s|p,1) - log P(s|p,0)).
+        This is how predicted future states are classified: the value
+        predictor returns a distribution per attribute, and averaging
+        the decision statistic over it avoids the brittleness of
+        rounding every attribute to a single bin.
+        """
+        self._require_trained()
+        if len(distributions) != self.n_attributes:
+            raise ValueError(
+                f"expected {self.n_attributes} distributions, got {len(distributions)}"
+            )
+        dists = []
+        for i, dist in enumerate(distributions):
+            p = np.asarray(dist, dtype=float)
+            if p.shape != (self.n_bins,):
+                raise ValueError(
+                    f"distribution {i} must have shape ({self.n_bins},)"
+                )
+            dists.append(p)
+        strengths: List[float] = []
+        for i in range(self.n_attributes):
+            if not self.attribute_mask[i]:
+                strengths.append(0.0)
+                continue
+            parent = self.parents[i]
+            table = self._log_cpt[i]
+            diff = np.clip(
+                table[ABNORMAL] - table[NORMAL], -STRENGTH_CLIP, STRENGTH_CLIP
+            )
+            diff = np.where(self._support[i], diff, 0.0)
+            if parent < 0:
+                strengths.append(float(dists[i] @ diff))         # (n_bins,)
+            else:
+                strengths.append(float(dists[parent] @ diff @ dists[i]))
+        return strengths
+
+    def expected_log_odds(self, distributions: Sequence[np.ndarray]) -> float:
+        """Eq. (1) statistic averaged over predicted distributions."""
+        prior = self._log_prior[ABNORMAL] - self._log_prior[NORMAL]
+        return float(sum(self.expected_strengths(distributions)) + prior)
+
+    def rank_attributes(
+        self, x: Sequence[int], names: Optional[Sequence[str]] = None
+    ) -> List[Tuple[str, float]]:
+        """Attributes ranked by impact strength, strongest first."""
+        strengths = self.attribute_strengths(x)
+        if names is None:
+            names = [f"a{i}" for i in range(len(strengths))]
+        if len(names) != len(strengths):
+            raise ValueError(
+                f"{len(names)} names for {len(strengths)} attributes"
+            )
+        ranked = sorted(zip(names, strengths), key=lambda kv: -kv[1])
+        return [(name, float(value)) for name, value in ranked]

@@ -1,0 +1,150 @@
+"""Experiment harness reproducing the paper's evaluation (Sec. III)."""
+
+from repro.experiments.accuracy import (
+    DEFAULT_LOOKAHEADS,
+    AccuracyResult,
+    TraceDataset,
+    accuracy_vs_lookahead,
+    collect_trace,
+    prediction_accuracy,
+)
+from repro.experiments.figures import (
+    ALL_FAULTS,
+    ALL_SCHEMES,
+    fig6_scaling_prevention,
+    fig7_scaling_traces,
+    fig8_migration_prevention,
+    fig9_migration_traces,
+    fig10_per_component_vs_monolithic,
+    fig11_markov_comparison,
+    fig12_alert_filtering,
+    fig13_sampling_intervals,
+    table1_overhead,
+    violation_time_comparison,
+)
+from repro.experiments.report import reproduce_all
+from repro.experiments.reporting import (
+    render_accuracy_series,
+    render_overhead_table,
+    render_trace_panel,
+    render_violation_table,
+)
+from repro.experiments.analysis import (
+    PairedComparison,
+    bootstrap_mean_ci,
+    compare_schemes,
+    paired_permutation_pvalue,
+)
+from repro.experiments.leadtime import (
+    LeadTimeResult,
+    lead_time_summary,
+    measure_lead_times,
+)
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    ReplicateSummary,
+    run_experiment,
+    run_replicates,
+)
+from repro.experiments.multi_tenant import TenantOutcome, run_multi_tenant
+from repro.experiments.persistence import (
+    load_result_summary,
+    load_trace_dataset,
+    save_result,
+    save_trace_dataset,
+)
+from repro.experiments.scalability import scalability_sweep
+from repro.experiments.sweeps import (
+    filter_sweep,
+    lookahead_sweep,
+    scale_factor_sweep,
+)
+from repro.experiments.unsupervised_eval import (
+    FirstOccurrenceResult,
+    evaluate_first_occurrence,
+)
+from repro.experiments.workload_change import (
+    DiscriminationResult,
+    run_discrimination,
+)
+from repro.experiments.scenarios import (
+    APP_NAMES,
+    RUBIS,
+    SYSTEM_S,
+    Testbed,
+    build_testbed,
+    make_fault,
+)
+from repro.experiments.schemes import (
+    NO_INTERVENTION,
+    PREPARE_SCHEME,
+    REACTIVE_SCHEME,
+    SCHEME_NAMES,
+    ManagedScheme,
+    deploy_scheme,
+)
+
+__all__ = [
+    "ALL_FAULTS",
+    "ALL_SCHEMES",
+    "APP_NAMES",
+    "AccuracyResult",
+    "DEFAULT_LOOKAHEADS",
+    "DiscriminationResult",
+    "ExperimentConfig",
+    "FirstOccurrenceResult",
+    "LeadTimeResult",
+    "PairedComparison",
+    "bootstrap_mean_ci",
+    "compare_schemes",
+    "paired_permutation_pvalue",
+    "load_result_summary",
+    "load_trace_dataset",
+    "save_result",
+    "save_trace_dataset",
+    "scalability_sweep",
+    "TenantOutcome",
+    "run_multi_tenant",
+    "reproduce_all",
+    "filter_sweep",
+    "lookahead_sweep",
+    "scale_factor_sweep",
+    "ExperimentResult",
+    "ManagedScheme",
+    "NO_INTERVENTION",
+    "PREPARE_SCHEME",
+    "REACTIVE_SCHEME",
+    "ReplicateSummary",
+    "RUBIS",
+    "SCHEME_NAMES",
+    "SYSTEM_S",
+    "Testbed",
+    "TraceDataset",
+    "accuracy_vs_lookahead",
+    "build_testbed",
+    "collect_trace",
+    "deploy_scheme",
+    "fig6_scaling_prevention",
+    "fig7_scaling_traces",
+    "fig8_migration_prevention",
+    "fig9_migration_traces",
+    "fig10_per_component_vs_monolithic",
+    "fig11_markov_comparison",
+    "fig12_alert_filtering",
+    "fig13_sampling_intervals",
+    "evaluate_first_occurrence",
+    "lead_time_summary",
+    "make_fault",
+    "measure_lead_times",
+    "run_discrimination",
+    "prediction_accuracy",
+    "render_accuracy_series",
+    "render_overhead_table",
+    "render_trace_panel",
+    "render_violation_table",
+    "run_experiment",
+    "run_replicates",
+    "table1_overhead",
+    "violation_time_comparison",
+]

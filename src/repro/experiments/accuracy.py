@@ -1,0 +1,261 @@
+"""Trace-driven anomaly prediction accuracy (paper Figs. 10-13).
+
+"To further quantify the accuracy of our anomaly prediction model, we
+conduct trace-driven experiments using the data collected in the above
+two sets of experiments" (Sec. III-B).  A *without intervention* run
+provides a metric/label trace; models train on the first fault
+injection and predict the second; predicted labels at each look-ahead
+window are scored against the true labels using Eq. (3):
+
+    A_T = N_tp / (N_tp + N_fn),     A_F = N_fp / (N_fp + N_tn).
+
+Model variants compared:
+
+* per-VM ("per-component") vs monolithic (Fig. 10);
+* 2-dependent vs simple Markov value prediction (Fig. 11);
+* k-of-W alert filtering with k in {1, 2, 3} (Fig. 12);
+* sampling interval in {1, 5, 10} seconds (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.filtering import filter_alert_sequence
+from repro.core.localization import DeviationLocalizer
+from repro.core.predictor import AnomalyPredictor, monolithic_attributes
+from repro.faults.base import FaultKind
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.sim.monitor import ATTRIBUTES
+
+__all__ = [
+    "TraceDataset",
+    "AccuracyResult",
+    "collect_trace",
+    "prediction_accuracy",
+    "accuracy_vs_lookahead",
+    "DEFAULT_LOOKAHEADS",
+]
+
+#: Look-ahead windows swept in Figs. 10-13, seconds.
+DEFAULT_LOOKAHEADS: Tuple[float, ...] = (5, 10, 15, 20, 25, 30, 35, 40, 45)
+
+
+@dataclass
+class TraceDataset:
+    """A labelled monitoring trace from a without-intervention run."""
+
+    app: str
+    fault: FaultKind
+    sampling_interval: float
+    per_vm_values: Dict[str, np.ndarray]   # each (n_samples, n_attrs)
+    labels: np.ndarray                     # app-level SLO state per row
+    timestamps: np.ndarray
+    #: Time separating the training (first-injection) region from the
+    #: test (second-injection) region.
+    train_end: float
+    attributes: Tuple[str, ...] = tuple(ATTRIBUTES)
+
+    @property
+    def train_mask(self) -> np.ndarray:
+        return self.timestamps <= self.train_end
+
+    @property
+    def test_mask(self) -> np.ndarray:
+        return self.timestamps > self.train_end
+
+
+@dataclass(frozen=True)
+class AccuracyResult:
+    """Eq. (3) accuracy for one configuration."""
+
+    lookahead: float
+    true_positive_rate: float   # A_T
+    false_alarm_rate: float     # A_F
+    n_tp: int
+    n_fn: int
+    n_fp: int
+    n_tn: int
+
+
+def collect_trace(
+    app: str,
+    fault: FaultKind,
+    seed: int = 1,
+    sampling_interval: float = 5.0,
+    duration: float = 1500.0,
+    noise_scale: float = 1.0,
+) -> TraceDataset:
+    """Run a without-intervention experiment and package its trace."""
+    config = ExperimentConfig(
+        app=app,
+        fault=fault,
+        scheme="none",
+        seed=seed,
+        duration=duration,
+        sampling_interval=sampling_interval,
+        noise_scale=noise_scale,
+    )
+    result = run_experiment(config)
+    per_vm = {
+        vm: np.stack([s.vector() for s in samples])
+        for vm, samples in result.samples.items()
+    }
+    any_samples = next(iter(result.samples.values()))
+    timestamps = np.array([s.timestamp for s in any_samples])
+    labels = np.asarray(result.sample_labels, dtype=np.intp)
+    # Train on everything up to midway between the injections.
+    first_end = result.injections[0][1]
+    second_start = result.injections[-1][0]
+    train_end = 0.5 * (first_end + second_start)
+    return TraceDataset(
+        app=app,
+        fault=fault,
+        sampling_interval=sampling_interval,
+        per_vm_values=per_vm,
+        labels=labels,
+        timestamps=timestamps,
+        train_end=train_end,
+    )
+
+
+def _train_per_vm(
+    dataset: TraceDataset, markov: str, classifier: str, n_bins: int,
+    prediction_mode: str = "soft",
+    class_prior: str = "balanced",
+    robust: bool = True,
+) -> Dict[str, AnomalyPredictor]:
+    """Train per-component predictors with localization-based labels."""
+    train = dataset.train_mask
+    localizer = DeviationLocalizer()
+    per_vm_train = {
+        vm: values[train] for vm, values in dataset.per_vm_values.items()
+    }
+    per_vm_labels = localizer.localize(per_vm_train, dataset.labels[train])
+    predictors: Dict[str, AnomalyPredictor] = {}
+    for vm, values in per_vm_train.items():
+        y_vm = per_vm_labels[vm]
+        if y_vm.sum() < 4 or y_vm.all():
+            continue
+        predictor = AnomalyPredictor(
+            dataset.attributes, n_bins=n_bins, markov=markov,
+            classifier=classifier, prediction_mode=prediction_mode,
+            class_prior=class_prior, robust=robust,
+        )
+        predictor.train(values, y_vm)
+        predictors[vm] = predictor
+    return predictors
+
+
+def _train_monolithic(
+    dataset: TraceDataset, markov: str, classifier: str, n_bins: int,
+    prediction_mode: str = "soft",
+    class_prior: str = "balanced",
+    robust: bool = True,
+) -> Tuple[AnomalyPredictor, np.ndarray]:
+    """Train one model over the concatenated attributes of every VM."""
+    names = sorted(dataset.per_vm_values)
+    big = np.concatenate([dataset.per_vm_values[vm] for vm in names], axis=1)
+    attrs = monolithic_attributes(names, dataset.attributes)
+    train = dataset.train_mask
+    predictor = AnomalyPredictor(
+        attrs, n_bins=n_bins, markov=markov, classifier=classifier,
+        prediction_mode=prediction_mode, class_prior=class_prior,
+        robust=robust,
+    )
+    predictor.train(big[train], dataset.labels[train])
+    return predictor, big
+
+
+def _score(
+    predicted: Sequence[bool], truth: Sequence[int], lookahead: float
+) -> AccuracyResult:
+    predicted = np.asarray(predicted, dtype=bool)
+    truth = np.asarray(truth, dtype=bool)
+    n_tp = int(np.sum(predicted & truth))
+    n_fn = int(np.sum(~predicted & truth))
+    n_fp = int(np.sum(predicted & ~truth))
+    n_tn = int(np.sum(~predicted & ~truth))
+    a_t = n_tp / (n_tp + n_fn) if n_tp + n_fn else 0.0
+    a_f = n_fp / (n_fp + n_tn) if n_fp + n_tn else 0.0
+    return AccuracyResult(
+        lookahead=lookahead,
+        true_positive_rate=a_t,
+        false_alarm_rate=a_f,
+        n_tp=n_tp, n_fn=n_fn, n_fp=n_fp, n_tn=n_tn,
+    )
+
+
+def prediction_accuracy(
+    dataset: TraceDataset,
+    lookahead_seconds: float,
+    model: str = "per-vm",
+    markov: str = "2dep",
+    classifier: str = "tan",
+    n_bins: int = 8,
+    filter_k: Optional[int] = None,
+    filter_w: int = 4,
+    prediction_mode: str = "soft",
+    class_prior: str = "balanced",
+    robust: bool = True,
+) -> AccuracyResult:
+    """A_T / A_F of one model configuration at one look-ahead window.
+
+    ``model`` is ``"per-vm"`` (alert when *any* per-component model
+    alerts, as PREPARE does) or ``"monolithic"``.  ``filter_k`` applies
+    the k-of-W majority filter to the raw alert sequence (Fig. 12).
+    """
+    if model not in ("per-vm", "monolithic"):
+        raise ValueError(f"unknown model {model!r}")
+    steps = max(1, round(lookahead_seconds / dataset.sampling_interval))
+    test_rows = np.flatnonzero(dataset.test_mask)
+    n = dataset.labels.size
+
+    if model == "per-vm":
+        predictors = _train_per_vm(
+            dataset, markov, classifier, n_bins, prediction_mode, class_prior,
+            robust,
+        )
+        sources = [
+            (predictor, dataset.per_vm_values[vm])
+            for vm, predictor in predictors.items()
+        ]
+    else:
+        predictor, big = _train_monolithic(
+            dataset, markov, classifier, n_bins, prediction_mode, class_prior,
+            robust,
+        )
+        sources = [(predictor, big)]
+
+    alerts: List[bool] = []
+    truth: List[int] = []
+    history = 2  # both chain variants condition on at most 2 samples
+    for i in test_rows:
+        if i < history or i + steps >= n:
+            continue
+        flag = False
+        for predictor, values in sources:
+            result = predictor.predict(values[i - 1:i + 1], steps=steps)
+            if result.abnormal:
+                flag = True
+                break
+        alerts.append(flag)
+        truth.append(dataset.labels[i + steps])
+    if filter_k is not None:
+        alerts = filter_alert_sequence(alerts, k=filter_k, window=filter_w)
+    return _score(alerts, truth, lookahead_seconds)
+
+
+def accuracy_vs_lookahead(
+    dataset: TraceDataset,
+    lookaheads: Sequence[float] = DEFAULT_LOOKAHEADS,
+    **kwargs,
+) -> List[AccuracyResult]:
+    """Sweep the look-ahead window (the x-axis of Figs. 10-13)."""
+    return [
+        prediction_accuracy(dataset, lookahead, **kwargs)
+        for lookahead in lookaheads
+    ]

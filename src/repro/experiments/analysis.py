@@ -1,0 +1,145 @@
+"""Statistical analysis helpers for scheme comparisons.
+
+The paper reports mean ± std over five repetitions and eyeballs the
+bars.  A reproduction should be able to say more precisely whether
+"PREPARE beats reactive" survives seed noise, so this module provides:
+
+* paired-seed comparisons (both schemes run on the *same* seeds, so
+  the workload path and noise cancel out of the difference);
+* bootstrap confidence intervals on the mean paired difference; and
+* a sign-flip permutation test for the hypothesis "scheme A's SLO
+  violation time is lower than scheme B's".
+
+Everything is implemented on plain arrays so it is reusable for any
+per-seed metric (violation time, lead time, action counts, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.base import FaultKind
+from repro.experiments.runner import ExperimentConfig, run_experiment
+
+__all__ = [
+    "PairedComparison",
+    "bootstrap_mean_ci",
+    "paired_permutation_pvalue",
+    "compare_schemes",
+]
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired-seed comparison of two schemes."""
+
+    metric: str
+    scheme_a: str
+    scheme_b: str
+    a_values: Tuple[float, ...]
+    b_values: Tuple[float, ...]
+    #: mean(b - a): positive means scheme A is better (lower metric).
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    #: One-sided p-value for "A < B" from the sign-flip permutation test.
+    p_value: float
+
+    @property
+    def a_wins(self) -> bool:
+        """A is lower on average and the CI excludes zero."""
+        return self.mean_difference > 0.0 and self.ci_low > 0.0
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_boot: int = 5000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile bootstrap CI for the mean of ``values``."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if values.size == 1:
+        return float(values[0]), float(values[0])
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, values.size, (n_boot, values.size))
+    means = values[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+def paired_permutation_pvalue(
+    differences: Sequence[float], seed: int = 0, n_perm: int = 10000
+) -> float:
+    """One-sided sign-flip permutation p-value for mean(diff) > 0.
+
+    Exact enumeration is used when there are at most 16 pairs (2^16
+    sign patterns); otherwise Monte-Carlo sampling.
+    """
+    diffs = np.asarray(differences, dtype=float)
+    if diffs.size == 0:
+        raise ValueError("no paired differences given")
+    observed = diffs.mean()
+    n = diffs.size
+    if n <= 16:
+        # Exact: all sign assignments.
+        count = 0
+        total = 1 << n
+        for mask in range(total):
+            signs = np.array(
+                [1.0 if mask & (1 << i) else -1.0 for i in range(n)]
+            )
+            if (diffs * signs).mean() >= observed - 1e-12:
+                count += 1
+        return count / total
+    rng = np.random.default_rng(seed)
+    signs = rng.choice((-1.0, 1.0), size=(n_perm, n))
+    perm_means = (signs * diffs).mean(axis=1)
+    return float((perm_means >= observed - 1e-12).mean() + 1.0 / n_perm)
+
+
+def compare_schemes(
+    app: str,
+    fault: FaultKind,
+    scheme_a: str = "prepare",
+    scheme_b: str = "reactive",
+    seeds: Sequence[int] = (11, 112, 213, 314, 415),
+    action_mode: str = "scaling",
+    metric: str = "violation_time",
+) -> PairedComparison:
+    """Run both schemes on the same seeds and compare a result metric.
+
+    ``metric`` is any numeric attribute of
+    :class:`~repro.experiments.runner.ExperimentResult` (e.g.
+    ``violation_time`` or ``violation_time_second_injection``).
+    """
+    a_values: List[float] = []
+    b_values: List[float] = []
+    for seed in seeds:
+        for scheme, bucket in ((scheme_a, a_values), (scheme_b, b_values)):
+            result = run_experiment(ExperimentConfig(
+                app=app, fault=fault, scheme=scheme,
+                action_mode=action_mode, seed=seed,
+            ))
+            bucket.append(float(getattr(result, metric)))
+    diffs = np.asarray(b_values) - np.asarray(a_values)
+    ci_low, ci_high = bootstrap_mean_ci(diffs)
+    return PairedComparison(
+        metric=metric,
+        scheme_a=scheme_a,
+        scheme_b=scheme_b,
+        a_values=tuple(a_values),
+        b_values=tuple(b_values),
+        mean_difference=float(diffs.mean()),
+        ci_low=ci_low,
+        ci_high=ci_high,
+        p_value=paired_permutation_pvalue(diffs),
+    )

@@ -1,0 +1,154 @@
+"""Saving and loading experiment artifacts.
+
+Reproduction runs are cheap but not free (a full Fig. 6 sweep is
+minutes); persisting results lets analyses iterate without re-running
+simulations.  Two artifact kinds are supported:
+
+* :class:`~repro.experiments.runner.ExperimentResult` — summarized to
+  JSON (violation times, actions, SLO trace) plus the full per-VM
+  metric matrices in a sibling ``.npz``;
+* :class:`~repro.experiments.accuracy.TraceDataset` — the labelled
+  matrices an accuracy analysis needs, as a single ``.npz``.
+
+Loaders return plain dictionaries / rebuilt dataclasses; simulator
+state is intentionally not serialized (runs are reproducible from
+their :class:`ExperimentConfig`, which is stored alongside).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.faults.base import FaultKind
+from repro.experiments.accuracy import TraceDataset
+from repro.experiments.runner import ExperimentConfig, ExperimentResult
+
+__all__ = [
+    "save_result",
+    "load_result_summary",
+    "save_trace_dataset",
+    "load_trace_dataset",
+]
+
+_PathLike = Union[str, Path]
+
+
+def _config_payload(config: ExperimentConfig) -> Dict:
+    payload = dataclasses.asdict(config)
+    payload["fault"] = config.fault.value
+    payload.pop("controller", None)  # not serialized; defaults assumed
+    return payload
+
+
+def save_result(result: ExperimentResult, path: _PathLike) -> Path:
+    """Persist a run: ``<path>.json`` (summary) + ``<path>.npz`` (samples).
+
+    Returns the JSON path.
+    """
+    base = Path(path)
+    json_path = base.with_suffix(".json")
+    npz_path = base.with_suffix(".npz")
+
+    summary = {
+        "config": _config_payload(result.config),
+        "violation_time": result.violation_time,
+        "per_injection_violation": list(result.per_injection_violation),
+        "proactive_actions": result.proactive_actions,
+        "injections": [list(w) for w in result.injections],
+        "slo_metric_name": result.slo_metric_name,
+        "trace_times": list(result.trace_times),
+        "trace_values": list(result.trace_values),
+        "actions": [
+            {
+                "timestamp": a.timestamp,
+                "vm": a.vm,
+                "verb": a.verb,
+                "resource": None if a.resource is None else a.resource.value,
+                "metric": a.metric,
+                "proactive": a.proactive,
+                "effective": a.effective,
+            }
+            for a in result.actions
+        ],
+        "samples_file": npz_path.name,
+    }
+    json_path.write_text(json.dumps(summary, indent=1))
+
+    arrays: Dict[str, np.ndarray] = {
+        "sample_labels": np.asarray(result.sample_labels, dtype=np.intp),
+    }
+    for vm, samples in result.samples.items():
+        arrays[f"values::{vm}"] = np.stack([s.vector() for s in samples])
+        arrays[f"times::{vm}"] = np.array([s.timestamp for s in samples])
+        arrays[f"alloc_cpu::{vm}"] = np.array(
+            [s.cpu_allocated for s in samples]
+        )
+        arrays[f"alloc_mem::{vm}"] = np.array(
+            [s.mem_allocated_mb for s in samples]
+        )
+    np.savez_compressed(npz_path, **arrays)
+    return json_path
+
+
+def load_result_summary(path: _PathLike) -> Dict:
+    """Load a saved run summary (and lazily locatable sample arrays).
+
+    Returns the JSON dictionary with an extra ``"samples"`` entry
+    mapping VM name to its (n, 13) value matrix when the sibling
+    ``.npz`` exists.
+    """
+    json_path = Path(path).with_suffix(".json")
+    summary = json.loads(json_path.read_text())
+    npz_path = json_path.with_name(summary.get("samples_file", ""))
+    if npz_path.exists():
+        with np.load(npz_path) as data:
+            summary["samples"] = {
+                key.split("::", 1)[1]: data[key]
+                for key in data.files if key.startswith("values::")
+            }
+            summary["sample_labels"] = data["sample_labels"].tolist()
+    return summary
+
+
+def save_trace_dataset(dataset: TraceDataset, path: _PathLike) -> Path:
+    """Persist a labelled accuracy trace as one ``.npz``."""
+    npz_path = Path(path).with_suffix(".npz")
+    arrays: Dict[str, np.ndarray] = {
+        "labels": dataset.labels,
+        "timestamps": dataset.timestamps,
+        "meta": np.array([
+            dataset.app, dataset.fault.value,
+            str(dataset.sampling_interval), str(dataset.train_end),
+        ]),
+        "attributes": np.array(list(dataset.attributes)),
+    }
+    for vm, values in dataset.per_vm_values.items():
+        arrays[f"values::{vm}"] = values
+    np.savez_compressed(npz_path, **arrays)
+    return npz_path
+
+
+def load_trace_dataset(path: _PathLike) -> TraceDataset:
+    """Rebuild a :class:`TraceDataset` saved by :func:`save_trace_dataset`."""
+    npz_path = Path(path).with_suffix(".npz")
+    with np.load(npz_path, allow_pickle=False) as data:
+        app, fault, interval, train_end = (str(x) for x in data["meta"])
+        per_vm = {
+            key.split("::", 1)[1]: data[key]
+            for key in data.files if key.startswith("values::")
+        }
+        return TraceDataset(
+            app=app,
+            fault=FaultKind(fault),
+            sampling_interval=float(interval),
+            per_vm_values=per_vm,
+            labels=data["labels"],
+            timestamps=data["timestamps"],
+            train_end=float(train_end),
+            attributes=tuple(str(a) for a in data["attributes"]),
+        )

@@ -1,0 +1,124 @@
+"""Plain-text rendering of figure/table data.
+
+The paper's figures are bar charts and line plots; here each becomes a
+text table that the benchmark harness prints (and EXPERIMENTS.md
+records), so the reproduction is inspectable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = [
+    "render_violation_table",
+    "render_accuracy_series",
+    "render_trace_panel",
+    "render_overhead_table",
+    "sparkline",
+]
+
+#: Eight-level block characters for text sparklines.
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    Values are min-max normalized onto eight block heights; the series
+    is resampled to at most ``width`` characters.  Flat series render
+    as a run of the lowest block.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        return ""
+    if len(data) > width:
+        stride = len(data) / width
+        data = [data[int(i * stride)] for i in range(width)]
+    lo, hi = min(data), max(data)
+    if hi - lo < 1e-12:
+        return _BLOCKS[0] * len(data)
+    scale = (len(_BLOCKS) - 1) / (hi - lo)
+    return "".join(_BLOCKS[int((v - lo) * scale)] for v in data)
+
+
+def render_violation_table(data: Mapping, title: str) -> str:
+    """Render Fig. 6 / Fig. 8 data: rows = app x fault, cols = schemes."""
+    lines = [title, "=" * len(title)]
+    header = (
+        f"{'application':12s} {'fault':14s} "
+        f"{'none (s)':>16s} {'reactive (s)':>16s} {'prepare (s)':>16s} "
+        f"{'prep 2nd inj':>12s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for app, faults in data.items():
+        for fault, schemes in faults.items():
+            cells = []
+            for scheme in ("none", "reactive", "prepare"):
+                entry = schemes[scheme]
+                cells.append(f"{entry['mean']:8.1f}±{entry['std']:6.1f}")
+            second = schemes["prepare"]["second_injection_mean"]
+            lines.append(
+                f"{app:12s} {fault:14s} "
+                f"{cells[0]:>16s} {cells[1]:>16s} {cells[2]:>16s} "
+                f"{second:12.1f}"
+            )
+    return "\n".join(lines)
+
+
+def render_accuracy_series(
+    data: Mapping[str, Mapping[str, Sequence[float]]], title: str
+) -> str:
+    """Render Figs. 10-13 data: one A_T and one A_F row per variant."""
+    lines = [title, "=" * len(title)]
+    first = next(iter(data.values()))
+    lookaheads = first["lookahead"]
+    header = f"{'variant':28s} {'':3s} " + " ".join(
+        f"{la:>5.0f}" for la in lookaheads
+    )
+    lines.append(f"{'look-ahead window (s):':32s}" + header[33:])
+    for variant, series in data.items():
+        lines.append(
+            f"{variant:28s} A_T " + " ".join(f"{v:5.1f}" for v in series["A_T"])
+        )
+        lines.append(
+            f"{variant:28s} A_F " + " ".join(f"{v:5.1f}" for v in series["A_F"])
+        )
+    return "\n".join(lines)
+
+
+def render_trace_panel(panel: Mapping[str, Mapping], title: str,
+                       max_points: int = 20) -> str:
+    """Render one Fig. 7 / Fig. 9 panel as a downsampled value table."""
+    lines = [title, "=" * len(title)]
+    for scheme, series in panel.items():
+        times = series["times"]
+        values = series["values"]
+        stride = max(1, len(times) // max_points)
+        pairs = list(zip(times[::stride], values[::stride]))
+        lines.append(f"{scheme} ({series['metric']}):")
+        lines.append(
+            "  t(s):  " + " ".join(f"{t:7.0f}" for t, _v in pairs)
+        )
+        lines.append(
+            "  value: " + " ".join(f"{v:7.1f}" for _t, v in pairs)
+        )
+        lines.append("  shape: " + sparkline(values))
+    return "\n".join(lines)
+
+
+def render_overhead_table(rows: Mapping[str, Mapping[str, float]],
+                          title: str = "Table I: PREPARE overhead") -> str:
+    """Render the Table I microbenchmark results."""
+    lines = [title, "=" * len(title)]
+    lines.append(f"{'module':36s} {'cost':>18s}")
+    lines.append("-" * 56)
+    for module, cells in rows.items():
+        mean = cells["mean_ms"]
+        std = cells["std_ms"]
+        if mean >= 1000.0:
+            cost = f"{mean / 1000.0:.2f}±{std / 1000.0:.2f} s"
+        else:
+            cost = f"{mean:.2f}±{std:.2f} ms"
+        lines.append(f"{module:36s} {cost:>18s}")
+    return "\n".join(lines)

@@ -1,0 +1,207 @@
+"""End-to-end experiment runs (paper Sec. III-B protocol).
+
+One run = one application + one fault type + one management scheme:
+
+* the run lasts 1200–1800 s (default 1500 s);
+* the same fault is injected twice for ~300 s each, separated by a
+  normal period — the model learns the anomaly during the first
+  injection and predicts the second;
+* between injections the runner triggers an elastic scale-back to the
+  baseline allocation (see
+  :meth:`~repro.core.actuation.PreventionActuator.reset_allocations`),
+  so both injections start from identical resource conditions;
+* each experiment is repeated (the paper uses 5 repetitions) with
+  different seeds, reporting mean and standard deviation of the SLO
+  violation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.actuation import PreventionAction
+from repro.core.controller import PrepareConfig
+from repro.faults.base import Fault, FaultKind
+from repro.experiments.scenarios import build_testbed, make_fault
+from repro.experiments.schemes import deploy_scheme
+from repro.sim.monitor import DEFAULT_SAMPLING_INTERVAL, MetricSample
+
+__all__ = ["ExperimentConfig", "ExperimentResult", "ReplicateSummary",
+           "run_experiment", "run_replicates"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to reproduce one experiment run."""
+
+    app: str                       # "system-s" or "rubis"
+    fault: FaultKind
+    scheme: str                    # "prepare" | "reactive" | "none"
+    action_mode: str = "scaling"   # "scaling" | "migration" | "auto"
+    seed: int = 1
+    duration: float = 1500.0
+    first_injection_at: float = 350.0
+    injection_duration: float = 300.0
+    injection_gap: float = 300.0
+    injection_count: int = 2
+    reset_settle: float = 60.0
+    #: Seconds before each injection at which allocations are reset to
+    #: baseline, so every injection starts from identical resource
+    #: conditions regardless of what earlier (possibly spurious)
+    #: prevention actions left behind.
+    pre_injection_reset: float = 30.0
+    sampling_interval: float = DEFAULT_SAMPLING_INTERVAL
+    #: Multiplier on the monitor's measurement-noise standard
+    #: deviations (1.0 = calibrated defaults).
+    noise_scale: float = 1.0
+    #: Probability of an individual VM read failing per monitoring
+    #: round (forward-filled as a stale repeat).
+    monitor_drop_rate: float = 0.0
+    controller: Optional[PrepareConfig] = None
+
+    def injection_windows(self) -> List[Tuple[float, float]]:
+        windows = []
+        start = self.first_injection_at
+        for _ in range(self.injection_count):
+            windows.append((start, start + self.injection_duration))
+            start += self.injection_duration + self.injection_gap
+        return windows
+
+
+@dataclass
+class ExperimentResult:
+    """Measurements extracted from one finished run."""
+
+    config: ExperimentConfig
+    #: Total SLO violation time over the whole run, seconds (Figs. 6/8).
+    violation_time: float
+    #: Violation time within each injection window (+post margin).
+    per_injection_violation: List[float]
+    #: SLO metric trace (timestamps, values) — Figs. 7/9.
+    trace_times: List[float]
+    trace_values: List[float]
+    #: Prevention actions taken.
+    actions: List[PreventionAction]
+    #: Count of proactive (prediction-triggered) actions.
+    proactive_actions: int
+    #: Per-VM metric sample traces (for trace-driven accuracy work).
+    samples: Dict[str, List[MetricSample]]
+    #: SLO state at each monitoring timestamp (shared across VMs).
+    sample_labels: List[int]
+    #: Ground-truth injection windows.
+    injections: List[Tuple[float, float]]
+    slo_metric_name: str
+
+    @property
+    def violation_time_second_injection(self) -> float:
+        return (
+            self.per_injection_violation[-1]
+            if self.per_injection_violation else 0.0
+        )
+
+
+@dataclass
+class ReplicateSummary:
+    """Mean/stddev over repeated runs (the paper's error bars)."""
+
+    config: ExperimentConfig
+    violation_times: List[float]
+    results: List[ExperimentResult]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.violation_times))
+
+    @property
+    def std(self) -> float:
+        if len(self.violation_times) < 2:
+            return 0.0
+        return float(np.std(self.violation_times, ddof=1))
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Execute one full run and collect its measurements."""
+    windows = config.injection_windows()
+    end_of_schedule = windows[-1][1] if windows else 0.0
+    if config.duration <= end_of_schedule:
+        raise ValueError(
+            f"duration {config.duration} does not cover the injection "
+            f"schedule ending at {end_of_schedule}"
+        )
+    testbed = build_testbed(
+        config.app,
+        seed=config.seed,
+        sampling_interval=config.sampling_interval,
+        duration_hint=config.duration + 60.0,
+        noise_scale=config.noise_scale,
+        monitor_drop_rate=config.monitor_drop_rate,
+    )
+    scheme = deploy_scheme(
+        testbed, config.scheme, action_mode=config.action_mode,
+        config=config.controller,
+    )
+
+    fault = make_fault(testbed, config.fault)
+    for start, _end in windows:
+        testbed.injector.inject(fault, start, config.injection_duration)
+    # Elastic scale-back between injections (and after the last one),
+    # plus a reset just before each injection so that every injection
+    # starts from the same baseline allocation.
+    for start, end in windows:
+        if config.pre_injection_reset > 0:
+            testbed.sim.schedule_at(
+                max(0.0, start - config.pre_injection_reset),
+                scheme.reset_allocations,
+                label="allocation-reset-pre",
+            )
+        testbed.sim.schedule_at(
+            end + config.reset_settle, scheme.reset_allocations,
+            label="allocation-reset",
+        )
+
+    testbed.app.start()
+    testbed.monitor.start(start_at=config.sampling_interval)
+    testbed.sim.run_until(config.duration)
+
+    slo = testbed.app.slo
+    violation_time = slo.violation_time(0.0, config.duration)
+    margin = 60.0
+    per_injection = [
+        slo.violation_time(start, min(end + margin, config.duration))
+        for start, end in windows
+    ]
+    times, values = slo.metric_trace()
+    actions = list(scheme.actuator.actions) if scheme.actuator else []
+    proactive = sum(1 for a in actions if a.proactive)
+    any_trace = next(iter(testbed.monitor.traces.values()), [])
+    sample_labels = [int(slo.violated_at(s.timestamp)) for s in any_trace]
+    return ExperimentResult(
+        config=config,
+        violation_time=violation_time,
+        per_injection_violation=per_injection,
+        trace_times=times,
+        trace_values=values,
+        actions=actions,
+        proactive_actions=proactive,
+        samples={vm: list(trace) for vm, trace in testbed.monitor.traces.items()},
+        sample_labels=sample_labels,
+        injections=windows,
+        slo_metric_name=testbed.app.slo_metric_name(),
+    )
+
+
+def run_replicates(config: ExperimentConfig, repeats: int = 5) -> ReplicateSummary:
+    """Repeat a run with different seeds (paper: five repetitions)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    results = []
+    for i in range(repeats):
+        results.append(run_experiment(replace(config, seed=config.seed + 101 * i)))
+    return ReplicateSummary(
+        config=config,
+        violation_times=[r.violation_time for r in results],
+        results=results,
+    )

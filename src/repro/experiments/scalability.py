@@ -1,0 +1,85 @@
+"""Scalability of the per-VM model architecture.
+
+The paper argues (Sec. III-B, overhead discussion) that "since PREPARE
+maintains per-VM anomaly prediction models, different anomaly
+prediction models can be distributed on different cloud nodes for
+scalability".  This analysis quantifies the claim's premise on one
+node: the per-monitoring-round cost of PREPARE's data path —
+sampling, per-VM look-ahead prediction, periodic retraining — as the
+number of managed VMs grows, and the per-VM slice of it, which is the
+unit of work that distribution would spread.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.predictor import AnomalyPredictor
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.monitor import ATTRIBUTES, VMMonitor
+from repro.sim.resources import ResourceSpec
+
+__all__ = ["scalability_sweep"]
+
+
+def _build_fleet(n_vms: int, seed: int):
+    sim = Simulator()
+    cluster = Cluster(sim)
+    names = [f"vm{i}" for i in range(n_vms)]
+    vms = cluster.place_one_vm_per_host(names, ResourceSpec(1.0, 1024.0),
+                                        spares=0)
+    for vm in vms:
+        vm.set_cpu_demand("app", 0.5)
+        vm.set_mem_demand("app", 500.0)
+    monitor = VMMonitor(sim, vms, rng=np.random.default_rng(seed))
+    return vms, monitor
+
+
+def _trained_predictor(rng) -> AnomalyPredictor:
+    values = rng.normal(50.0, 10.0, (300, len(ATTRIBUTES)))
+    labels = (rng.random(300) < 0.2).astype(int)
+    predictor = AnomalyPredictor(ATTRIBUTES)
+    predictor.train(values, labels)
+    return predictor
+
+
+def scalability_sweep(
+    fleet_sizes: Sequence[int] = (5, 20, 50, 100),
+    seed: int = 7,
+    rounds: int = 5,
+) -> Dict[int, Dict[str, float]]:
+    """Per-round and per-VM data-path cost vs fleet size.
+
+    Returns ``out[n_vms] = {"round_ms": .., "per_vm_ms": ..}`` where a
+    round is one sampling interval's work: sample every VM and run each
+    VM's look-ahead prediction.
+    """
+    rng = np.random.default_rng(seed)
+    out: Dict[int, Dict[str, float]] = {}
+    for n_vms in fleet_sizes:
+        vms, monitor = _build_fleet(n_vms, seed)
+        predictors = [_trained_predictor(rng) for _ in range(n_vms)]
+        # Warm per-VM histories (two samples each).
+        histories: List[np.ndarray] = []
+        for vm in vms:
+            a = monitor.sample_vm(vm, 0.0).vector()
+            b = monitor.sample_vm(vm, 5.0).vector()
+            histories.append(np.stack([a, b]))
+
+        samples = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for vm, predictor, history in zip(vms, predictors, histories):
+                monitor.sample_vm(vm, 10.0)
+                predictor.predict(history, steps=6)
+            samples.append(1000.0 * (time.perf_counter() - start))
+        round_ms = float(np.median(samples))
+        out[n_vms] = {
+            "round_ms": round_ms,
+            "per_vm_ms": round_ms / n_vms,
+        }
+    return out

@@ -1,0 +1,77 @@
+"""Anomaly management schemes compared in the paper (Sec. III-A).
+
+* ``prepare`` — the full system: predictive alerts with reactive
+  fallback, cause inference, prevention actuation, validation.
+* ``reactive`` — "triggers anomaly intervention actions when a SLO
+  violation is detected.  This approach leverages the same anomaly
+  cause inference and prevention actuation modules as PREPARE", i.e.
+  the identical controller with the predictive path disabled.
+* ``none`` — without intervention: monitoring only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.actuation import PreventionActuator
+from repro.core.controller import PrepareConfig, PrepareController
+from repro.experiments.scenarios import Testbed
+
+__all__ = ["SCHEME_NAMES", "ManagedScheme", "deploy_scheme",
+           "PREPARE_SCHEME", "REACTIVE_SCHEME", "NO_INTERVENTION"]
+
+PREPARE_SCHEME = "prepare"
+REACTIVE_SCHEME = "reactive"
+NO_INTERVENTION = "none"
+SCHEME_NAMES = (PREPARE_SCHEME, REACTIVE_SCHEME, NO_INTERVENTION)
+
+
+@dataclass
+class ManagedScheme:
+    """A deployed management scheme on a testbed."""
+
+    name: str
+    actuator: Optional[PreventionActuator]
+    controller: Optional[PrepareController]
+
+    def reset_allocations(self) -> None:
+        """Elastic scale-back between fault injections (see runner)."""
+        if self.actuator is not None:
+            self.actuator.reset_allocations()
+
+
+def deploy_scheme(
+    testbed: Testbed,
+    scheme: str,
+    action_mode: str = "scaling",
+    config: Optional[PrepareConfig] = None,
+) -> ManagedScheme:
+    """Instantiate and attach a management scheme to a testbed.
+
+    ``action_mode`` selects the forced prevention action — ``scaling``
+    for the Fig. 6/7 experiments, ``migration`` for Fig. 8/9, ``auto``
+    for the deployed scale-first policy.
+    """
+    if scheme not in SCHEME_NAMES:
+        raise ValueError(f"unknown scheme {scheme!r}; pick from {SCHEME_NAMES}")
+    if scheme == NO_INTERVENTION:
+        return ManagedScheme(name=scheme, actuator=None, controller=None)
+
+    base = config or PrepareConfig()
+    if scheme == REACTIVE_SCHEME:
+        base = dataclasses.replace(base, prediction_enabled=False)
+    actuator = PreventionActuator(
+        testbed.cluster, testbed.sim, mode=action_mode
+    )
+    controller = PrepareController(
+        sim=testbed.sim,
+        cluster=testbed.cluster,
+        app=testbed.app,
+        monitor=testbed.monitor,
+        actuator=actuator,
+        config=base,
+    )
+    controller.attach()
+    return ManagedScheme(name=scheme, actuator=actuator, controller=controller)

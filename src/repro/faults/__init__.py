@@ -1,0 +1,23 @@
+"""Fault injection (paper Sec. III-A).
+
+The three injected fault classes — memory leak, CPU hog, capacity
+bottleneck — plus the scheduler that reproduces the paper's
+two-injections-per-run protocol.
+"""
+
+from repro.faults.base import Fault, FaultKind, FaultStateError
+from repro.faults.bottleneck import BottleneckFault
+from repro.faults.cpuhog import CpuHogFault
+from repro.faults.injector import FaultInjector, Injection
+from repro.faults.memleak import MemoryLeakFault
+
+__all__ = [
+    "BottleneckFault",
+    "CpuHogFault",
+    "Fault",
+    "FaultInjector",
+    "FaultKind",
+    "FaultStateError",
+    "Injection",
+    "MemoryLeakFault",
+]

@@ -1,0 +1,84 @@
+"""Fault model.
+
+The paper injects three fault types (Sec. III-A):
+
+* **memory leak** — a buggy process that keeps allocating and never
+  frees (gradual manifestation);
+* **CPU hog** — an infinite-loop process competing for CPU inside the
+  same VM (sudden manifestation);
+* **bottleneck** — the offered workload is gradually increased past the
+  capacity of the bottleneck component (gradual manifestation).
+
+Each fault is an object that can be activated/deactivated on the
+simulated testbed; activation is what the :class:`~repro.faults.injector.
+FaultInjector` schedules.  The gradual-vs-sudden split is the single
+most important property to preserve: it drives every headline result
+(PREPARE ≫ reactive for gradual faults, PREPARE ≈ reactive for sudden
+ones).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.sim.engine import Simulator
+
+__all__ = ["Fault", "FaultKind", "FaultStateError"]
+
+
+class FaultStateError(RuntimeError):
+    """Raised on double activation / deactivation of a fault."""
+
+
+class FaultKind(str, enum.Enum):
+    """The paper's three injected fault classes."""
+
+    MEMORY_LEAK = "memory_leak"
+    CPU_HOG = "cpu_hog"
+    BOTTLENECK = "bottleneck"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Fault:
+    """Base class for injectable faults."""
+
+    kind: FaultKind
+
+    def __init__(self, target: str) -> None:
+        #: Name of the targeted VM (or the bottleneck component for
+        #: workload-driven faults) — the ground truth the cause
+        #: inference is judged against.
+        self.target = target
+        self.active = False
+        self.activated_at: Optional[float] = None
+        self.deactivated_at: Optional[float] = None
+
+    def activate(self, sim: Simulator) -> None:
+        if self.active:
+            raise FaultStateError(f"{self.describe()} already active")
+        self.active = True
+        self.activated_at = sim.now
+        self.deactivated_at = None
+        self._start(sim)
+
+    def deactivate(self, sim: Simulator) -> None:
+        if not self.active:
+            raise FaultStateError(f"{self.describe()} is not active")
+        self.active = False
+        self.deactivated_at = sim.now
+        self._stop(sim)
+
+    def describe(self) -> str:
+        return f"{self.kind.value}@{self.target}"
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _start(self, sim: Simulator) -> None:
+        raise NotImplementedError
+
+    def _stop(self, sim: Simulator) -> None:
+        raise NotImplementedError

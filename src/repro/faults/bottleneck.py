@@ -1,0 +1,62 @@
+"""Bottleneck fault: gradual workload increase past component capacity.
+
+"We gradually increase the workload until hitting the CPU capacity
+limit of the bottleneck PE / component" (Sec. III-A).  Implemented by
+ramping the workload generator's multiplier linearly from 1.0 to
+``peak_multiplier`` over ``ramp_duration`` seconds, then holding.  The
+first component to saturate is the application's designated bottleneck
+(PE6 for System S, the DB tier for RUBiS) by construction of the
+application profiles.
+
+Deactivation restores the nominal workload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.workload import Workload
+from repro.faults.base import Fault, FaultKind
+from repro.sim.engine import PeriodicTask, Simulator
+
+__all__ = ["BottleneckFault"]
+
+
+class BottleneckFault(Fault):
+    """Ramps the offered workload up to ``peak_multiplier``×."""
+
+    kind = FaultKind.BOTTLENECK
+
+    def __init__(
+        self,
+        workload: Workload,
+        bottleneck_component: str,
+        peak_multiplier: float = 1.6,
+        ramp_duration: float = 240.0,
+    ) -> None:
+        if peak_multiplier <= 1.0:
+            raise ValueError(
+                f"peak multiplier must exceed 1.0, got {peak_multiplier}"
+            )
+        if ramp_duration <= 0:
+            raise ValueError(f"ramp duration must be positive, got {ramp_duration}")
+        super().__init__(target=bottleneck_component)
+        self.workload = workload
+        self.peak_multiplier = peak_multiplier
+        self.ramp_duration = ramp_duration
+        self._task: Optional[PeriodicTask] = None
+        self._started_at = 0.0
+
+    def _start(self, sim: Simulator) -> None:
+        self._started_at = sim.now
+        self._task = sim.every(1.0, self._ramp, label="bottleneck-ramp")
+
+    def _ramp(self, now: float) -> None:
+        frac = min(1.0, (now - self._started_at) / self.ramp_duration)
+        self.workload.multiplier = 1.0 + frac * (self.peak_multiplier - 1.0)
+
+    def _stop(self, _sim: Simulator) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+        self.workload.multiplier = 1.0

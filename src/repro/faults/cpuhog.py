@@ -1,0 +1,38 @@
+"""CPU-hog fault: an infinite-loop process competing for CPU.
+
+"We introduce an infinite loop bug in a randomly selected PE" /
+"a CPU-bound program that competes CPU with the database server inside
+the same VM" (Sec. III-A).  The hog's demand appears as a step
+function — the *sudden* manifestation that the paper shows is hard to
+predict ahead of time, which is why PREPARE only marginally beats the
+reactive scheme on this fault.
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import Fault, FaultKind
+from repro.sim.engine import Simulator
+from repro.sim.vm import VirtualMachine
+
+__all__ = ["CpuHogFault"]
+
+_CONSUMER = "fault:cpuhog"
+
+
+class CpuHogFault(Fault):
+    """Consumes ``cores`` of CPU inside the targeted VM while active."""
+
+    kind = FaultKind.CPU_HOG
+
+    def __init__(self, vm: VirtualMachine, cores: float = 0.85) -> None:
+        if cores <= 0:
+            raise ValueError(f"hog demand must be positive, got {cores}")
+        super().__init__(target=vm.name)
+        self.vm = vm
+        self.cores = cores
+
+    def _start(self, _sim: Simulator) -> None:
+        self.vm.set_cpu_demand(_CONSUMER, self.cores)
+
+    def _stop(self, _sim: Simulator) -> None:
+        self.vm.set_cpu_demand(_CONSUMER, 0.0)

@@ -1,0 +1,58 @@
+"""Memory-leak fault: continuous allocation that is never freed.
+
+"The faulty PE performs continuous memory allocations but forgets to
+release the allocated memory" (Sec. III-A).  Leaked memory accumulates
+linearly; once the VM's total resident demand exceeds its allocation
+the guest starts swapping and the application slows down gradually —
+the predictable, gradually manifesting signature PREPARE exploits.
+
+Deactivation frees the leak (the faulty process is killed/restarted
+between the paper's repeated injections).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.base import Fault, FaultKind
+from repro.sim.engine import PeriodicTask, Simulator
+from repro.sim.vm import VirtualMachine
+
+__all__ = ["MemoryLeakFault"]
+
+_CONSUMER = "fault:memleak"
+
+#: Small CPU overhead of the allocating loop itself, cores.
+_LEAK_CPU_OVERHEAD = 0.03
+
+
+class MemoryLeakFault(Fault):
+    """Leaks ``rate_mb_per_s`` megabytes per second into a VM."""
+
+    kind = FaultKind.MEMORY_LEAK
+
+    def __init__(self, vm: VirtualMachine, rate_mb_per_s: float = 3.0) -> None:
+        if rate_mb_per_s <= 0:
+            raise ValueError(f"leak rate must be positive, got {rate_mb_per_s}")
+        super().__init__(target=vm.name)
+        self.vm = vm
+        self.rate_mb_per_s = rate_mb_per_s
+        self.leaked_mb = 0.0
+        self._task: Optional[PeriodicTask] = None
+
+    def _start(self, sim: Simulator) -> None:
+        self.leaked_mb = 0.0
+        self.vm.set_cpu_demand(_CONSUMER, _LEAK_CPU_OVERHEAD)
+        self._task = sim.every(1.0, self._grow, label=f"memleak:{self.vm.name}")
+
+    def _grow(self, _now: float) -> None:
+        self.leaked_mb += self.rate_mb_per_s
+        self.vm.set_mem_demand(_CONSUMER, self.leaked_mb)
+
+    def _stop(self, _sim: Simulator) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+        self.leaked_mb = 0.0
+        self.vm.set_mem_demand(_CONSUMER, 0.0)
+        self.vm.set_cpu_demand(_CONSUMER, 0.0)

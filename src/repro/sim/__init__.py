@@ -1,0 +1,52 @@
+"""Simulated virtualized cloud substrate.
+
+Stands in for the paper's Xen/VCL testbed: a discrete-event engine
+(:mod:`repro.sim.engine`), hosts and guest VMs with elastic CPU/memory
+allocations (:mod:`repro.sim.host`, :mod:`repro.sim.vm`), a hypervisor
+control plane with the paper's measured scaling/migration latencies
+(:mod:`repro.sim.hypervisor`), and the 13-attribute per-VM monitor
+(:mod:`repro.sim.monitor`).
+"""
+
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Event, PeriodicTask, SimulationError, Simulator
+from repro.sim.host import Host, VCL_HOST_SPEC
+from repro.sim.hypervisor import (
+    CPU_SCALING_LATENCY,
+    MEMORY_SCALING_LATENCY,
+    MIGRATION_SECONDS_PER_512MB,
+    Hypervisor,
+    OperationRecord,
+)
+from repro.sim.monitor import (
+    ATTRIBUTES,
+    DEFAULT_SAMPLING_INTERVAL,
+    MetricSample,
+    VMMonitor,
+)
+from repro.sim.resources import ResourceError, ResourceKind, ResourceSpec
+from repro.sim.vm import VirtualMachine, VMActivity
+
+__all__ = [
+    "ATTRIBUTES",
+    "CPU_SCALING_LATENCY",
+    "Cluster",
+    "DEFAULT_SAMPLING_INTERVAL",
+    "Event",
+    "Host",
+    "Hypervisor",
+    "MEMORY_SCALING_LATENCY",
+    "MIGRATION_SECONDS_PER_512MB",
+    "MetricSample",
+    "OperationRecord",
+    "PeriodicTask",
+    "ResourceError",
+    "ResourceKind",
+    "ResourceSpec",
+    "SimulationError",
+    "Simulator",
+    "VCL_HOST_SPEC",
+    "VMActivity",
+    "VMMonitor",
+    "VirtualMachine",
+]

@@ -1,0 +1,192 @@
+"""Discrete-event simulation engine.
+
+The PREPARE testbed in the paper is a real Xen cluster; here every
+component (hosts, VMs, applications, faults, the PREPARE controller)
+runs on top of this engine instead.  The engine is a classic
+heap-ordered event calendar with a monotonically increasing clock,
+deterministic FIFO tie-breaking for simultaneous events, and support
+for periodic processes (used for metric sampling, application stepping
+and controller ticks).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+__all__ = ["Event", "PeriodicTask", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid use of the simulation engine."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so that two events scheduled for
+    the same instant fire in the order they were scheduled.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when it is popped."""
+        self.cancelled = True
+
+
+class PeriodicTask:
+    """A callback re-scheduled every ``interval`` simulated seconds.
+
+    The callback receives the current simulation time.  The task can be
+    stopped at any point; stopping is idempotent.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        interval: float,
+        callback: Callable[[float], None],
+        start_at: Optional[float] = None,
+        label: str = "",
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be > 0, got {interval}")
+        self._sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.label = label
+        self._stopped = False
+        self._event: Optional[Event] = None
+        first = sim.now if start_at is None else start_at
+        if first < sim.now:
+            raise SimulationError("cannot start a periodic task in the past")
+        self._event = sim.schedule_at(first, self._fire, label=label)
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.callback(self._sim.now)
+        if not self._stopped:
+            self._event = self._sim.schedule(self.interval, self._fire, label=self.label)
+
+
+class Simulator:
+    """Heap-based discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> sim.run_until(10.0)
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, label=label)
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        event = Event(time=time, seq=next(self._seq), callback=callback, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[float], None],
+        start_at: Optional[float] = None,
+        label: str = "",
+    ) -> PeriodicTask:
+        """Run ``callback(now)`` every ``interval`` seconds."""
+        return PeriodicTask(self, interval, callback, start_at=start_at, label=label)
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns ``False`` if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run every event with ``time <= end_time``; clock ends at ``end_time``.
+
+        Re-entrant calls are rejected: an event callback must not pump
+        the simulation it is running inside.
+        """
+        if self._running:
+            raise SimulationError("run_until called re-entrantly from an event callback")
+        if end_time < self._now:
+            raise SimulationError(
+                f"end_time {end_time} is before current time {self._now}"
+            )
+        self._running = True
+        try:
+            while self._queue:
+                nxt = self.peek()
+                if nxt is None or nxt > end_time:
+                    break
+                self.step()
+            self._now = end_time
+        finally:
+            self._running = False
+
+    def run(self) -> None:
+        """Run until the event queue is exhausted."""
+        if self._running:
+            raise SimulationError("run called re-entrantly from an event callback")
+        self._running = True
+        try:
+            while self.step():
+                pass
+        finally:
+            self._running = False

@@ -1,0 +1,93 @@
+"""Physical hosts of the simulated cloud.
+
+Each VCL host in the paper is a dual-core 3.00 GHz Xeon with 4 GB of
+memory running Xen; :data:`VCL_HOST_SPEC` mirrors that.  A host tracks
+the VMs placed on it and enforces that the sum of VM allocations never
+exceeds the host capacity — the condition PREPARE checks when deciding
+between local resource scaling and live migration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sim.resources import ResourceError, ResourceKind, ResourceSpec
+from repro.sim.vm import VirtualMachine
+
+__all__ = ["Host", "VCL_HOST_SPEC"]
+
+#: Capacity of one NCSU VCL host (dual-core Xeon, 4 GB).
+VCL_HOST_SPEC = ResourceSpec(cpu_cores=2.0, memory_mb=4096.0)
+
+
+class Host:
+    """A physical machine that VMs are placed on."""
+
+    def __init__(self, name: str, capacity: ResourceSpec = VCL_HOST_SPEC) -> None:
+        if not name:
+            raise ValueError("host name must be non-empty")
+        self.name = name
+        self.capacity = capacity
+        self._vms: Dict[str, VirtualMachine] = {}
+        self._reserved = ResourceSpec(0.0, 0.0)
+
+    @property
+    def vms(self) -> List[VirtualMachine]:
+        return list(self._vms.values())
+
+    def allocated(self) -> ResourceSpec:
+        """Sum of the allocations of all VMs placed here."""
+        total = ResourceSpec(0.0, 0.0)
+        for vm in self._vms.values():
+            total = total + vm.spec
+        return total
+
+    def free(self) -> ResourceSpec:
+        """Capacity not promised to any VM or in-flight reservation."""
+        used = self.allocated() + self._reserved
+        return ResourceSpec(
+            max(0.0, self.capacity.cpu_cores - used.cpu_cores),
+            max(0.0, self.capacity.memory_mb - used.memory_mb),
+        )
+
+    def reserve(self, spec: ResourceSpec) -> None:
+        """Hold capacity for an incoming migration."""
+        if not spec.fits_within(self.free()):
+            raise ResourceError(
+                f"host {self.name} cannot reserve {spec} (free={self.free()})"
+            )
+        self._reserved = self._reserved + spec
+
+    def release(self, spec: ResourceSpec) -> None:
+        """Release a previously made reservation."""
+        self._reserved = self._reserved - spec
+
+    def can_fit(self, spec: ResourceSpec) -> bool:
+        return spec.fits_within(self.free())
+
+    def headroom(self, kind: ResourceKind) -> float:
+        """Free capacity along one resource dimension."""
+        return self.free().get(kind)
+
+    def place(self, vm: VirtualMachine) -> None:
+        """Place a VM on this host, enforcing capacity."""
+        if vm.name in self._vms:
+            raise ResourceError(f"VM {vm.name} already on host {self.name}")
+        if vm.host is not None:
+            raise ResourceError(f"VM {vm.name} is already placed on {vm.host.name}")
+        if not self.can_fit(vm.spec):
+            raise ResourceError(
+                f"host {self.name} cannot fit {vm.name} "
+                f"(free={self.free()}, needed={vm.spec})"
+            )
+        self._vms[vm.name] = vm
+        vm.host = self
+
+    def remove(self, vm: VirtualMachine) -> None:
+        if vm.name not in self._vms:
+            raise ResourceError(f"VM {vm.name} is not on host {self.name}")
+        del self._vms[vm.name]
+        vm.host = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Host({self.name!r}, vms={sorted(self._vms)}, free={self.free()})"

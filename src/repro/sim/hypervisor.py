@@ -1,0 +1,165 @@
+"""Hypervisor control plane: elastic scaling and live migration.
+
+PREPARE's two prevention verbs are implemented here with the latencies
+the paper measured on its Xen testbed (Table I):
+
+* CPU scaling          ~107 ms
+* memory scaling       ~116 ms
+* live migration       ~8.56 s for a 512 MB guest (scaled by memory)
+
+Scaling completes almost instantly relative to the 5 s sampling
+interval; migration is slow and degrades the guest while in flight —
+the asymmetry behind the paper's "scale first, migrate as fallback"
+policy and the Fig. 8/9 results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.resources import ResourceError, ResourceKind
+from repro.sim.vm import VirtualMachine
+
+__all__ = ["Hypervisor", "OperationRecord", "CPU_SCALING_LATENCY",
+           "MEMORY_SCALING_LATENCY", "MIGRATION_SECONDS_PER_512MB"]
+
+#: Latency of a CPU-cap change (Table I: 107.0 ms).
+CPU_SCALING_LATENCY = 0.107
+#: Latency of a balloon-driver memory change (Table I: 116.0 ms).
+MEMORY_SCALING_LATENCY = 0.116
+#: Live-migration duration per 512 MB of guest memory (Table I: 8.56 s).
+MIGRATION_SECONDS_PER_512MB = 8.56
+
+
+@dataclass
+class OperationRecord:
+    """Audit-log entry for one hypervisor operation."""
+
+    op: str
+    vm: str
+    started_at: float
+    finished_at: float
+    detail: str = ""
+
+
+class Hypervisor:
+    """Performs scaling/migration on VMs with realistic latencies."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self.operations: List[OperationRecord] = []
+
+    # ------------------------------------------------------------------
+    # Elastic resource scaling
+    # ------------------------------------------------------------------
+    def can_scale(self, vm: VirtualMachine, kind: ResourceKind, new_amount: float) -> bool:
+        """True if the VM's host has headroom for the new allocation."""
+        if vm.host is None:
+            return False
+        current = vm.spec.get(kind)
+        if new_amount <= current:
+            return new_amount > 0
+        return (new_amount - current) <= vm.host.headroom(kind) + 1e-9
+
+    def scale(
+        self,
+        vm: VirtualMachine,
+        kind: ResourceKind,
+        new_amount: float,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Adjust one allocation dimension after the scaling latency.
+
+        Raises :class:`ResourceError` immediately if the host lacks
+        headroom — that is the signal PREPARE uses to fall back to
+        migration.
+        """
+        if vm.host is None:
+            raise ResourceError(f"VM {vm.name} is not placed on any host")
+        if not self.can_scale(vm, kind, new_amount):
+            raise ResourceError(
+                f"host {vm.host.name} lacks {kind} headroom to scale "
+                f"{vm.name} to {new_amount}"
+            )
+        latency = (
+            CPU_SCALING_LATENCY if kind is ResourceKind.CPU else MEMORY_SCALING_LATENCY
+        )
+        started = self._sim.now
+
+        def apply() -> None:
+            vm.set_allocation(kind, new_amount)
+            self.operations.append(
+                OperationRecord(
+                    op=f"scale-{kind.value}",
+                    vm=vm.name,
+                    started_at=started,
+                    finished_at=self._sim.now,
+                    detail=f"-> {new_amount:g}",
+                )
+            )
+            if on_done is not None:
+                on_done()
+
+        self._sim.schedule(latency, apply, label=f"scale:{vm.name}:{kind.value}")
+
+    # ------------------------------------------------------------------
+    # Live migration
+    # ------------------------------------------------------------------
+    def migration_duration(self, vm: VirtualMachine) -> float:
+        """Pre-copy migration time, proportional to guest memory."""
+        return MIGRATION_SECONDS_PER_512MB * max(vm.mem_allocated_mb, 1.0) / 512.0
+
+    def migrate(
+        self,
+        vm: VirtualMachine,
+        destination: Host,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> float:
+        """Live-migrate ``vm`` to ``destination``; returns the duration.
+
+        Destination capacity is reserved up front (as Xen does).  The
+        guest keeps running on the source at degraded speed until the
+        stop-and-copy instant, when it switches hosts.
+        """
+        if vm.host is None:
+            raise ResourceError(f"VM {vm.name} is not placed on any host")
+        if vm.migrating:
+            raise ResourceError(f"VM {vm.name} is already migrating")
+        if destination is vm.host:
+            raise ResourceError(f"VM {vm.name} is already on {destination.name}")
+        if not destination.can_fit(vm.spec):
+            raise ResourceError(
+                f"destination {destination.name} cannot fit {vm.name} "
+                f"(free={destination.free()}, needed={vm.spec})"
+            )
+        duration = self.migration_duration(vm)
+        source = vm.host
+        started = self._sim.now
+        vm.migrating = True
+        # Hold the destination capacity for the whole pre-copy phase so
+        # concurrent migrations cannot over-commit the target host.
+        reserved = vm.spec
+        destination.reserve(reserved)
+
+        def finish() -> None:
+            destination.release(reserved)
+            source.remove(vm)
+            destination.place(vm)
+            vm.migrating = False
+            self.operations.append(
+                OperationRecord(
+                    op="migrate",
+                    vm=vm.name,
+                    started_at=started,
+                    finished_at=self._sim.now,
+                    detail=f"{source.name} -> {destination.name}",
+                )
+            )
+            if on_done is not None:
+                on_done()
+
+        self._sim.schedule(duration, finish, label=f"migrate:{vm.name}")
+        return duration

@@ -1,0 +1,78 @@
+"""Resource kinds, capacities and allocations for the simulated cloud.
+
+The paper's prevention actions manipulate exactly two resources — CPU
+and memory — through the Xen hypervisor (credit-scheduler caps and
+balloon driver).  We model a resource allocation as a named quantity
+with a host-imposed ceiling.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ResourceKind", "ResourceSpec", "ResourceError"]
+
+
+class ResourceError(ValueError):
+    """Raised on invalid resource arithmetic (overcommit, negatives)."""
+
+
+class ResourceKind(str, enum.Enum):
+    """The resource dimensions PREPARE can scale."""
+
+    CPU = "cpu"
+    MEMORY = "memory"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """A pair of (CPU cores, memory MB) used for capacities and demands.
+
+    ``cpu_cores`` is measured in physical cores (the VCL hosts in the
+    paper are dual-core Xeons, so a host spec is ``ResourceSpec(2.0,
+    4096.0)``).  ``memory_mb`` is in megabytes.
+    """
+
+    cpu_cores: float
+    memory_mb: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_cores < 0 or self.memory_mb < 0:
+            raise ResourceError(f"negative resource spec: {self}")
+
+    def __add__(self, other: "ResourceSpec") -> "ResourceSpec":
+        return ResourceSpec(self.cpu_cores + other.cpu_cores, self.memory_mb + other.memory_mb)
+
+    def __sub__(self, other: "ResourceSpec") -> "ResourceSpec":
+        cpu = self.cpu_cores - other.cpu_cores
+        mem = self.memory_mb - other.memory_mb
+        if cpu < -1e-9 or mem < -1e-9:
+            raise ResourceError(f"resource underflow: {self} - {other}")
+        return ResourceSpec(max(cpu, 0.0), max(mem, 0.0))
+
+    def fits_within(self, other: "ResourceSpec") -> bool:
+        """True if this spec fits inside ``other`` (component-wise)."""
+        return (
+            self.cpu_cores <= other.cpu_cores + 1e-9
+            and self.memory_mb <= other.memory_mb + 1e-9
+        )
+
+    def get(self, kind: ResourceKind) -> float:
+        if kind is ResourceKind.CPU:
+            return self.cpu_cores
+        return self.memory_mb
+
+    def with_amount(self, kind: ResourceKind, amount: float) -> "ResourceSpec":
+        """Return a copy with the given dimension replaced."""
+        if kind is ResourceKind.CPU:
+            return ResourceSpec(amount, self.memory_mb)
+        return ResourceSpec(self.cpu_cores, amount)
+
+    def scaled(self, factor: float) -> "ResourceSpec":
+        if factor < 0:
+            raise ResourceError(f"negative scale factor {factor}")
+        return ResourceSpec(self.cpu_cores * factor, self.memory_mb * factor)

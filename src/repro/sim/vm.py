@@ -1,0 +1,283 @@
+"""Guest virtual machines.
+
+A :class:`VirtualMachine` is the unit everything in PREPARE revolves
+around: applications place one component per VM, faults are injected
+into VMs, the monitor samples per-VM metrics, and prevention actions
+(scaling, migration) operate on VMs.
+
+The performance model is deliberately simple and transparent:
+
+* **CPU** — consumers (the application component plus any injected CPU
+  hogs) declare a demand in cores; the VM's allocated cores are divided
+  proportionally when over-subscribed, exactly like a work-conserving
+  fair-share scheduler inside the guest.
+* **Memory** — consumers declare resident-set sizes in MB; demand above
+  the VM's allocation spills to swap, which multiplies the application's
+  service times (thrashing) and drives the ``page_faults`` metric.
+* **Migration** — while a live migration is in flight the guest runs at
+  a degraded fraction of its capacity (pre-copy dirtying overhead).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.sim.resources import ResourceError, ResourceKind, ResourceSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.host import Host
+
+__all__ = ["VirtualMachine", "VMActivity"]
+
+#: Fraction of nominal capacity a guest retains while being live-migrated.
+MIGRATION_DEGRADATION = 0.65
+
+#: Service-time multiplier per unit of swap-to-allocation ratio.  A VM
+#: swapping 50% of its allocation runs roughly 1 + 0.5 * SWAP_PENALTY
+#: times slower.
+SWAP_PENALTY = 14.0
+
+#: Time constants (seconds) for thrashing onset and recovery.  Paging a
+#: working set back in after swap pressure is relieved is much slower
+#: than falling into thrashing — the reason a *reactive* memory fix
+#: still leaves a long SLO-violation tail while a predictive fix that
+#: lands before swapping starts costs nothing (Figs. 6/7).
+THRASH_TAU_UP = 4.0
+THRASH_TAU_DOWN = 28.0
+
+#: Page-cache pressure model: once free memory falls below this many
+#: MB the guest's page cache is being eaten, service times rise mildly
+#: (extra physical I/O) *before* any hard swapping starts.  This is the
+#: gradual early phase of a memory leak's manifestation on a real
+#: Linux guest.
+CACHE_PRESSURE_MB = 150.0
+CACHE_PRESSURE_PENALTY = 0.35
+
+
+@dataclass
+class VMActivity:
+    """I/O activity the application component reports each model step.
+
+    These feed the monitor's network/disk attributes; they have no
+    feedback into the performance model (the paper's faults are CPU and
+    memory faults).
+    """
+
+    net_in_kbps: float = 0.0
+    net_out_kbps: float = 0.0
+    disk_read_kbps: float = 0.0
+    disk_write_kbps: float = 0.0
+
+
+class VirtualMachine:
+    """A guest VM with elastic CPU/memory allocations."""
+
+    def __init__(self, name: str, spec: ResourceSpec) -> None:
+        if not name:
+            raise ValueError("VM name must be non-empty")
+        self.name = name
+        self._spec = spec
+        self.host: Optional["Host"] = None
+        self.migrating = False
+        self.activity = VMActivity()
+        self._cpu_demands: Dict[str, float] = {}
+        self._mem_demands: Dict[str, float] = {}
+        self._thrash = 1.0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> ResourceSpec:
+        """Current (CPU cores, memory MB) allocation."""
+        return self._spec
+
+    @property
+    def cpu_allocated(self) -> float:
+        return self._spec.cpu_cores
+
+    @property
+    def mem_allocated_mb(self) -> float:
+        return self._spec.memory_mb
+
+    def set_allocation(self, kind: ResourceKind, amount: float) -> None:
+        """Change one allocation dimension (the hypervisor calls this)."""
+        if amount <= 0:
+            raise ResourceError(f"{self.name}: allocation must stay positive, got {amount}")
+        self._spec = self._spec.with_amount(kind, amount)
+
+    # ------------------------------------------------------------------
+    # CPU model
+    # ------------------------------------------------------------------
+    def set_cpu_demand(self, consumer: str, cores: float) -> None:
+        """Declare a consumer's CPU demand in cores; 0 removes it."""
+        if cores < 0:
+            raise ResourceError(f"negative CPU demand {cores} from {consumer}")
+        if cores == 0:
+            self._cpu_demands.pop(consumer, None)
+        else:
+            self._cpu_demands[consumer] = cores
+
+    def total_cpu_demand(self) -> float:
+        return sum(self._cpu_demands.values())
+
+    @staticmethod
+    def _max_min_grants(demands: Dict[str, float], capacity: float) -> Dict[str, float]:
+        """Water-filling max-min fair allocation of ``capacity``.
+
+        Mirrors an equal-weight fair scheduler inside the guest: every
+        runnable consumer is entitled to an equal share; demand below
+        the share is fully granted and the surplus is redistributed.
+        """
+        grants = {name: 0.0 for name in demands}
+        remaining = capacity
+        unsatisfied = {name: demand for name, demand in demands.items() if demand > 0}
+        while unsatisfied and remaining > 1e-12:
+            share = remaining / len(unsatisfied)
+            fulfilled = [n for n, d in unsatisfied.items() if d <= share]
+            if fulfilled:
+                for name in fulfilled:
+                    grants[name] = demands[name]
+                    remaining -= unsatisfied.pop(name)
+            else:
+                for name in unsatisfied:
+                    grants[name] = share
+                remaining = 0.0
+                unsatisfied = {}
+        return grants
+
+    def cpu_share(self, consumer: str) -> float:
+        """Cores actually granted to ``consumer`` under max-min fairness."""
+        if consumer not in self._cpu_demands:
+            return 0.0
+        grants = self._max_min_grants(self._cpu_demands, self.cpu_allocated)
+        return grants[consumer]
+
+    def potential_cpu(self, consumer: str) -> float:
+        """Cores ``consumer`` *could* obtain if it demanded unboundedly.
+
+        This is the capacity ceiling the application's queueing model
+        saturates against: the allocation minus what the other
+        consumers (e.g. an injected CPU hog) would still hold under
+        max-min fairness against a saturating competitor.
+        """
+        others = {
+            name: demand
+            for name, demand in self._cpu_demands.items()
+            if name != consumer
+        }
+        scenario = dict(others)
+        scenario[consumer] = float("inf")
+        grants = self._max_min_grants(scenario, self.cpu_allocated)
+        return self.cpu_allocated - sum(grants[name] for name in others)
+
+    def cpu_usage_cores(self) -> float:
+        """Cores actually consumed (min of demand and allocation)."""
+        return min(self.total_cpu_demand(), self.cpu_allocated)
+
+    def cpu_utilization(self) -> float:
+        """Fraction of the allocation in use, in [0, 1]."""
+        if self.cpu_allocated == 0:
+            return 0.0
+        return self.cpu_usage_cores() / self.cpu_allocated
+
+    # ------------------------------------------------------------------
+    # Memory model
+    # ------------------------------------------------------------------
+    def set_mem_demand(self, consumer: str, mb: float) -> None:
+        """Declare a consumer's resident-set size in MB; 0 removes it."""
+        if mb < 0:
+            raise ResourceError(f"negative memory demand {mb} from {consumer}")
+        if mb == 0:
+            self._mem_demands.pop(consumer, None)
+        else:
+            self._mem_demands[consumer] = mb
+
+    def total_mem_demand_mb(self) -> float:
+        return sum(self._mem_demands.values())
+
+    def mem_used_mb(self) -> float:
+        """Resident memory (cannot exceed the allocation)."""
+        return min(self.total_mem_demand_mb(), self.mem_allocated_mb)
+
+    def free_mem_mb(self) -> float:
+        return max(0.0, self.mem_allocated_mb - self.total_mem_demand_mb())
+
+    def swap_used_mb(self) -> float:
+        return max(0.0, self.total_mem_demand_mb() - self.mem_allocated_mb)
+
+    def cache_pressure(self) -> float:
+        """Page-cache starvation level in [0, 1] (1 = no cache left)."""
+        return max(0.0, 1.0 - self.free_mem_mb() / CACHE_PRESSURE_MB)
+
+    def _slowdown_target(self) -> float:
+        """Instantaneous slowdown implied by memory state.
+
+        Two phases, as on a real Linux guest: a mild, gradually growing
+        penalty as the page cache is squeezed out, then the steep
+        thrashing penalty once demand spills into swap.
+        """
+        if self.mem_allocated_mb == 0:
+            return 1.0
+        ratio = self.swap_used_mb() / self.mem_allocated_mb
+        return (
+            1.0
+            + CACHE_PRESSURE_PENALTY * self.cache_pressure()
+            + SWAP_PENALTY * ratio
+        )
+
+    def tick(self, dt: float) -> None:
+        """Advance inertial state (the application model calls this
+        once per step before reading capacities)."""
+        if dt <= 0:
+            return
+        target = self._slowdown_target()
+        tau = THRASH_TAU_UP if target > self._thrash else THRASH_TAU_DOWN
+        alpha = 1.0 - math.exp(-dt / tau)
+        self._thrash += alpha * (target - self._thrash)
+
+    def memory_slowdown(self) -> float:
+        """Service-time multiplier (>= 1) caused by swap thrashing.
+
+        Follows the instantaneous swap pressure with asymmetric
+        inertia: thrashing sets in within seconds, but recovery after
+        pressure is relieved takes tens of seconds (pages must fault
+        back in).
+        """
+        return self._thrash
+
+    # ------------------------------------------------------------------
+    # Effective application capacity
+    # ------------------------------------------------------------------
+    def _degradation(self) -> float:
+        """Combined slowdown from swapping and in-flight migration."""
+        factor = 1.0 / self.memory_slowdown()
+        if self.migrating:
+            factor *= MIGRATION_DEGRADATION
+        return factor
+
+    def effective_app_cpu(self, consumer: str = "app") -> float:
+        """Cores effectively delivered to the application right now.
+
+        The fair CPU share degraded by swap thrashing and any in-flight
+        live migration.
+        """
+        return self.cpu_share(consumer) * self._degradation()
+
+    def effective_capacity(self, consumer: str = "app") -> float:
+        """Capacity ceiling for the application's queueing model.
+
+        The cores the component could obtain at saturation
+        (:meth:`potential_cpu`), degraded by swap thrashing and any
+        in-flight migration.
+        """
+        return self.potential_cpu(consumer) * self._degradation()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        host = self.host.name if self.host else None
+        return (
+            f"VirtualMachine({self.name!r}, cpu={self.cpu_allocated:.2f}, "
+            f"mem={self.mem_allocated_mb:.0f}MB, host={host!r})"
+        )

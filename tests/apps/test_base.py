@@ -1,0 +1,98 @@
+"""Tests for the distributed-application base machinery."""
+
+import pytest
+
+from repro.apps.base import APP_CONSUMER, AppComponent, DistributedApplication
+from repro.apps.slo import SLOTracker
+from repro.apps.workload import ConstantWorkload
+from repro.sim.engine import Simulator
+from repro.sim.resources import ResourceSpec
+from repro.sim.vm import VirtualMachine
+
+
+class EchoApp(DistributedApplication):
+    """Minimal concrete app: one component, SLO = workload rate."""
+
+    def __init__(self, sim, workload):
+        super().__init__(sim, workload, SLOTracker(lambda v: v > 100.0))
+        self.steps = []
+        self.add_component(AppComponent(
+            name="only",
+            vm=VirtualMachine("vm", ResourceSpec(1.0, 1024.0)),
+            cpu_cost=0.001,
+            base_memory_mb=128.0,
+        ))
+
+    def advance(self, now, dt):
+        self.steps.append(now)
+        rate = self.workload.rate(now)
+        self.component("only").register_demand(rate)
+        return rate, None
+
+    def slo_metric_name(self):
+        return "rate"
+
+
+class TestComponent:
+    def test_register_demand_sets_vm_consumers(self):
+        vm = VirtualMachine("vm", ResourceSpec(1.0, 1024.0))
+        component = AppComponent("c", vm, cpu_cost=0.002, base_memory_mb=256.0)
+        component.register_demand(100.0)
+        assert vm.cpu_share(APP_CONSUMER) == pytest.approx(0.2)
+        assert vm.total_mem_demand_mb() == 256.0
+
+    def test_capacity_uses_potential_not_grant(self):
+        vm = VirtualMachine("vm", ResourceSpec(1.0, 1024.0))
+        component = AppComponent("c", vm, cpu_cost=0.002, base_memory_mb=0.0)
+        component.register_demand(100.0)  # uses 0.2 cores
+        # Capacity reflects what it *could* serve: 1 core / 0.002.
+        assert component.capacity() == pytest.approx(500.0)
+
+    def test_zero_cost_capacity_infinite(self):
+        vm = VirtualMachine("vm", ResourceSpec(1.0, 1024.0))
+        component = AppComponent("c", vm, cpu_cost=0.0, base_memory_mb=0.0)
+        assert component.capacity() == float("inf")
+
+
+class TestLifecycle:
+    def test_steps_every_second(self):
+        sim = Simulator()
+        app = EchoApp(sim, ConstantWorkload(50.0))
+        app.start()
+        sim.run_until(5.0)
+        assert app.steps == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        assert len(app.slo.records) == 6
+
+    def test_double_start_rejected(self):
+        app = EchoApp(Simulator(), ConstantWorkload(50.0))
+        app.start()
+        with pytest.raises(RuntimeError):
+            app.start()
+
+    def test_stop_halts_stepping(self):
+        sim = Simulator()
+        app = EchoApp(sim, ConstantWorkload(50.0))
+        app.start()
+        sim.run_until(3.0)
+        app.stop()
+        sim.run_until(10.0)
+        assert len(app.steps) == 4
+
+    def test_duplicate_component_rejected(self):
+        app = EchoApp(Simulator(), ConstantWorkload(50.0))
+        with pytest.raises(ValueError):
+            app.add_component(AppComponent(
+                "only", VirtualMachine("vm2", ResourceSpec(1.0, 10.0)),
+                cpu_cost=0.1, base_memory_mb=1.0,
+            ))
+
+    def test_slo_predicate_applied(self):
+        sim = Simulator()
+        app = EchoApp(sim, ConstantWorkload(150.0))
+        app.start()
+        sim.run_until(3.0)
+        assert app.slo.latest().violated
+
+    def test_vm_names(self):
+        app = EchoApp(Simulator(), ConstantWorkload(1.0))
+        assert app.vm_names() == ["vm"]

@@ -1,0 +1,120 @@
+"""Tests for the RUBiS three-tier application model."""
+
+import pytest
+
+from repro.apps.rubis import RubisApp
+from repro.apps.workload import ConstantWorkload
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.resources import ResourceKind, ResourceSpec
+
+VM_SPEC = ResourceSpec(1.0, 1024.0)
+TIER_VMS = ["vm_web", "vm_app1", "vm_app2", "vm_db"]
+
+
+def build(rate=200.0):
+    sim = Simulator()
+    cluster = Cluster(sim)
+    vms = cluster.place_one_vm_per_host(TIER_VMS, VM_SPEC, spares=1)
+    app = RubisApp(sim, ConstantWorkload(rate), vms)
+    return sim, cluster, app, vms
+
+
+class TestNominalOperation:
+    def test_response_time_under_slo(self):
+        sim, _cluster, app, _vms = build()
+        app.start()
+        sim.run_until(60.0)
+        assert app.avg_response_time * 1000.0 < 120.0
+        assert app.slo.violation_time() == 0.0
+
+    def test_db_is_bottleneck_tier(self):
+        sim, _cluster, app, _vms = build()
+        app.start()
+        sim.run_until(10.0)
+        utils = {c.name: c.vm.cpu_utilization() for c in app.components}
+        assert max(utils, key=utils.get) == "db"
+
+    def test_app_tier_split_evenly(self):
+        sim, _cluster, app, _vms = build()
+        app.start()
+        sim.run_until(10.0)
+        u1 = app.component("app1").vm.cpu_utilization()
+        u2 = app.component("app2").vm.cpu_utilization()
+        assert u1 == pytest.approx(u2, rel=0.01)
+
+    def test_metric_reported_in_ms(self):
+        sim, _cluster, app, _vms = build()
+        app.start()
+        sim.run_until(30.0)
+        assert app.slo.latest().metric == pytest.approx(
+            app.avg_response_time * 1000.0
+        )
+
+
+class TestOverload:
+    def test_saturating_rate_violates(self):
+        sim, _cluster, app, _vms = build(rate=280.0)
+        app.start()
+        sim.run_until(120.0)
+        assert app.slo.violation_time() > 0.0
+
+    def test_db_hog_spikes_response(self):
+        sim, _cluster, app, vms = build()
+        app.start()
+        sim.run_until(30.0)
+        baseline = app.avg_response_time
+        vms[3].set_cpu_demand("fault:hog", 1.0)
+        sim.run_until(60.0)
+        assert app.avg_response_time > 2.0 * baseline
+        assert app.slo.violated_at(60.0)
+
+    def test_backlog_drains_after_recovery(self):
+        sim, cluster, app, vms = build()
+        app.start()
+        vms[3].set_cpu_demand("fault:hog", 1.0)
+        sim.run_until(60.0)
+        assert app.backlog["db"] > 0.0
+        cluster.hypervisor.scale(vms[3], ResourceKind.CPU, 2.0)
+        sim.run_until(180.0)
+        assert app.backlog["db"] == pytest.approx(0.0, abs=1.0)
+        assert not app.slo.violated_at(180.0)
+
+    def test_backlog_capped(self):
+        sim, _cluster, app, vms = build()
+        app.start()
+        vms[3].set_cpu_demand("fault:hog", 5.0)
+        sim.run_until(300.0)
+        assert app.backlog["db"] <= app.backlog_cap + 1e-6
+
+
+class TestMemoryPressure:
+    def test_db_leak_gradually_degrades(self):
+        sim, _cluster, app, vms = build()
+        app.start()
+        sim.run_until(30.0)
+        healthy = app.avg_response_time
+        # Fill memory to trigger swapping.
+        vms[3].set_mem_demand("fault:leak", 700.0)
+        sim.run_until(40.0)
+        mild = app.avg_response_time
+        sim.run_until(120.0)
+        severe = app.avg_response_time
+        assert healthy < mild < severe
+
+    def test_memory_scaling_recovers(self):
+        sim, cluster, app, vms = build()
+        app.start()
+        vms[3].set_mem_demand("fault:leak", 700.0)
+        sim.run_until(120.0)
+        assert app.slo.violated_at(120.0)
+        cluster.hypervisor.scale(vms[3], ResourceKind.MEMORY, 2048.0)
+        sim.run_until(300.0)
+        assert not app.slo.violated_at(300.0)
+
+    def test_mismatched_vm_count_rejected(self):
+        sim = Simulator()
+        cluster = Cluster(sim)
+        vms = cluster.place_one_vm_per_host(["a"], VM_SPEC, spares=0)
+        with pytest.raises(ValueError):
+            RubisApp(sim, ConstantWorkload(100.0), vms)

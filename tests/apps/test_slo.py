@@ -1,0 +1,124 @@
+"""Tests for SLO tracking, violation intervals and labeling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.slo import SLOTracker
+
+
+def make_tracker(threshold=100.0):
+    return SLOTracker(lambda v: v > threshold)
+
+
+class TestObserve:
+    def test_predicate_drives_violation(self):
+        slo = make_tracker()
+        assert not slo.observe(0.0, 50.0).violated
+        assert slo.observe(1.0, 150.0).violated
+
+    def test_explicit_flag_overrides_predicate(self):
+        slo = make_tracker()
+        assert slo.observe(0.0, 50.0, violated=True).violated
+        assert not slo.observe(1.0, 150.0, violated=False).violated
+
+    def test_out_of_order_rejected(self):
+        slo = make_tracker()
+        slo.observe(5.0, 1.0)
+        with pytest.raises(ValueError):
+            slo.observe(4.0, 1.0)
+
+    def test_latest(self):
+        slo = make_tracker()
+        assert slo.latest() is None
+        slo.observe(0.0, 1.0)
+        slo.observe(1.0, 2.0)
+        assert slo.latest().metric == 2.0
+
+
+class TestViolatedAt:
+    def test_state_holds_between_records(self):
+        slo = make_tracker()
+        slo.observe(0.0, 50.0)
+        slo.observe(10.0, 150.0)
+        slo.observe(20.0, 50.0)
+        assert not slo.violated_at(5.0)
+        assert slo.violated_at(10.0)
+        assert slo.violated_at(15.0)
+        assert not slo.violated_at(25.0)
+
+    def test_before_first_record_is_normal(self):
+        slo = make_tracker()
+        slo.observe(10.0, 150.0)
+        assert not slo.violated_at(5.0)
+
+    def test_labels_for(self):
+        slo = make_tracker()
+        for t, v in ((0, 50), (10, 150), (20, 50)):
+            slo.observe(float(t), float(v))
+        assert slo.labels_for([5.0, 12.0, 25.0]) == [False, True, False]
+
+
+class TestViolationTime:
+    def test_single_interval(self):
+        slo = make_tracker()
+        for t in range(0, 100, 10):
+            slo.observe(float(t), 150.0 if 30 <= t < 60 else 50.0)
+        intervals = slo.violation_intervals()
+        assert len(intervals) == 1
+        assert intervals[0].start == 30.0
+        assert intervals[0].end == 60.0
+        assert slo.violation_time() == pytest.approx(30.0)
+
+    def test_open_interval_charged_to_end(self):
+        slo = make_tracker()
+        slo.observe(0.0, 50.0)
+        slo.observe(10.0, 150.0)
+        assert slo.violation_time(0.0, 25.0) == pytest.approx(15.0)
+
+    def test_window_clipping(self):
+        slo = make_tracker()
+        for t in range(0, 100, 10):
+            slo.observe(float(t), 150.0 if 20 <= t < 80 else 50.0)
+        assert slo.violation_time(40.0, 60.0) == pytest.approx(20.0)
+        assert slo.violation_time(0.0, 10.0) == 0.0
+
+    def test_multiple_intervals(self):
+        slo = make_tracker()
+        pattern = [50, 150, 50, 150, 150, 50]
+        for i, v in enumerate(pattern):
+            slo.observe(float(i * 10), float(v))
+        intervals = slo.violation_intervals()
+        assert [(iv.start, iv.end) for iv in intervals] == [
+            (10.0, 20.0), (30.0, 50.0)
+        ]
+
+    def test_empty_tracker(self):
+        slo = make_tracker()
+        assert slo.violation_time() == 0.0
+        assert slo.violation_intervals() == []
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=40))
+    def test_violation_time_bounded_by_span(self, flags):
+        slo = make_tracker()
+        for i, violated in enumerate(flags):
+            slo.observe(float(i), 150.0 if violated else 50.0)
+        span = float(len(flags) - 1)
+        total = slo.violation_time(0.0, span)
+        assert 0.0 <= total <= span + 1e-9
+
+    @given(st.lists(st.booleans(), min_size=2, max_size=40))
+    def test_intervals_disjoint_and_ordered(self, flags):
+        slo = make_tracker()
+        for i, violated in enumerate(flags):
+            slo.observe(float(i), 150.0 if violated else 50.0)
+        intervals = slo.violation_intervals()
+        for earlier, later in zip(intervals, intervals[1:]):
+            assert earlier.end <= later.start
+
+    def test_metric_trace(self):
+        slo = make_tracker()
+        slo.observe(0.0, 10.0)
+        slo.observe(5.0, 20.0)
+        times, values = slo.metric_trace()
+        assert times == [0.0, 5.0]
+        assert values == [10.0, 20.0]

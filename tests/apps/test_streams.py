@@ -1,0 +1,133 @@
+"""Tests for the System S stream-processing application model."""
+
+import numpy as np
+import pytest
+
+from repro.apps.streams import SYSTEM_S_TOPOLOGY, SystemSApp
+from repro.apps.workload import ConstantWorkload
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.resources import ResourceKind, ResourceSpec
+
+VM_SPEC = ResourceSpec(1.0, 1024.0)
+
+
+def build(rate=25_000.0, seed_vms=None):
+    sim = Simulator()
+    cluster = Cluster(sim)
+    vms = cluster.place_one_vm_per_host(
+        [f"vm{i+1}" for i in range(7)], VM_SPEC, spares=1
+    )
+    app = SystemSApp(sim, ConstantWorkload(rate), vms)
+    return sim, cluster, app, vms
+
+
+class TestTopology:
+    def test_seven_pes_one_per_vm(self):
+        _sim, _cluster, app, vms = build()
+        assert len(app.components) == 7
+        assert [c.vm.name for c in app.components] == [v.name for v in vms]
+
+    def test_dag_is_acyclic_and_complete(self):
+        _sim, _cluster, app, _vms = build()
+        order = app._topological_order()
+        assert sorted(order) == sorted(SYSTEM_S_TOPOLOGY)
+        position = {pe: i for i, pe in enumerate(order)}
+        for pe, children in SYSTEM_S_TOPOLOGY.items():
+            for child, _share in children:
+                assert position[pe] < position[child]
+
+    def test_split_shares_sum_to_one(self):
+        for pe, children in SYSTEM_S_TOPOLOGY.items():
+            if children:
+                assert sum(share for _c, share in children) == pytest.approx(1.0)
+
+
+class TestNominalOperation:
+    def test_throughput_tracks_input(self):
+        sim, _cluster, app, _vms = build()
+        app.start()
+        sim.run_until(60.0)
+        # Nominal: no saturation, output == input (25 Ktuples/s).
+        assert app.last_output_rate == pytest.approx(25_000.0, rel=0.01)
+        assert app.slo.violation_time() == 0.0
+
+    def test_tuple_time_well_under_slo(self):
+        sim, _cluster, app, _vms = build()
+        app.start()
+        sim.run_until(30.0)
+        assert app.last_tuple_time < app.tuple_time_slo / 2.0
+
+    def test_pe6_is_hottest(self):
+        sim, _cluster, app, _vms = build()
+        app.start()
+        sim.run_until(10.0)
+        utils = {
+            c.name: c.vm.cpu_utilization() for c in app.components
+        }
+        assert max(utils, key=utils.get) == "PE6"
+
+    def test_metric_is_ktuples(self):
+        sim, _cluster, app, _vms = build()
+        app.start()
+        sim.run_until(10.0)
+        assert app.slo.latest().metric == pytest.approx(25.0, rel=0.02)
+
+
+class TestSaturation:
+    def test_overload_violates_ratio_slo(self):
+        sim, _cluster, app, _vms = build(rate=40_000.0)
+        app.start()
+        sim.run_until(60.0)
+        assert app.last_output_rate < 40_000.0 * 0.95
+        assert app.slo.violation_time() > 0.0
+
+    def test_degraded_pe_throttles_pipeline(self):
+        sim, _cluster, app, vms = build()
+        app.start()
+        sim.run_until(10.0)
+        vms[5].set_cpu_demand("fault:hog", 5.0)  # strangle PE6
+        sim.run_until(30.0)
+        # PE6 sees the full stream at 75% utilization; halving its
+        # capacity caps the end-to-end output well below the input.
+        assert app.last_output_rate < 25_000.0 * 0.95
+
+    def test_backlog_builds_and_drains(self):
+        sim, _cluster, app, vms = build()
+        app.start()
+        sim.run_until(10.0)
+        vms[5].set_cpu_demand("fault:hog", 5.0)
+        sim.run_until(40.0)
+        assert app.backlog["PE6"] > 0.0
+        vms[5].set_cpu_demand("fault:hog", 0.0)
+        sim.run_until(120.0)
+        assert app.backlog["PE6"] == pytest.approx(0.0, abs=1.0)
+
+    def test_backlog_bounded(self):
+        sim, _cluster, app, vms = build()
+        app.start()
+        vms[5].set_cpu_demand("fault:hog", 5.0)
+        sim.run_until(300.0)
+        capacity = app.component("PE6").capacity()
+        assert app.backlog["PE6"] <= app.backlog_cap_seconds * capacity + 1.0
+
+
+class TestPrevention:
+    def test_cpu_scaling_restores_throughput(self):
+        sim, cluster, app, vms = build()
+        app.start()
+        vms[5].set_cpu_demand("fault:hog", 1.0)
+        sim.run_until(30.0)
+        degraded = app.last_output_rate
+        assert degraded < 25_000.0 * 0.95
+        cluster.hypervisor.scale(vms[5], ResourceKind.CPU, 2.0)
+        sim.run_until(60.0)
+        assert app.last_output_rate > degraded
+        assert app.last_output_rate == pytest.approx(25_000.0, rel=0.02)
+
+    def test_mismatched_vm_count_rejected(self):
+        sim = Simulator()
+        cluster = Cluster(sim)
+        vms = cluster.place_one_vm_per_host(["a", "b"], VM_SPEC, spares=0)
+        with pytest.raises(ValueError):
+            SystemSApp(sim, ConstantWorkload(1000.0), vms)

@@ -1,0 +1,98 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.workload import (
+    ConstantWorkload,
+    NasaTraceWorkload,
+    RampWorkload,
+    TimeSeriesWorkload,
+)
+
+
+class TestConstantWorkload:
+    def test_flat(self):
+        wl = ConstantWorkload(100.0)
+        assert wl.rate(0.0) == 100.0
+        assert wl.rate(1e6) == 100.0
+
+    def test_multiplier_scales(self):
+        wl = ConstantWorkload(100.0)
+        wl.multiplier = 1.5
+        assert wl.rate(10.0) == pytest.approx(150.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantWorkload(-1.0)
+
+
+class TestRampWorkload:
+    def test_before_during_after(self):
+        wl = RampWorkload(100.0, 200.0, ramp_start=10.0, ramp_end=20.0)
+        assert wl.rate(0.0) == 100.0
+        assert wl.rate(15.0) == pytest.approx(150.0)
+        assert wl.rate(30.0) == 200.0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            RampWorkload(1.0, 2.0, ramp_start=5.0, ramp_end=5.0)
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    def test_rate_bounded_by_endpoints(self, t):
+        wl = RampWorkload(100.0, 300.0, ramp_start=20.0, ramp_end=60.0)
+        assert 100.0 <= wl.rate(t) <= 300.0
+
+
+class TestTimeSeriesWorkload:
+    def test_slot_lookup(self):
+        wl = TimeSeriesWorkload([10.0, 20.0, 30.0], slot_seconds=2.0)
+        assert wl.rate(0.0) == 10.0
+        assert wl.rate(2.5) == 20.0
+        assert wl.rate(100.0) == 30.0  # clamps to last slot
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeriesWorkload([])
+        with pytest.raises(ValueError):
+            TimeSeriesWorkload([1.0, -2.0])
+        with pytest.raises(ValueError):
+            TimeSeriesWorkload([1.0], slot_seconds=0.0)
+
+
+class TestNasaTraceWorkload:
+    def test_deterministic_per_seed(self):
+        a = NasaTraceWorkload(200.0, duration=600, seed=9)
+        b = NasaTraceWorkload(200.0, duration=600, seed=9)
+        times = np.linspace(0, 590, 60)
+        assert all(a.rate(t) == b.rate(t) for t in times)
+
+    def test_seeds_differ(self):
+        a = NasaTraceWorkload(200.0, duration=600, seed=1)
+        b = NasaTraceWorkload(200.0, duration=600, seed=2)
+        times = np.linspace(0, 590, 60)
+        assert any(a.rate(t) != b.rate(t) for t in times)
+
+    def test_rate_stays_positive(self):
+        wl = NasaTraceWorkload(200.0, duration=3600, seed=3, burstiness=0.3)
+        rates = [wl.rate(t) for t in range(0, 3600, 7)]
+        assert min(rates) > 0.0
+
+    def test_mean_near_nominal(self):
+        wl = NasaTraceWorkload(200.0, duration=3600, seed=5)
+        rates = np.array([wl.rate(t) for t in range(3600)])
+        # Diurnal trough at t=0 pulls the short-window mean below the
+        # nominal rate; it must stay within the configured amplitude.
+        assert 120.0 < rates.mean() < 260.0
+
+    def test_fluctuation_present(self):
+        wl = NasaTraceWorkload(200.0, duration=3600, seed=5)
+        rates = np.array([wl.rate(t) for t in range(3600)])
+        assert rates.std() > 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NasaTraceWorkload(0.0)
+        with pytest.raises(ValueError):
+            NasaTraceWorkload(100.0, duration=0.0)

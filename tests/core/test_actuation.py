@@ -1,0 +1,216 @@
+"""Tests for prevention actuation and effectiveness validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.actuation import (
+    METRIC_RESOURCE_MAP,
+    EffectivenessValidator,
+    PreventionActuator,
+    ValidationOutcome,
+)
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.monitor import ATTRIBUTES
+from repro.sim.resources import ResourceKind, ResourceSpec
+
+VM_SPEC = ResourceSpec(1.0, 1024.0)
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    cluster = Cluster(sim)
+    cluster.place_one_vm_per_host(["vm1", "vm2"], VM_SPEC, spares=2)
+    return sim, cluster
+
+
+class TestMetricMap:
+    def test_every_attribute_mapped(self):
+        assert set(METRIC_RESOURCE_MAP) == set(ATTRIBUTES)
+
+    def test_memory_metrics_map_to_memory(self):
+        for metric in ("free_mem", "mem_used", "swap_used", "page_faults"):
+            assert METRIC_RESOURCE_MAP[metric] is ResourceKind.MEMORY
+
+    def test_io_metrics_unscalable(self):
+        for metric in ("net_in", "net_out", "disk_read", "disk_write"):
+            assert METRIC_RESOURCE_MAP[metric] is None
+
+
+class TestChooseMetric:
+    def test_skips_unscalable_metrics(self, world):
+        sim, cluster = world
+        actuator = PreventionActuator(cluster, sim)
+        choice = actuator.choose_metric(
+            "vm1", [("net_out", 3.0), ("swap_used", 2.0)]
+        )
+        assert choice == ("swap_used", ResourceKind.MEMORY)
+
+    def test_ignores_non_positive_strengths(self, world):
+        sim, cluster = world
+        actuator = PreventionActuator(cluster, sim)
+        assert actuator.choose_metric("vm1", [("cpu_usage", -0.5)]) is None
+
+    def test_respects_exclusions(self, world):
+        sim, cluster = world
+        actuator = PreventionActuator(cluster, sim)
+        ranking = [("swap_used", 3.0), ("cpu_usage", 2.0)]
+        action = actuator.prevent("vm1", ranking)
+        actuator.mark_ineffective(action)
+        choice = actuator.choose_metric("vm1", ranking)
+        assert choice == ("cpu_usage", ResourceKind.CPU)
+
+    def test_clear_exclusions(self, world):
+        sim, cluster = world
+        actuator = PreventionActuator(cluster, sim)
+        action = actuator.prevent("vm1", [("swap_used", 3.0)])
+        actuator.mark_ineffective(action)
+        actuator.clear_exclusions("vm1")
+        assert actuator.choose_metric("vm1", [("swap_used", 3.0)]) is not None
+
+
+class TestScalingMode:
+    def test_scales_indicted_resource(self, world):
+        sim, cluster = world
+        actuator = PreventionActuator(cluster, sim, mode="scaling")
+        action = actuator.prevent("vm1", [("swap_used", 2.0)])
+        assert action.verb == "scale"
+        assert action.resource is ResourceKind.MEMORY
+        sim.run_until(1.0)
+        assert cluster.vm("vm1").mem_allocated_mb == 2048.0
+
+    def test_scale_capped_by_headroom(self, world):
+        sim, cluster = world
+        actuator = PreventionActuator(cluster, sim, mode="scaling",
+                                      scale_factor=3.0)
+        actuator.prevent("vm1", [("cpu_usage", 2.0)])
+        sim.run_until(1.0)
+        # Requested 3x but the host caps at 2 cores; 2x is still a
+        # meaningful share of the request, so the scale goes through.
+        assert cluster.vm("vm1").cpu_allocated == 2.0
+
+    def test_token_scale_refused(self, world):
+        """Headroom so small that scaling could not matter: refuse (the
+        auto mode then falls back to migration)."""
+        sim, cluster = world
+        vm = cluster.vm("vm1")
+        vm.host.reserve(ResourceSpec(0.8, 0.0))  # only 0.2 cores free
+        actuator = PreventionActuator(cluster, sim, mode="scaling")
+        assert actuator.prevent("vm1", [("cpu_usage", 2.0)]) is None
+
+    def test_no_headroom_returns_none(self, world):
+        sim, cluster = world
+        vm = cluster.vm("vm1")
+        vm.host.reserve(ResourceSpec(1.0, 0.0))
+        actuator = PreventionActuator(cluster, sim, mode="scaling")
+        assert actuator.prevent("vm1", [("cpu_usage", 2.0)]) is None
+
+    def test_migrating_vm_skipped(self, world):
+        sim, cluster = world
+        cluster.vm("vm1").migrating = True
+        actuator = PreventionActuator(cluster, sim, mode="scaling")
+        assert actuator.prevent("vm1", [("cpu_usage", 2.0)]) is None
+
+
+class TestMigrationMode:
+    def test_migrates_then_grows_at_destination(self, world):
+        sim, cluster = world
+        actuator = PreventionActuator(cluster, sim, mode="migration")
+        action = actuator.prevent("vm1", [("cpu_usage", 2.0)])
+        assert action.verb == "migrate"
+        sim.run_until(60.0)
+        vm = cluster.vm("vm1")
+        assert vm.host.name not in ("host1",)
+        assert vm.cpu_allocated == 2.0
+
+    def test_followup_refines_locally(self, world):
+        sim, cluster = world
+        actuator = PreventionActuator(cluster, sim, mode="migration")
+        actuator.prevent("vm1", [("cpu_usage", 2.0)])
+        sim.run_until(60.0)
+        # Within the migration cooldown, the next prevention scales.
+        action = actuator.prevent("vm1", [("swap_used", 2.0)])
+        assert action is not None and action.verb == "scale"
+
+    def test_auto_prefers_scaling(self, world):
+        sim, cluster = world
+        actuator = PreventionActuator(cluster, sim, mode="auto")
+        action = actuator.prevent("vm1", [("cpu_usage", 2.0)])
+        assert action.verb == "scale"
+
+    def test_auto_falls_back_to_migration(self, world):
+        sim, cluster = world
+        vm = cluster.vm("vm1")
+        vm.host.reserve(ResourceSpec(1.0, 3072.0))  # no local headroom
+        actuator = PreventionActuator(cluster, sim, mode="auto")
+        action = actuator.prevent("vm1", [("cpu_usage", 2.0)])
+        assert action is not None and action.verb == "migrate"
+
+
+class TestResetAllocations:
+    def test_restores_baseline(self, world):
+        sim, cluster = world
+        actuator = PreventionActuator(cluster, sim, mode="scaling")
+        actuator.prevent("vm1", [("cpu_usage", 2.0)])
+        sim.run_until(1.0)
+        assert cluster.vm("vm1").cpu_allocated == 2.0
+        actuator.reset_allocations()
+        sim.run_until(2.0)
+        assert cluster.vm("vm1").cpu_allocated == 1.0
+
+    def test_mode_validation(self, world):
+        sim, cluster = world
+        with pytest.raises(ValueError):
+            PreventionActuator(cluster, sim, mode="teleport")
+        with pytest.raises(ValueError):
+            PreventionActuator(cluster, sim, scale_factor=1.0)
+
+
+class TestEffectivenessValidator:
+    def _action(self, world, metric="swap_used"):
+        sim, cluster = world
+        actuator = PreventionActuator(cluster, sim, mode="scaling")
+        action = actuator.prevent("vm1", [(metric, 2.0)])
+        sim.run_until(1.0)
+        return sim, action
+
+    def test_pending_until_settle(self, world):
+        sim, action = self._action(world)
+        validator = EffectivenessValidator(settle_seconds=20.0)
+        validator.watch(action, np.array([5.0, 6.0]), now=sim.now)
+        assert validator.check(sim.now + 10.0, {}, {"vm1": True}) == []
+        assert validator.pending_count == 1
+
+    def test_effective_when_alerts_stop(self, world):
+        sim, action = self._action(world)
+        validator = EffectivenessValidator(settle_seconds=20.0)
+        validator.watch(action, np.array([5.0, 6.0]), now=sim.now)
+        resolved = validator.check(
+            sim.now + 25.0, {"vm1": np.array([5.0])}, {"vm1": False}
+        )
+        assert resolved == [(action, ValidationOutcome.EFFECTIVE)]
+        assert action.effective is True
+
+    def test_ineffective_when_alerts_persist(self, world):
+        sim, action = self._action(world)
+        validator = EffectivenessValidator(settle_seconds=20.0)
+        validator.watch(action, np.array([5.0, 6.0]), now=sim.now)
+        resolved = validator.check(
+            sim.now + 25.0, {"vm1": np.array([5.5])}, {"vm1": True}
+        )
+        assert resolved == [(action, ValidationOutcome.INEFFECTIVE)]
+        assert action.effective is False
+        # Usage unchanged -> recorded as the diagnostic.
+        assert action.usage_changed is False
+
+    def test_usage_change_recorded(self, world):
+        sim, action = self._action(world)
+        validator = EffectivenessValidator(settle_seconds=20.0)
+        validator.watch(action, np.array([100.0]), now=sim.now)
+        validator.check(sim.now + 25.0, {"vm1": np.array([10.0])}, {"vm1": True})
+        assert action.usage_changed is True
+
+    def test_validator_bounds(self):
+        with pytest.raises(ValueError):
+            EffectivenessValidator(window_samples=0)

@@ -1,0 +1,110 @@
+"""Integration-style tests for the PREPARE controller loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.actuation import PreventionActuator
+from repro.core.controller import PrepareConfig, PrepareController
+from repro.experiments.scenarios import RUBIS, SYSTEM_S, build_testbed, make_fault
+from repro.experiments.schemes import deploy_scheme
+from repro.faults import CpuHogFault, FaultKind, MemoryLeakFault
+
+
+def deploy(app=RUBIS, scheme="prepare", seed=7, **config_kw):
+    testbed = build_testbed(app, seed=seed, duration_hint=1600)
+    cfg = PrepareConfig(**config_kw) if config_kw else None
+    managed = deploy_scheme(testbed, scheme, config=cfg)
+    return testbed, managed
+
+
+class TestWiring:
+    def test_one_model_per_vm(self):
+        testbed, managed = deploy()
+        controller = managed.controller
+        assert set(controller.predictors) == {v.name for v in testbed.app.vms}
+        assert set(controller.filters) == set(controller.predictors)
+
+    def test_double_attach_rejected(self):
+        _testbed, managed = deploy()
+        with pytest.raises(RuntimeError):
+            managed.controller.attach()
+
+    def test_lookahead_steps(self):
+        testbed, managed = deploy()
+        controller = managed.controller
+        assert controller.lookahead_steps == round(
+            controller.config.lookahead_seconds / testbed.monitor.interval
+        )
+
+    def test_none_scheme_has_no_controller(self):
+        testbed = build_testbed(RUBIS, seed=1)
+        managed = deploy_scheme(testbed, "none")
+        assert managed.controller is None and managed.actuator is None
+        managed.reset_allocations()  # no-op, must not raise
+
+    def test_reactive_scheme_disables_prediction(self):
+        _testbed, managed = deploy(scheme="reactive")
+        assert not managed.controller.config.prediction_enabled
+
+
+class TestOnlineLearning:
+    def test_no_training_without_anomalies(self):
+        testbed, managed = deploy()
+        testbed.app.start()
+        testbed.monitor.start(start_at=5.0)
+        testbed.sim.run_until(400.0)
+        assert not managed.controller.trained()
+        assert managed.actuator.actions == []
+
+    def test_violation_produces_trained_model_on_faulty_vm(self):
+        testbed, managed = deploy()
+        fault = make_fault(testbed, FaultKind.MEMORY_LEAK)
+        testbed.injector.inject(fault, 200.0, 300.0)
+        testbed.app.start()
+        testbed.monitor.start(start_at=5.0)
+        testbed.sim.run_until(700.0)
+        controller = managed.controller
+        assert controller.predictors["vm_db"].trained
+        healthy = [n for n, p in controller.predictors.items()
+                   if n != "vm_db" and p.trained]
+        assert healthy == []
+
+    def test_reactive_fallback_acts_on_faulty_vm(self):
+        testbed, managed = deploy(scheme="reactive")
+        fault = make_fault(testbed, FaultKind.CPU_HOG)
+        testbed.injector.inject(fault, 200.0, 200.0)
+        testbed.app.start()
+        testbed.monitor.start(start_at=5.0)
+        testbed.sim.run_until(450.0)
+        actions = managed.actuator.actions
+        assert actions, "reactive path must act on the violation"
+        assert any(a.vm == "vm_db" for a in actions)
+        assert all(not a.proactive for a in actions)
+
+    def test_prevention_disabled_observes_only(self):
+        testbed, managed = deploy(prevention_enabled=False)
+        fault = make_fault(testbed, FaultKind.CPU_HOG)
+        testbed.injector.inject(fault, 200.0, 200.0)
+        testbed.app.start()
+        testbed.monitor.start(start_at=5.0)
+        testbed.sim.run_until(450.0)
+        assert managed.actuator.actions == []
+        assert managed.controller.alerts  # alerts still recorded
+
+
+class TestSuppression:
+    def test_grace_window_follows_operations(self):
+        testbed, managed = deploy()
+        controller = managed.controller
+        vm = testbed.cluster.vm("vm_db")
+        testbed.app.start()
+        testbed.monitor.start(start_at=5.0)
+        testbed.sim.run_until(20.0)
+        from repro.sim.resources import ResourceKind
+        testbed.cluster.hypervisor.scale(vm, ResourceKind.CPU, 2.0)
+        testbed.sim.run_until(30.0)
+        assert controller._suppressed("vm_db", testbed.sim.now)
+        testbed.sim.run_until(
+            30.0 + controller.config.post_action_grace + 10.0
+        )
+        assert not controller._suppressed("vm_db", testbed.sim.now)

@@ -1,0 +1,137 @@
+"""Tests for metric discretization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.discretization import DEFAULT_BINS, Discretizer
+
+
+class TestFit:
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            Discretizer().fit(np.array([1.0, 2.0, 3.0]))
+
+    def test_requires_two_rows(self):
+        with pytest.raises(ValueError):
+            Discretizer().fit(np.array([[1.0, 2.0]]))
+
+    def test_min_two_bins(self):
+        with pytest.raises(ValueError):
+            Discretizer(n_bins=1)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            Discretizer(strategy="magic")
+
+    def test_unfitted_transform_rejected(self):
+        with pytest.raises(RuntimeError):
+            Discretizer().transform(np.zeros((2, 3)))
+
+    def test_n_attributes(self):
+        disc = Discretizer().fit(np.random.default_rng(0).normal(size=(50, 4)))
+        assert disc.n_attributes == 4
+
+
+class TestTransform:
+    def test_bins_cover_training_range(self):
+        data = np.linspace(0, 100, 101).reshape(-1, 1)
+        disc = Discretizer(n_bins=10).fit(data)
+        bins = disc.transform(data)
+        assert bins.min() == 0
+        assert bins.max() == 9
+
+    def test_equal_width_bins_uniform(self):
+        data = np.linspace(0, 80, 81).reshape(-1, 1)
+        disc = Discretizer(n_bins=8).fit(data)
+        bins = disc.transform(data)[:, 0]
+        counts = np.bincount(bins, minlength=8)
+        assert counts.min() >= 9  # roughly uniform
+
+    def test_clamps_out_of_range(self):
+        data = np.linspace(0, 10, 20).reshape(-1, 1)
+        disc = Discretizer(n_bins=4).fit(data)
+        assert disc.transform(np.array([-100.0]))[0] == 0
+        assert disc.transform(np.array([100.0]))[0] == 3
+
+    def test_1d_and_2d_shapes(self):
+        data = np.random.default_rng(1).normal(size=(30, 3))
+        disc = Discretizer().fit(data)
+        assert disc.transform(data).shape == (30, 3)
+        assert disc.transform(data[0]).shape == (3,)
+
+    def test_wrong_width_rejected(self):
+        disc = Discretizer().fit(np.zeros((5, 3)) + np.arange(5)[:, None])
+        with pytest.raises(ValueError):
+            disc.transform(np.zeros((2, 4)))
+
+    def test_constant_attribute_maps_to_bin_zero(self):
+        data = np.column_stack([np.full(20, 7.0), np.arange(20.0)])
+        disc = Discretizer(n_bins=5).fit(data)
+        bins = disc.transform(data)
+        assert (bins[:, 0] == 0).all()
+
+    def test_transform_value_matches_transform(self):
+        data = np.random.default_rng(2).normal(size=(40, 2))
+        disc = Discretizer().fit(data)
+        full = disc.transform(data)
+        for i in range(10):
+            for j in range(2):
+                assert disc.transform_value(j, data[i, j]) == full[i, j]
+
+
+class TestQuantileStrategy:
+    def test_quantile_balances_skewed_data(self):
+        rng = np.random.default_rng(3)
+        data = rng.lognormal(0, 1.5, size=(500, 1))
+        width = Discretizer(n_bins=8, strategy="width").fit(data)
+        quant = Discretizer(n_bins=8, strategy="quantile").fit(data)
+        wc = np.bincount(width.transform(data)[:, 0], minlength=8)
+        qc = np.bincount(quant.transform(data)[:, 0], minlength=8)
+        assert qc.std() < wc.std()
+
+
+class TestCenters:
+    def test_center_roundtrip_within_bin(self):
+        data = np.linspace(0, 100, 50).reshape(-1, 1)
+        disc = Discretizer(n_bins=10).fit(data)
+        for value in (5.0, 37.0, 99.0):
+            b = disc.transform_value(0, value)
+            center = disc.center(0, b)
+            assert abs(center - value) <= 10.0 / 2.0 + 1e-9
+
+    def test_center_clamps_index(self):
+        data = np.linspace(0, 10, 20).reshape(-1, 1)
+        disc = Discretizer(n_bins=4).fit(data)
+        assert disc.center(0, -5) == disc.center(0, 0)
+        assert disc.center(0, 99) == disc.center(0, 3)
+
+
+class TestProperties:
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+            min_size=4, max_size=60,
+        ),
+        st.integers(min_value=2, max_value=16),
+    )
+    def test_bins_always_in_range(self, values, n_bins):
+        data = np.array(values).reshape(-1, 1)
+        disc = Discretizer(n_bins=n_bins).fit(data)
+        bins = disc.transform(data)
+        assert bins.min() >= 0
+        assert bins.max() <= n_bins - 1
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+            min_size=4, max_size=40, unique=True,
+        )
+    )
+    def test_monotone_values_monotone_bins(self, values):
+        data = np.sort(np.array(values)).reshape(-1, 1)
+        disc = Discretizer(n_bins=6).fit(data)
+        bins = disc.transform(data)[:, 0]
+        assert (np.diff(bins) >= 0).all()

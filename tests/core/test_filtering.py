@@ -1,0 +1,86 @@
+"""Tests for the k-of-W false-alarm filter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.filtering import (
+    DEFAULT_K,
+    DEFAULT_W,
+    MajorityVoteFilter,
+    filter_alert_sequence,
+)
+
+
+class TestMajorityVote:
+    def test_paper_defaults(self):
+        assert DEFAULT_K == 3 and DEFAULT_W == 4
+
+    def test_requires_k_alerts(self):
+        vote = MajorityVoteFilter(k=3, window=4)
+        assert not vote.push(True)
+        assert not vote.push(True)
+        assert vote.push(True)
+
+    def test_sporadic_alerts_filtered(self):
+        vote = MajorityVoteFilter(k=3, window=4)
+        pattern = [True, False, False, True, False, False, True, False]
+        assert not any(vote.push(p) for p in pattern)
+
+    def test_window_slides(self):
+        vote = MajorityVoteFilter(k=3, window=4)
+        for flag in (True, True, True):
+            vote.push(flag)
+        assert vote.confirmed
+        vote.push(False)
+        assert vote.confirmed          # 3 of last 4
+        vote.push(False)
+        assert not vote.confirmed      # 2 of last 4
+
+    def test_k1_is_passthrough(self):
+        vote = MajorityVoteFilter(k=1, window=4)
+        assert vote.push(True)
+
+    def test_reset_clears_history(self):
+        vote = MajorityVoteFilter(k=2, window=4)
+        vote.push(True)
+        vote.push(True)
+        assert vote.confirmed
+        vote.reset()
+        assert not vote.confirmed
+        assert vote.recent_alerts == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MajorityVoteFilter(k=0, window=4)
+        with pytest.raises(ValueError):
+            MajorityVoteFilter(k=5, window=4)
+        with pytest.raises(ValueError):
+            MajorityVoteFilter(k=1, window=0)
+
+
+class TestSequenceFilter:
+    def test_matches_streaming_filter(self):
+        seq = [True, False, True, True, True, False, False, True]
+        streamed = []
+        vote = MajorityVoteFilter(k=2, window=3)
+        for flag in seq:
+            streamed.append(vote.push(flag))
+        assert filter_alert_sequence(seq, k=2, window=3) == streamed
+
+    def test_confirmation_delay(self):
+        """A persistent anomaly is confirmed exactly k-1 samples late."""
+        seq = [False] * 5 + [True] * 10
+        out = filter_alert_sequence(seq, k=3, window=4)
+        assert out.index(True) == 5 + 2
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=60),
+           st.integers(min_value=1, max_value=4))
+    def test_confirmed_only_with_enough_alerts(self, seq, k):
+        out = filter_alert_sequence(seq, k=k, window=4)
+        for i, confirmed in enumerate(out):
+            window = seq[max(0, i - 3):i + 1]
+            assert confirmed == (sum(window) >= k)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=60))
+    def test_k1_w1_identity(self, seq):
+        assert filter_alert_sequence(seq, k=1, window=1) == seq

@@ -1,0 +1,104 @@
+"""Tests for runtime data labeling and the training buffer."""
+
+import numpy as np
+import pytest
+
+from repro.apps.slo import SLOTracker
+from repro.core.labeling import TrainingBuffer, label_samples
+from repro.sim.monitor import ATTRIBUTES, MetricSample
+
+
+def make_sample(vm, t, cpu=50.0, cpu_alloc=1.0, mem_alloc=1024.0):
+    values = {attr: 1.0 for attr in ATTRIBUTES}
+    values["cpu_usage"] = cpu
+    return MetricSample(vm=vm, timestamp=t, values=values,
+                        cpu_allocated=cpu_alloc, mem_allocated_mb=mem_alloc)
+
+
+def make_slo(violated_ranges):
+    slo = SLOTracker(lambda v: False)
+    for t in range(0, 200, 5):
+        violated = any(a <= t < b for a, b in violated_ranges)
+        slo.observe(float(t), 0.0, violated=violated)
+    return slo
+
+
+class TestLabelSamples:
+    def test_labels_match_slo_state(self):
+        slo = make_slo([(50, 100)])
+        samples = [make_sample("vm", float(t)) for t in range(0, 150, 10)]
+        X, y, t = label_samples(samples, slo)
+        assert X.shape == (15, len(ATTRIBUTES))
+        expected = [(1 if 50 <= ts < 100 else 0) for ts in t]
+        assert y.tolist() == expected
+
+    def test_empty_input(self):
+        X, y, t = label_samples([], make_slo([]))
+        assert X.shape[0] == 0 and y.size == 0 and t.size == 0
+
+
+class TestTrainingBuffer:
+    def test_append_and_matrices(self):
+        slo = make_slo([(50, 100)])
+        buffer = TrainingBuffer(slo)
+        for t in range(0, 150, 10):
+            buffer.append(make_sample("vm", float(t)))
+        assert len(buffer) == 15
+        X, y, _t = buffer.matrices()
+        assert X.shape == (15, 13)
+        assert y.sum() == 5
+
+    def test_max_samples_evicts_oldest(self):
+        buffer = TrainingBuffer(make_slo([]), max_samples=5)
+        for t in range(10):
+            buffer.append(make_sample("vm", float(t)))
+        assert len(buffer) == 5
+        _X, _y, t = buffer.matrices()
+        assert t.tolist() == [5.0, 6.0, 7.0, 8.0, 9.0]
+
+    def test_has_both_classes(self):
+        slo = make_slo([(50, 100)])
+        buffer = TrainingBuffer(slo)
+        buffer.append(make_sample("vm", 0.0))
+        assert not buffer.has_both_classes()
+        buffer.append(make_sample("vm", 60.0))
+        assert buffer.has_both_classes()
+
+    def test_recent_values(self):
+        buffer = TrainingBuffer(make_slo([]))
+        for t in range(5):
+            buffer.append(make_sample("vm", float(t), cpu=float(t * 10)))
+        recent = buffer.recent_values(2)
+        assert recent.shape == (2, 13)
+        idx = ATTRIBUTES.index("cpu_usage")
+        assert recent[:, idx].tolist() == [30.0, 40.0]
+
+    def test_recent_values_empty(self):
+        buffer = TrainingBuffer(make_slo([]))
+        assert buffer.recent_values(3).shape == (0, 13)
+
+    def test_allocations(self):
+        buffer = TrainingBuffer(make_slo([]))
+        buffer.append(make_sample("vm", 0.0, cpu_alloc=1.0, mem_alloc=1024.0))
+        buffer.append(make_sample("vm", 5.0, cpu_alloc=2.0, mem_alloc=2048.0))
+        cpu, mem = buffer.allocations()
+        assert cpu.tolist() == [1.0, 2.0]
+        assert mem.tolist() == [1024.0, 2048.0]
+
+    def test_regime_mask(self):
+        buffer = TrainingBuffer(make_slo([]))
+        buffer.append(make_sample("vm", 0.0, cpu_alloc=1.0))
+        buffer.append(make_sample("vm", 5.0, cpu_alloc=2.0))
+        buffer.append(make_sample("vm", 10.0, cpu_alloc=1.0))
+        mask = buffer.regime_mask(1.0, 1024.0)
+        assert mask.tolist() == [True, False, True]
+
+    def test_regime_mask_tolerance(self):
+        buffer = TrainingBuffer(make_slo([]))
+        buffer.append(make_sample("vm", 0.0, cpu_alloc=1.01))
+        assert buffer.regime_mask(1.0, 1024.0, rel_tol=0.02)[0]
+        assert not buffer.regime_mask(1.0, 1024.0, rel_tol=0.001)[0]
+
+    def test_min_size_validated(self):
+        with pytest.raises(ValueError):
+            TrainingBuffer(make_slo([]), max_samples=1)

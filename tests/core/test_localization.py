@@ -1,0 +1,128 @@
+"""Tests for fault localization (deviation + onset ordering)."""
+
+import numpy as np
+import pytest
+
+from repro.core.localization import DeviationLocalizer, violation_epochs
+
+
+class TestViolationEpochs:
+    def test_empty(self):
+        assert violation_epochs(np.zeros(10, dtype=int)) == []
+
+    def test_single_epoch(self):
+        y = np.array([0, 0, 1, 1, 1, 0, 0])
+        assert violation_epochs(y) == [(2, 5)]
+
+    def test_multiple_epochs(self):
+        y = np.array([1, 0, 1, 1, 0, 0, 1])
+        assert violation_epochs(y) == [(0, 1), (2, 4), (6, 7)]
+
+    def test_open_epoch_at_end(self):
+        y = np.array([0, 1, 1])
+        assert violation_epochs(y) == [(1, 3)]
+
+
+def synthetic_world(n=120, epoch=(80, 100), seed=0):
+    """Three VMs; vm_b develops a gradual fault starting before the
+    violation epoch; vm_c reacts (downstream) only at the epoch."""
+    rng = np.random.default_rng(seed)
+    base = {name: rng.normal(50.0, 1.0, (n, 4)) for name in "abc"}
+    start, end = epoch
+    # Root cause: vm_b attribute 2 drifts upward from 15 samples early.
+    drift_start = start - 15
+    ramp = np.linspace(0, 40, n - drift_start)
+    base["b"][drift_start:, 2] += ramp
+    # Downstream: vm_c attribute 0 jumps hugely, but only inside epoch.
+    base["c"][start:end, 0] += 200.0
+    labels = np.zeros(n, dtype=int)
+    labels[start:end] = 1
+    return {f"vm_{k}": v for k, v in base.items()}, labels
+
+
+class TestLocalize:
+    def test_root_cause_implicated(self):
+        values, labels = synthetic_world()
+        out = DeviationLocalizer().localize(values, labels)
+        assert out["vm_b"].sum() > 0
+
+    def test_earliest_onset_beats_larger_downstream_deviation(self):
+        values, labels = synthetic_world()
+        out = DeviationLocalizer().localize(values, labels)
+        # vm_c deviates far more (z ~ 200) but only *after* vm_b.
+        assert out["vm_b"].sum() > 0
+        assert out["vm_c"].sum() == 0
+
+    def test_healthy_vm_never_implicated(self):
+        values, labels = synthetic_world()
+        out = DeviationLocalizer().localize(values, labels)
+        assert out["vm_a"].sum() == 0
+
+    def test_no_epochs_no_labels(self):
+        values, _ = synthetic_world()
+        out = DeviationLocalizer().localize(values, np.zeros(120, dtype=int))
+        assert all(v.sum() == 0 for v in out.values())
+
+    def test_row_mismatch_rejected(self):
+        values, labels = synthetic_world()
+        values["vm_a"] = values["vm_a"][:-5]
+        with pytest.raises(ValueError):
+            DeviationLocalizer().localize(values, labels)
+
+    def test_allocation_change_not_mistaken_for_fault(self):
+        """A VM scaled mid-epoch shows a huge allocation-driven metric
+        jump; with allocation info it must not be implicated."""
+        values, labels = synthetic_world()
+        n = 120
+        start, end = 80, 100
+        # vm_a gets "scaled" mid-epoch: metric 1 jumps by 1000.
+        values["vm_a"][90:, 1] += 1000.0
+        allocs = {
+            name: (np.ones(n), np.full(n, 1024.0)) for name in values
+        }
+        cpu_a = np.ones(n)
+        cpu_a[90:] = 2.0
+        allocs["vm_a"] = (cpu_a, np.full(n, 1024.0))
+        out = DeviationLocalizer().localize(
+            values, labels, per_vm_allocations=allocs
+        )
+        assert out["vm_a"].sum() == 0
+        assert out["vm_b"].sum() > 0
+
+
+class TestDeviationScore:
+    def test_zero_for_empty_epoch(self):
+        assert DeviationLocalizer.deviation_score(
+            np.empty((0, 3)), np.zeros(3), np.ones(3)
+        ) == 0.0
+
+    def test_scales_with_shift(self):
+        epoch = np.full((5, 2), 10.0)
+        small = DeviationLocalizer.deviation_score(
+            epoch, np.array([8.0, 10.0]), np.ones(2)
+        )
+        large = DeviationLocalizer.deviation_score(
+            epoch, np.array([0.0, 10.0]), np.ones(2)
+        )
+        assert large > small
+
+    def test_zero_reference_std_does_not_explode(self):
+        """The pooled scale must prevent astronomic z-scores when a
+        clipped metric reads identically zero in the reference."""
+        epoch = np.column_stack([np.array([3.0, 0.0, 4.0, 2.0])])
+        score = DeviationLocalizer.deviation_score(
+            epoch, np.zeros(1), np.zeros(1)
+        )
+        assert score < 5.0
+
+
+class TestValidation:
+    def test_constructor_bounds(self):
+        with pytest.raises(ValueError):
+            DeviationLocalizer(share_of_max=1.5)
+        with pytest.raises(ValueError):
+            DeviationLocalizer(min_score=-1.0)
+        with pytest.raises(ValueError):
+            DeviationLocalizer(reference_window=2)
+        with pytest.raises(ValueError):
+            DeviationLocalizer(reference_gap=-1)

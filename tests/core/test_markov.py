@@ -1,0 +1,164 @@
+"""Tests for the Markov attribute-value predictors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.markov import SimpleMarkovModel, TwoDependentMarkovModel
+
+
+class TestValidation:
+    def test_invalid_states_rejected(self):
+        model = SimpleMarkovModel(4)
+        with pytest.raises(ValueError):
+            model.fit([0, 1, 4])
+        with pytest.raises(ValueError):
+            model.fit([-1, 0])
+
+    def test_untrained_prediction_rejected(self):
+        with pytest.raises(RuntimeError):
+            SimpleMarkovModel(4).predict_distribution([0])
+
+    def test_invalid_steps_rejected(self):
+        model = SimpleMarkovModel(4).fit([0, 1, 2, 3])
+        with pytest.raises(ValueError):
+            model.predict_distribution([0], steps=0)
+
+    def test_history_requirements(self):
+        simple = SimpleMarkovModel(4).fit([0, 1, 2])
+        two = TwoDependentMarkovModel(4).fit([0, 1, 2])
+        assert simple.history_needed == 1
+        assert two.history_needed == 2
+        with pytest.raises(ValueError):
+            two.predict_distribution([1])
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SimpleMarkovModel(0)
+        with pytest.raises(ValueError):
+            SimpleMarkovModel(4, smoothing=0.0)
+        with pytest.raises(ValueError):
+            SimpleMarkovModel(4, persistence=-1.0)
+
+
+class TestSimpleMarkov:
+    def test_learns_deterministic_cycle(self):
+        seq = [0, 1, 2, 0, 1, 2] * 20
+        model = SimpleMarkovModel(3, smoothing=0.01, persistence=0.0)
+        model.fit(seq)
+        assert model.predict_state([0]) == 1
+        assert model.predict_state([1]) == 2
+        assert model.predict_state([2]) == 0
+
+    def test_multi_step_composition(self):
+        seq = [0, 1, 2, 0, 1, 2] * 20
+        model = SimpleMarkovModel(3, smoothing=0.01, persistence=0.0)
+        model.fit(seq)
+        assert model.predict_state([0], steps=2) == 2
+        assert model.predict_state([0], steps=3) == 0
+
+    def test_persistence_prior_for_unseen_states(self):
+        model = SimpleMarkovModel(5, persistence=3.0)
+        model.fit([0, 0, 0, 0])
+        # State 4 was never observed: prediction should stay put.
+        assert model.predict_state([4]) == 4
+
+    def test_update_accumulates(self):
+        model = SimpleMarkovModel(3, smoothing=0.01, persistence=0.0)
+        model.fit([0, 1] * 10)
+        model.update([1, 2] * 10)
+        assert model.predict_state([0]) == 1
+        dist = model.predict_distribution([1])
+        assert dist[0] > 0.2 and dist[2] > 0.2
+
+
+class TestTwoDependentMarkov:
+    def test_combined_state_count(self):
+        model = TwoDependentMarkovModel(3)
+        assert model._n_condition_states() == 9
+        assert model.encode(2, 1) == 7
+
+    def test_direction_sensitivity(self):
+        """The paper's sinusoid example: the pair (prev, cur) encodes
+        whether the value is on a rising or falling slope."""
+        up_down = [0, 1, 2, 3, 2, 1] * 30  # triangle wave
+        model = TwoDependentMarkovModel(4, smoothing=0.01, persistence=0.0)
+        model.fit(up_down)
+        # Rising through 1 -> 2: next is 3.
+        assert model.predict_state([1, 2]) == 3
+        # Falling through 3 -> 2: next is 1.
+        assert model.predict_state([3, 2]) == 1
+
+    def test_simple_markov_cannot_disambiguate_slope(self):
+        up_down = [0, 1, 2, 3, 2, 1] * 30
+        model = SimpleMarkovModel(4, smoothing=0.01, persistence=0.0)
+        model.fit(up_down)
+        dist = model.predict_distribution([2])
+        # From state 2 the first-order chain is genuinely ambiguous.
+        assert 0.3 < dist[1] < 0.7
+        assert 0.3 < dist[3] < 0.7
+
+    def test_trend_extrapolation_over_steps(self):
+        ramp = list(range(8)) + [7, 7]
+        model = TwoDependentMarkovModel(8, smoothing=0.01, persistence=0.5)
+        for _ in range(20):
+            model.update(ramp)
+        # Conditioned on a rising pair near the bottom, a multi-step
+        # prediction should land well above the current state.
+        assert model.predict_state([1, 2], steps=4) >= 5
+
+    def test_persistence_for_unseen_pairs(self):
+        model = TwoDependentMarkovModel(6, persistence=3.0)
+        model.fit([0, 1, 0, 1])
+        assert model.predict_state([5, 4]) == 4
+
+
+class TestDistributionProperties:
+    state_seqs = st.lists(st.integers(min_value=0, max_value=4),
+                          min_size=3, max_size=60)
+
+    @settings(max_examples=30)
+    @given(state_seqs, st.integers(min_value=1, max_value=8))
+    def test_simple_distribution_is_stochastic(self, seq, steps):
+        model = SimpleMarkovModel(5).fit(seq)
+        dist = model.predict_distribution([seq[-1]], steps=steps)
+        assert dist.shape == (5,)
+        assert dist.min() >= 0.0
+        assert dist.sum() == pytest.approx(1.0)
+
+    @settings(max_examples=30)
+    @given(state_seqs, st.integers(min_value=1, max_value=8))
+    def test_two_dep_distribution_is_stochastic(self, seq, steps):
+        model = TwoDependentMarkovModel(5).fit(seq)
+        dist = model.predict_distribution(seq[-2:], steps=steps)
+        assert dist.shape == (5,)
+        assert dist.min() >= -1e-12
+        assert dist.sum() == pytest.approx(1.0)
+
+    @settings(max_examples=30)
+    @given(state_seqs)
+    def test_transition_matrix_rows_sum_to_one(self, seq):
+        for model in (SimpleMarkovModel(5).fit(seq),
+                      TwoDependentMarkovModel(5).fit(seq)):
+            matrix = model.transition_matrix()
+            np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+            assert (matrix >= 0.0).all()
+
+    @settings(max_examples=20)
+    @given(state_seqs)
+    def test_predict_state_in_range(self, seq):
+        model = TwoDependentMarkovModel(5).fit(seq)
+        state = model.predict_state(seq[-2:], steps=6)
+        assert 0 <= state <= 4
+
+    def test_two_dep_one_step_matches_row(self):
+        """One-step prediction must equal the conditioning row of the
+        transition matrix exactly."""
+        rng = np.random.default_rng(0)
+        seq = rng.integers(0, 4, 200)
+        model = TwoDependentMarkovModel(4).fit(seq)
+        matrix = model.transition_matrix()
+        row = model.encode(seq[-2], seq[-1])
+        np.testing.assert_allclose(
+            model.predict_distribution(seq[-2:], steps=1), matrix[row]
+        )

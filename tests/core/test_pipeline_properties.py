@@ -1,0 +1,87 @@
+"""Property-based tests over the whole prediction pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.predictor import AnomalyPredictor
+
+ATTRS = ("a", "b", "c")
+
+
+def synthetic_trace(seed, n, anomaly_at, anomaly_len, scale):
+    """A trace where attribute 0 shifts during the anomaly window."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(50.0, 3.0, (n, len(ATTRS)))
+    y = np.zeros(n, dtype=int)
+    end = min(n, anomaly_at + anomaly_len)
+    X[anomaly_at:end, 0] += scale
+    y[anomaly_at:end] = 1
+    return X, y
+
+
+trace_params = st.tuples(
+    st.integers(0, 10_000),          # seed
+    st.integers(80, 200),            # n
+    st.integers(20, 60),             # anomaly_at
+    st.integers(10, 30),             # anomaly_len
+    st.floats(20.0, 80.0),           # shift scale
+)
+
+
+class TestPipelineProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(trace_params, st.integers(1, 8),
+           st.sampled_from(["2dep", "simple"]),
+           st.sampled_from(["tan", "naive"]))
+    def test_predictions_always_well_formed(self, params, steps, markov,
+                                            classifier):
+        seed, n, at, length, scale = params
+        X, y = synthetic_trace(seed, n, at, length, scale)
+        predictor = AnomalyPredictor(ATTRS, markov=markov,
+                                     classifier=classifier)
+        predictor.train(X, y)
+        for i in range(2, min(n, 20)):
+            result = predictor.predict(X[i - 1:i + 1], steps=steps)
+            assert np.isfinite(result.score)
+            assert 0.0 <= result.probability <= 1.0
+            assert len(result.bins) == len(ATTRS)
+            assert all(0 <= b < predictor.n_bins for b in result.bins)
+            assert result.abnormal == (result.score > 0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(trace_params)
+    def test_anomalous_state_scores_above_normal_state(self, params):
+        seed, n, at, length, scale = params
+        X, y = synthetic_trace(seed, n, at, length, scale)
+        predictor = AnomalyPredictor(ATTRS)
+        predictor.train(X, y)
+        mid_anomaly = X[y == 1][length // 2]
+        calm = X[:at][5]
+        abnormal_score = predictor.classify_current(mid_anomaly).score
+        normal_score = predictor.classify_current(calm).score
+        assert abnormal_score > normal_score
+
+    @settings(max_examples=15, deadline=None)
+    @given(trace_params)
+    def test_signal_attribute_leads_attribution(self, params):
+        seed, n, at, length, scale = params
+        X, y = synthetic_trace(seed, n, at, length, scale)
+        predictor = AnomalyPredictor(ATTRS)
+        predictor.train(X, y)
+        mid_anomaly = X[y == 1][length // 2]
+        ranked = predictor.classify_current(mid_anomaly).ranked_attributes()
+        assert ranked[0][0] == "a"
+
+    @settings(max_examples=15, deadline=None)
+    @given(trace_params, st.integers(1, 6))
+    def test_retraining_is_idempotent(self, params, steps):
+        seed, n, at, length, scale = params
+        X, y = synthetic_trace(seed, n, at, length, scale)
+        predictor = AnomalyPredictor(ATTRS)
+        predictor.train(X, y)
+        first = predictor.predict(X[10:12], steps=steps)
+        predictor.train(X, y)
+        second = predictor.predict(X[10:12], steps=steps)
+        assert first.score == pytest.approx(second.score)
+        assert first.bins == second.bins

@@ -1,0 +1,86 @@
+"""Tests for the unsupervised outlier detector (Sec. V extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.unsupervised import OutlierDetector
+
+
+def normal_window(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal([50.0, 300.0, 10.0], [2.0, 10.0, 1.0], (n, 3))
+
+
+class TestFit:
+    def test_requires_window(self):
+        with pytest.raises(ValueError):
+            OutlierDetector().fit(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            OutlierDetector().fit(np.zeros(10))
+
+    def test_untrained_rejected(self):
+        with pytest.raises(RuntimeError):
+            OutlierDetector().classify([1.0, 2.0, 3.0])
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            OutlierDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            OutlierDetector(min_attributes=0)
+
+
+class TestDetection:
+    def test_normal_samples_pass(self):
+        window = normal_window()
+        detector = OutlierDetector().fit(window)
+        flags = [detector.classify(row) for row in window]
+        assert sum(flags) <= 2  # a few tail samples at most
+
+    def test_outlier_flagged(self):
+        detector = OutlierDetector().fit(normal_window())
+        assert detector.classify([50.0, 500.0, 10.0])
+        assert detector.classify([90.0, 300.0, 10.0])
+
+    def test_robust_to_contamination(self):
+        """A few abnormal rows inside the training window must not
+        inflate the profile enough to hide a clear outlier."""
+        window = normal_window()
+        window[:5] = [200.0, 900.0, 50.0]
+        detector = OutlierDetector().fit(window)
+        assert detector.classify([200.0, 900.0, 50.0])
+
+    def test_min_attributes_suppresses_single_spikes(self):
+        window = normal_window()
+        strict = OutlierDetector(min_attributes=2).fit(window)
+        loose = OutlierDetector(min_attributes=1).fit(window)
+        single_spike = [50.0, 600.0, 10.0]
+        assert loose.classify(single_spike)
+        assert not strict.classify(single_spike)
+        double_spike = [90.0, 600.0, 10.0]
+        assert strict.classify(double_spike)
+
+    def test_constant_attribute_no_crash(self):
+        window = normal_window()
+        window[:, 2] = 7.0
+        detector = OutlierDetector().fit(window)
+        assert not detector.classify([50.0, 300.0, 7.0])
+        assert detector.classify([50.0, 300.0, 70.0])
+
+
+class TestAttribution:
+    def test_rank_by_distance(self):
+        detector = OutlierDetector().fit(normal_window())
+        ranked = detector.rank_attributes(
+            [50.0, 600.0, 10.0], names=["cpu", "mem", "net"]
+        )
+        assert ranked[0][0] == "mem"
+
+    def test_rank_validates_names(self):
+        detector = OutlierDetector().fit(normal_window())
+        with pytest.raises(ValueError):
+            detector.rank_attributes([1.0, 2.0, 3.0], names=["a"])
+
+    def test_dimension_checked(self):
+        detector = OutlierDetector().fit(normal_window())
+        with pytest.raises(ValueError):
+            detector.distances([1.0, 2.0])

@@ -1,0 +1,81 @@
+"""Tests for the trace-driven accuracy evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.accuracy import (
+    AccuracyResult,
+    TraceDataset,
+    _score,
+    accuracy_vs_lookahead,
+    collect_trace,
+    prediction_accuracy,
+)
+from repro.experiments.scenarios import RUBIS, SYSTEM_S
+from repro.faults import FaultKind
+
+
+@pytest.fixture(scope="module")
+def leak_dataset():
+    return collect_trace(RUBIS, FaultKind.MEMORY_LEAK, seed=4, duration=1500.0)
+
+
+class TestScore:
+    def test_eq3_definitions(self):
+        result = _score(
+            predicted=[True, True, False, False],
+            truth=[1, 0, 1, 0],
+            lookahead=10.0,
+        )
+        assert result.n_tp == 1 and result.n_fp == 1
+        assert result.n_fn == 1 and result.n_tn == 1
+        assert result.true_positive_rate == pytest.approx(0.5)
+        assert result.false_alarm_rate == pytest.approx(0.5)
+
+    def test_degenerate_cases(self):
+        all_normal = _score([False, False], [0, 0], 5.0)
+        assert all_normal.true_positive_rate == 0.0
+        assert all_normal.false_alarm_rate == 0.0
+
+
+class TestCollectTrace:
+    def test_structure(self, leak_dataset):
+        ds = leak_dataset
+        n = ds.labels.size
+        assert ds.timestamps.shape == (n,)
+        for matrix in ds.per_vm_values.values():
+            assert matrix.shape == (n, 13)
+        assert 0 < ds.labels.sum() < n
+
+    def test_train_test_split_between_injections(self, leak_dataset):
+        ds = leak_dataset
+        assert ds.train_mask.sum() + ds.test_mask.sum() == ds.labels.size
+        # Both regions must contain violated samples (one per injection).
+        assert ds.labels[ds.train_mask].sum() > 0
+        assert ds.labels[ds.test_mask].sum() > 0
+
+
+class TestPredictionAccuracy:
+    def test_per_vm_detects_second_injection(self, leak_dataset):
+        result = prediction_accuracy(leak_dataset, 10.0)
+        assert result.true_positive_rate > 0.5
+        assert result.false_alarm_rate < 0.3
+
+    def test_rates_are_rates(self, leak_dataset):
+        for model in ("per-vm", "monolithic"):
+            r = prediction_accuracy(leak_dataset, 15.0, model=model)
+            assert 0.0 <= r.true_positive_rate <= 1.0
+            assert 0.0 <= r.false_alarm_rate <= 1.0
+
+    def test_unknown_model_rejected(self, leak_dataset):
+        with pytest.raises(ValueError):
+            prediction_accuracy(leak_dataset, 10.0, model="ensemble")
+
+    def test_filtering_reduces_false_alarms(self, leak_dataset):
+        raw = prediction_accuracy(leak_dataset, 20.0, filter_k=1)
+        filtered = prediction_accuracy(leak_dataset, 20.0, filter_k=3)
+        assert filtered.false_alarm_rate <= raw.false_alarm_rate + 1e-9
+
+    def test_sweep_covers_lookaheads(self, leak_dataset):
+        results = accuracy_vs_lookahead(leak_dataset, lookaheads=(5, 25, 45))
+        assert [r.lookahead for r in results] == [5, 25, 45]

@@ -1,0 +1,80 @@
+"""Tests for the statistical comparison helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.analysis import (
+    bootstrap_mean_ci,
+    compare_schemes,
+    paired_permutation_pvalue,
+)
+from repro.experiments.scenarios import SYSTEM_S
+from repro.faults import FaultKind
+
+
+class TestBootstrap:
+    def test_ci_contains_sample_mean(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(10.0, 2.0, 30)
+        low, high = bootstrap_mean_ci(values)
+        assert low <= values.mean() <= high
+
+    def test_ci_narrows_with_samples(self):
+        rng = np.random.default_rng(1)
+        small = rng.normal(10.0, 2.0, 5)
+        large = rng.normal(10.0, 2.0, 200)
+        s_low, s_high = bootstrap_mean_ci(small)
+        l_low, l_high = bootstrap_mean_ci(large)
+        assert (l_high - l_low) < (s_high - s_low)
+
+    def test_singleton_degenerate(self):
+        assert bootstrap_mean_ci([4.2]) == (4.2, 4.2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+
+    @settings(max_examples=25)
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=40))
+    def test_ci_ordered(self, values):
+        low, high = bootstrap_mean_ci(values)
+        assert low <= high
+
+
+class TestPermutation:
+    def test_clear_effect_small_pvalue(self):
+        diffs = [5.0, 6.0, 4.5, 5.5, 6.2, 4.8, 5.1]
+        assert paired_permutation_pvalue(diffs) < 0.02
+
+    def test_no_effect_large_pvalue(self):
+        rng = np.random.default_rng(2)
+        diffs = rng.normal(0.0, 1.0, 12)
+        assert paired_permutation_pvalue(diffs) > 0.05
+
+    def test_exact_enumeration_symmetric_case(self):
+        # Single pair: p = P(sign-flip mean >= observed) = 1/2 when the
+        # difference is positive (identity or flip).
+        assert paired_permutation_pvalue([3.0]) == pytest.approx(0.5)
+
+    def test_monte_carlo_branch(self):
+        rng = np.random.default_rng(3)
+        diffs = np.abs(rng.normal(3.0, 0.5, 25))
+        assert paired_permutation_pvalue(diffs) < 0.01
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            paired_permutation_pvalue([])
+
+
+@pytest.mark.slow
+class TestCompareSchemes:
+    def test_prepare_vs_none_significant(self):
+        comparison = compare_schemes(
+            SYSTEM_S, FaultKind.MEMORY_LEAK,
+            scheme_a="prepare", scheme_b="none",
+            seeds=(11, 112, 213),
+        )
+        assert comparison.a_wins
+        assert comparison.p_value <= 0.25  # exact test floor for n=3
+        assert len(comparison.a_values) == 3

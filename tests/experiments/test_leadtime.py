@@ -1,0 +1,57 @@
+"""Tests for the lead-time analysis."""
+
+import pytest
+
+from repro.experiments.leadtime import (
+    LeadTimeResult,
+    lead_time_summary,
+    measure_lead_times,
+)
+from repro.experiments.scenarios import SYSTEM_S
+from repro.faults import FaultKind
+
+FAST = dict(
+    duration=700.0,
+    first_injection_at=200.0,
+    injection_duration=150.0,
+    injection_gap=150.0,
+)
+
+
+class TestLeadTimeResult:
+    def test_lead_computation(self):
+        result = LeadTimeResult(
+            app="a", fault="f", injection_index=0,
+            violation_onset=100.0, first_action_at=80.0, proactive=True,
+        )
+        assert result.lead_seconds == pytest.approx(20.0)
+
+    def test_no_action_no_lead(self):
+        result = LeadTimeResult(
+            app="a", fault="f", injection_index=0,
+            violation_onset=100.0, first_action_at=None, proactive=None,
+        )
+        assert result.lead_seconds is None
+
+
+class TestMeasure:
+    @pytest.mark.slow
+    def test_one_result_per_violating_injection(self):
+        results = measure_lead_times(
+            SYSTEM_S, FaultKind.CPU_HOG, seed=5, config_kwargs=FAST
+        )
+        assert len(results) == 2
+        assert [r.injection_index for r in results] == [0, 1]
+        for r in results:
+            assert r.first_action_at is not None
+            # The onset comes from the twin run: it must lie inside an
+            # injection window.
+            assert 200.0 <= r.violation_onset <= 700.0
+
+    @pytest.mark.slow
+    def test_hog_cannot_be_preempted(self):
+        results = measure_lead_times(
+            SYSTEM_S, FaultKind.CPU_HOG, seed=5, config_kwargs=FAST
+        )
+        for r in results:
+            assert r.lead_seconds <= 10.0

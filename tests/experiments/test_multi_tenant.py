@@ -1,0 +1,40 @@
+"""Tests for the multi-tenant scenario."""
+
+import pytest
+
+from repro.experiments.multi_tenant import run_multi_tenant
+from repro.faults import FaultKind
+
+
+@pytest.mark.slow
+class TestMultiTenant:
+    @pytest.fixture(scope="class")
+    def managed(self):
+        return run_multi_tenant(managed=True)
+
+    @pytest.fixture(scope="class")
+    def unmanaged(self):
+        return run_multi_tenant(managed=False)
+
+    def test_faulty_tenant_protected(self, managed, unmanaged):
+        assert (
+            managed["rubis"].violation_time
+            < 0.5 * unmanaged["rubis"].violation_time
+        )
+
+    def test_innocent_tenant_untouched(self, managed):
+        innocent = managed["system-s"]
+        assert innocent.violation_time == 0.0
+        assert innocent.actions_on_own_vms == 0
+
+    def test_no_cross_tenant_actions(self, managed):
+        for outcome in managed.values():
+            assert outcome.actions_on_foreign_vms == 0
+
+    def test_unknown_tenant_rejected(self):
+        with pytest.raises(ValueError):
+            run_multi_tenant(faulty_tenant="hadoop")
+
+    def test_unsupported_fault_rejected(self):
+        with pytest.raises(ValueError):
+            run_multi_tenant(fault=FaultKind.BOTTLENECK)

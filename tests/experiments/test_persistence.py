@@ -1,0 +1,99 @@
+"""Tests for experiment-artifact persistence."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.accuracy import (
+    accuracy_vs_lookahead,
+    collect_trace,
+    prediction_accuracy,
+)
+from repro.experiments.persistence import (
+    load_result_summary,
+    load_trace_dataset,
+    save_result,
+    save_trace_dataset,
+)
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.scenarios import RUBIS
+from repro.faults import FaultKind
+
+FAST = dict(
+    duration=700.0,
+    first_injection_at=200.0,
+    injection_duration=150.0,
+    injection_gap=150.0,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(ExperimentConfig(
+        app=RUBIS, fault=FaultKind.CPU_HOG, scheme="prepare", seed=5, **FAST
+    ))
+
+
+class TestResultRoundtrip:
+    def test_summary_fields_survive(self, result, tmp_path):
+        json_path = save_result(result, tmp_path / "run")
+        loaded = load_result_summary(json_path)
+        assert loaded["violation_time"] == result.violation_time
+        assert loaded["per_injection_violation"] == list(
+            result.per_injection_violation
+        )
+        assert loaded["config"]["app"] == "rubis"
+        assert loaded["config"]["fault"] == "cpu_hog"
+        assert len(loaded["actions"]) == len(result.actions)
+
+    def test_actions_serialized_faithfully(self, result, tmp_path):
+        loaded = load_result_summary(save_result(result, tmp_path / "run"))
+        for raw, action in zip(loaded["actions"], result.actions):
+            assert raw["vm"] == action.vm
+            assert raw["verb"] == action.verb
+            assert raw["metric"] == action.metric
+            assert raw["proactive"] == action.proactive
+
+    def test_sample_matrices_survive(self, result, tmp_path):
+        loaded = load_result_summary(save_result(result, tmp_path / "run"))
+        for vm, samples in result.samples.items():
+            matrix = loaded["samples"][vm]
+            np.testing.assert_allclose(
+                matrix, np.stack([s.vector() for s in samples])
+            )
+        assert loaded["sample_labels"] == list(result.sample_labels)
+
+    def test_summary_loads_without_npz(self, result, tmp_path):
+        json_path = save_result(result, tmp_path / "run")
+        json_path.with_suffix(".npz").unlink()
+        loaded = load_result_summary(json_path)
+        assert "samples" not in loaded
+        assert loaded["violation_time"] == result.violation_time
+
+
+class TestTraceDatasetRoundtrip:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return collect_trace(RUBIS, FaultKind.CPU_HOG, seed=5)
+
+    def test_arrays_survive(self, dataset, tmp_path):
+        path = save_trace_dataset(dataset, tmp_path / "trace")
+        loaded = load_trace_dataset(path)
+        assert loaded.app == dataset.app
+        assert loaded.fault == dataset.fault
+        assert loaded.train_end == dataset.train_end
+        assert loaded.attributes == dataset.attributes
+        np.testing.assert_array_equal(loaded.labels, dataset.labels)
+        for vm in dataset.per_vm_values:
+            np.testing.assert_allclose(
+                loaded.per_vm_values[vm], dataset.per_vm_values[vm]
+            )
+
+    def test_loaded_dataset_is_usable(self, dataset, tmp_path):
+        """The reloaded dataset must feed the accuracy evaluation and
+        give identical numbers."""
+        path = save_trace_dataset(dataset, tmp_path / "trace")
+        loaded = load_trace_dataset(path)
+        original = prediction_accuracy(dataset, 15.0)
+        reloaded = prediction_accuracy(loaded, 15.0)
+        assert original.true_positive_rate == reloaded.true_positive_rate
+        assert original.false_alarm_rate == reloaded.false_alarm_rate

@@ -1,0 +1,34 @@
+"""Tests for the one-shot reproduction report."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import reproduce_all
+
+
+@pytest.mark.slow
+class TestReproduceAll:
+    @pytest.fixture(scope="class")
+    def report_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("report")
+        reproduce_all(out, repeats=1, quick=True)
+        return out
+
+    def test_report_written(self, report_dir):
+        report = (report_dir / "report.md").read_text()
+        assert "# PREPARE reproduction report" in report
+        assert "Fig. 6" in report
+        assert "Table I" in report
+        assert "Alert lead time" in report
+
+    def test_data_json_parses(self, report_dir):
+        data = json.loads((report_dir / "data.json").read_text())
+        assert "fig6" in data and "table1" in data and "lead_time" in data
+        cell = data["fig6"]["system-s"]["memory_leak"]
+        assert cell["prepare"]["mean"] <= cell["none"]["mean"]
+
+    def test_quick_skips_slow_sections(self, report_dir):
+        report = (report_dir / "report.md").read_text()
+        assert "Fig. 8" not in report
+        assert "Fig. 11" not in report

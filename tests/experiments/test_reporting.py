@@ -1,0 +1,81 @@
+"""Tests for the text rendering of figure data."""
+
+from repro.experiments.reporting import (
+    render_accuracy_series,
+    render_overhead_table,
+    render_trace_panel,
+    render_violation_table,
+)
+
+
+class TestViolationTable:
+    def test_renders_all_cells(self):
+        data = {
+            "rubis": {
+                "memory_leak": {
+                    "none": {"mean": 600.0, "std": 5.0,
+                             "second_injection_mean": 300.0},
+                    "reactive": {"mean": 150.0, "std": 10.0,
+                                 "second_injection_mean": 80.0},
+                    "prepare": {"mean": 70.0, "std": 8.0,
+                                "second_injection_mean": 0.0},
+                }
+            }
+        }
+        text = render_violation_table(data, "Fig. 6")
+        assert "Fig. 6" in text
+        assert "rubis" in text and "memory_leak" in text
+        assert "600.0" in text and "70.0" in text
+
+
+class TestAccuracySeries:
+    def test_renders_both_rates(self):
+        data = {
+            "2dep": {"lookahead": [5, 10], "A_T": [95.0, 90.0],
+                     "A_F": [2.0, 4.0]},
+            "simple": {"lookahead": [5, 10], "A_T": [90.0, 80.0],
+                       "A_F": [3.0, 5.0]},
+        }
+        text = render_accuracy_series(data, "Fig. 11")
+        assert text.count("A_T") == 2 and text.count("A_F") == 2
+        assert "95.0" in text and "80.0" in text
+
+
+class TestTracePanel:
+    def test_downsamples(self):
+        panel = {
+            "prepare": {
+                "times": list(range(100)),
+                "values": [float(v) for v in range(100)],
+                "metric": "response (ms)",
+            }
+        }
+        text = render_trace_panel(panel, "panel", max_points=10)
+        assert "prepare" in text and "response (ms)" in text
+        assert len(text.splitlines()) <= 6  # includes the sparkline row
+
+    def test_sparkline_row_present(self):
+        from repro.experiments.reporting import sparkline
+
+        panel = {
+            "none": {
+                "times": list(range(20)),
+                "values": [0.0] * 10 + [10.0] * 10,
+                "metric": "x",
+            }
+        }
+        text = render_trace_panel(panel, "panel")
+        assert "shape:" in text
+        line = sparkline([0.0] * 10 + [10.0] * 10)
+        assert line[:3] == "▁▁▁" and line[-3:] == "███"
+
+
+class TestOverheadTable:
+    def test_ms_and_seconds_formatting(self):
+        rows = {
+            "fast": {"mean_ms": 1.5, "std_ms": 0.1},
+            "slow": {"mean_ms": 8500.0, "std_ms": 100.0},
+        }
+        text = render_overhead_table(rows)
+        assert "1.50±0.10 ms" in text
+        assert "8.50±0.10 s" in text

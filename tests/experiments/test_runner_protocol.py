@@ -1,0 +1,60 @@
+"""Protocol-edge tests for the experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.scenarios import RUBIS
+from repro.faults import FaultKind
+
+
+class TestSingleInjection:
+    def test_one_injection_one_window(self):
+        result = run_experiment(ExperimentConfig(
+            app=RUBIS, fault=FaultKind.CPU_HOG, scheme="none", seed=9,
+            duration=600.0, first_injection_at=200.0,
+            injection_duration=150.0, injection_count=1,
+        ))
+        assert result.injections == [(200.0, 350.0)]
+        assert len(result.per_injection_violation) == 1
+        assert result.per_injection_violation[0] > 100.0
+
+
+class TestResetKnobs:
+    def test_resets_disabled_first_fix_covers_second_injection(self):
+        result = run_experiment(ExperimentConfig(
+            app=RUBIS, fault=FaultKind.CPU_HOG, scheme="prepare", seed=9,
+            duration=700.0, first_injection_at=200.0,
+            injection_duration=120.0, injection_gap=150.0,
+            pre_injection_reset=0.0,
+            reset_settle=10_000.0,  # post-injection reset never fires
+        ))
+        # Without any elastic scale-back, the allocation left by the
+        # first fix still covers the second injection: it cannot
+        # violate at all.
+        assert result.per_injection_violation[1] == 0.0
+
+    def test_pre_injection_reset_restores_baseline(self):
+        result = run_experiment(ExperimentConfig(
+            app=RUBIS, fault=FaultKind.CPU_HOG, scheme="reactive", seed=9,
+            duration=700.0, first_injection_at=200.0,
+            injection_duration=120.0, injection_gap=150.0,
+        ))
+        # With the reset, the second injection hurts again and is fixed
+        # again (two separate episodes).
+        assert result.per_injection_violation[1] > 0.0
+        second_actions = [a for a in result.actions if a.timestamp > 400.0]
+        assert second_actions
+
+
+class TestSamplingInterval:
+    def test_sampling_interval_propagates(self):
+        result = run_experiment(ExperimentConfig(
+            app=RUBIS, fault=FaultKind.CPU_HOG, scheme="none", seed=9,
+            duration=600.0, first_injection_at=200.0,
+            injection_duration=100.0, injection_count=1,
+            sampling_interval=10.0,
+        ))
+        any_samples = next(iter(result.samples.values()))
+        stamps = [s.timestamp for s in any_samples]
+        assert stamps[1] - stamps[0] == pytest.approx(10.0)
+        assert len(result.sample_labels) == len(stamps)

@@ -1,0 +1,52 @@
+"""Tests for management-scheme deployment."""
+
+import pytest
+
+from repro.core.controller import PrepareConfig
+from repro.experiments.scenarios import RUBIS, build_testbed
+from repro.experiments.schemes import SCHEME_NAMES, deploy_scheme
+
+
+class TestDeploy:
+    def test_scheme_names(self):
+        assert SCHEME_NAMES == ("prepare", "reactive", "none")
+
+    def test_unknown_scheme_rejected(self):
+        testbed = build_testbed(RUBIS, seed=1)
+        with pytest.raises(ValueError):
+            deploy_scheme(testbed, "chaos-monkey")
+
+    def test_prepare_gets_full_controller(self):
+        testbed = build_testbed(RUBIS, seed=1)
+        managed = deploy_scheme(testbed, "prepare")
+        assert managed.controller is not None
+        assert managed.controller.config.prediction_enabled
+        assert managed.actuator.mode == "scaling"
+
+    def test_reactive_shares_everything_but_prediction(self):
+        """The paper: reactive 'leverages the same anomaly cause
+        inference and prevention actuation modules as PREPARE'."""
+        testbed = build_testbed(RUBIS, seed=1)
+        managed = deploy_scheme(testbed, "reactive")
+        assert not managed.controller.config.prediction_enabled
+        assert managed.controller.config.prevention_enabled
+        assert type(managed.actuator).__name__ == "PreventionActuator"
+
+    def test_custom_config_propagates(self):
+        testbed = build_testbed(RUBIS, seed=1)
+        config = PrepareConfig(lookahead_seconds=45.0, filter_k=2)
+        managed = deploy_scheme(testbed, "prepare", config=config)
+        assert managed.controller.config.lookahead_seconds == 45.0
+        assert managed.controller.filters["vm_db"].k == 2
+
+    def test_reactive_overrides_prediction_flag_in_custom_config(self):
+        testbed = build_testbed(RUBIS, seed=1)
+        config = PrepareConfig(prediction_enabled=True)
+        managed = deploy_scheme(testbed, "reactive", config=config)
+        assert not managed.controller.config.prediction_enabled
+
+    def test_action_mode_selects_actuator_mode(self):
+        for mode in ("scaling", "migration", "auto"):
+            testbed = build_testbed(RUBIS, seed=1)
+            managed = deploy_scheme(testbed, "prepare", action_mode=mode)
+            assert managed.actuator.mode == mode

@@ -1,0 +1,37 @@
+"""Tests for the online parameter sweeps."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    filter_sweep,
+    lookahead_sweep,
+    scale_factor_sweep,
+)
+from repro.experiments.scenarios import SYSTEM_S
+from repro.faults import FaultKind
+
+
+@pytest.mark.slow
+class TestSweeps:
+    def test_lookahead_sweep_structure(self):
+        out = lookahead_sweep(
+            SYSTEM_S, FaultKind.MEMORY_LEAK, lookaheads=(10.0, 30.0)
+        )
+        assert set(out) == {10.0, 30.0}
+        for cell in out.values():
+            assert cell["violation_time"] >= 0.0
+            assert cell["proactive_actions"] <= cell["actions"]
+
+    def test_filter_sweep_action_volume_monotone(self):
+        """Raising k can only reduce (or keep) the number of confirmed
+        alert events — action volume must not grow with k."""
+        out = filter_sweep(SYSTEM_S, FaultKind.BOTTLENECK)
+        actions = [out[f"k={k},W=4"]["actions"] for k in (1, 2, 3)]
+        assert actions[0] >= actions[1] >= actions[2]
+
+    def test_scale_factor_underprovisioning_costs(self):
+        out = scale_factor_sweep(
+            SYSTEM_S, FaultKind.CPU_HOG, factors=(1.5, 2.0)
+        )
+        # A 1.5x grow against a full-core hog under-provisions.
+        assert out[1.5]["violation_time"] >= out[2.0]["violation_time"]

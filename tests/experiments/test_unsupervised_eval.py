@@ -1,0 +1,26 @@
+"""Tests for the first-occurrence (unsupervised) evaluation."""
+
+import pytest
+
+from repro.experiments.unsupervised_eval import evaluate_first_occurrence
+from repro.faults import FaultKind
+
+
+@pytest.mark.slow
+class TestFirstOccurrence:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return evaluate_first_occurrence(seed=21)
+
+    def test_supervised_cannot_predict_unseen(self, results):
+        supervised = results["supervised"]
+        assert supervised.detection_rate == 0.0
+        assert supervised.first_detection is None
+
+    def test_unsupervised_detects(self, results):
+        unsupervised = results["unsupervised"]
+        assert unsupervised.detection_rate > 0.3
+        assert unsupervised.first_detection is not None
+
+    def test_unsupervised_false_rate_bounded(self, results):
+        assert results["unsupervised"].false_rate < 0.15

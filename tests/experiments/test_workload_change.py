@@ -1,0 +1,27 @@
+"""Tests for the workload-change discrimination experiment."""
+
+import pytest
+
+from repro.experiments.workload_change import run_discrimination
+
+
+@pytest.mark.slow
+class TestDiscrimination:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_discrimination(seed=5)
+
+    def test_internal_fault_pins_the_faulty_vm(self, results):
+        assert results["internal_fault"].acted_vms == ("vm_db",)
+
+    def test_internal_fault_not_flagged_as_workload_change(self, results):
+        assert results["internal_fault"].workload_change_rate == 0.0
+
+    def test_surge_spreads_actions(self, results):
+        surge = results["workload_change"]
+        assert len(surge.acted_vms) >= 2
+        assert "vm_db" in surge.acted_vms
+
+    def test_both_scenarios_kept_violation_bounded(self, results):
+        for r in results.values():
+            assert r.violation_time < 120.0, r.scenario

@@ -1,0 +1,193 @@
+"""Tests for the three fault classes and the injector."""
+
+import pytest
+
+from repro.apps.workload import ConstantWorkload
+from repro.faults import (
+    BottleneckFault,
+    CpuHogFault,
+    FaultKind,
+    FaultInjector,
+    FaultStateError,
+    MemoryLeakFault,
+)
+from repro.sim.engine import Simulator
+from repro.sim.resources import ResourceSpec
+from repro.sim.vm import VirtualMachine
+
+
+def make_vm():
+    return VirtualMachine("vm", ResourceSpec(1.0, 1024.0))
+
+
+class TestMemoryLeak:
+    def test_leak_grows_linearly(self):
+        sim = Simulator()
+        vm = make_vm()
+        fault = MemoryLeakFault(vm, rate_mb_per_s=5.0)
+        fault.activate(sim)
+        sim.run_until(20.0)
+        assert fault.leaked_mb == pytest.approx(5.0 * 21)  # fires at t=0..20
+        assert vm.total_mem_demand_mb() == pytest.approx(fault.leaked_mb)
+
+    def test_deactivation_frees_memory(self):
+        sim = Simulator()
+        vm = make_vm()
+        fault = MemoryLeakFault(vm, rate_mb_per_s=5.0)
+        fault.activate(sim)
+        sim.run_until(10.0)
+        fault.deactivate(sim)
+        assert vm.total_mem_demand_mb() == 0.0
+        assert vm.total_cpu_demand() == 0.0
+        sim.run_until(20.0)
+        assert vm.total_mem_demand_mb() == 0.0  # task stopped
+
+    def test_reinjection_starts_fresh(self):
+        sim = Simulator()
+        vm = make_vm()
+        fault = MemoryLeakFault(vm, rate_mb_per_s=5.0)
+        fault.activate(sim)
+        sim.run_until(10.0)
+        fault.deactivate(sim)
+        sim.run_until(20.0)
+        fault.activate(sim)
+        sim.run_until(22.0)
+        assert fault.leaked_mb <= 5.0 * 3
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryLeakFault(make_vm(), rate_mb_per_s=0.0)
+
+    def test_kind_and_target(self):
+        fault = MemoryLeakFault(make_vm())
+        assert fault.kind is FaultKind.MEMORY_LEAK
+        assert fault.target == "vm"
+
+
+class TestCpuHog:
+    def test_demand_appears_and_disappears(self):
+        sim = Simulator()
+        vm = make_vm()
+        fault = CpuHogFault(vm, cores=1.0)
+        fault.activate(sim)
+        assert vm.total_cpu_demand() == pytest.approx(1.0)
+        fault.deactivate(sim)
+        assert vm.total_cpu_demand() == 0.0
+
+    def test_sudden_manifestation(self):
+        """The hog is a step function — no gradual precursor."""
+        sim = Simulator()
+        vm = make_vm()
+        vm.set_cpu_demand("app", 0.75)
+        before = vm.potential_cpu("app")
+        CpuHogFault(vm, cores=1.0).activate(sim)
+        after = vm.potential_cpu("app")
+        assert before == pytest.approx(1.0)
+        assert after == pytest.approx(0.5)
+
+    def test_double_activation_rejected(self):
+        sim = Simulator()
+        fault = CpuHogFault(make_vm())
+        fault.activate(sim)
+        with pytest.raises(FaultStateError):
+            fault.activate(sim)
+
+    def test_deactivate_inactive_rejected(self):
+        with pytest.raises(FaultStateError):
+            CpuHogFault(make_vm()).deactivate(Simulator())
+
+
+class TestBottleneck:
+    def test_ramp_reaches_peak_and_holds(self):
+        sim = Simulator()
+        wl = ConstantWorkload(100.0)
+        fault = BottleneckFault(wl, "PE6", peak_multiplier=2.0,
+                                ramp_duration=100.0)
+        fault.activate(sim)
+        sim.run_until(50.0)
+        assert wl.multiplier == pytest.approx(1.5, abs=0.02)
+        sim.run_until(150.0)
+        assert wl.multiplier == pytest.approx(2.0)
+
+    def test_deactivation_restores_nominal(self):
+        sim = Simulator()
+        wl = ConstantWorkload(100.0)
+        fault = BottleneckFault(wl, "db")
+        fault.activate(sim)
+        sim.run_until(100.0)
+        fault.deactivate(sim)
+        assert wl.multiplier == 1.0
+
+    def test_gradual_manifestation(self):
+        """Multiplier must increase smoothly, never jump."""
+        sim = Simulator()
+        wl = ConstantWorkload(100.0)
+        BottleneckFault(wl, "db", peak_multiplier=1.8,
+                        ramp_duration=200.0).activate(sim)
+        values = []
+        for t in range(0, 200, 10):
+            sim.run_until(float(t))
+            values.append(wl.multiplier)
+        steps = [b - a for a, b in zip(values, values[1:])]
+        assert all(0.0 <= s <= 0.05 for s in steps)
+
+    def test_validation(self):
+        wl = ConstantWorkload(1.0)
+        with pytest.raises(ValueError):
+            BottleneckFault(wl, "x", peak_multiplier=1.0)
+        with pytest.raises(ValueError):
+            BottleneckFault(wl, "x", ramp_duration=0.0)
+
+
+class TestInjector:
+    def test_schedule_activates_and_clears(self):
+        sim = Simulator()
+        injector = FaultInjector(sim)
+        fault = CpuHogFault(make_vm())
+        injection = injector.inject(fault, start=10.0, duration=20.0)
+        assert injection.duration == 20.0
+        sim.run_until(15.0)
+        assert fault.active
+        sim.run_until(35.0)
+        assert not fault.active
+        assert fault.activated_at == 10.0
+        assert fault.deactivated_at == 30.0
+
+    def test_repeated_injections(self):
+        sim = Simulator()
+        injector = FaultInjector(sim)
+        fault = CpuHogFault(make_vm())
+        injections = injector.inject_repeated(
+            fault, first_start=10.0, duration=5.0, gap=10.0, count=3
+        )
+        assert [(i.start, i.end) for i in injections] == [
+            (10.0, 15.0), (25.0, 30.0), (40.0, 45.0)
+        ]
+        active_log = []
+        sim.every(1.0, lambda now: active_log.append((now, fault.active)))
+        sim.run_until(50.0)
+        assert (12.0, True) in active_log
+        assert (20.0, False) in active_log
+        assert (27.0, True) in active_log
+
+    def test_active_targets(self):
+        sim = Simulator()
+        injector = FaultInjector(sim)
+        fault = CpuHogFault(make_vm())
+        injector.inject(fault, start=5.0, duration=10.0)
+        sim.run_until(7.0)
+        assert injector.active_targets() == ["vm"]
+        assert injector.any_active()
+
+    def test_past_start_rejected(self):
+        sim = Simulator()
+        sim.run_until(100.0)
+        with pytest.raises(ValueError):
+            FaultInjector(sim).inject(CpuHogFault(make_vm()), start=50.0,
+                                      duration=10.0)
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(Simulator()).inject(
+                CpuHogFault(make_vm()), start=1.0, duration=0.0
+            )

@@ -1,0 +1,78 @@
+"""Tests for cluster inventory and migration-target selection."""
+
+import pytest
+
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.resources import ResourceError, ResourceKind, ResourceSpec
+
+VM_SPEC = ResourceSpec(1.0, 1024.0)
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(Simulator())
+
+
+class TestInventory:
+    def test_add_hosts_names_sequential(self, cluster):
+        hosts = cluster.add_hosts(3)
+        assert [h.name for h in hosts] == ["host1", "host2", "host3"]
+
+    def test_duplicate_host_rejected(self, cluster):
+        cluster.add_host("h")
+        with pytest.raises(ResourceError):
+            cluster.add_host("h")
+
+    def test_duplicate_vm_rejected(self, cluster):
+        host = cluster.add_host("h")
+        cluster.create_vm("vm", VM_SPEC, host)
+        with pytest.raises(ResourceError):
+            cluster.create_vm("vm", VM_SPEC, host)
+
+    def test_lookup_by_name(self, cluster):
+        host = cluster.add_host("h")
+        vm = cluster.create_vm("vm", VM_SPEC, host)
+        assert cluster.host("h") is host
+        assert cluster.vm("vm") is vm
+
+    def test_one_vm_per_host_with_spares(self, cluster):
+        vms = cluster.place_one_vm_per_host(["a", "b"], VM_SPEC, spares=2)
+        assert len(vms) == 2
+        assert len(cluster.hosts) == 4
+        assert len(cluster.idle_hosts()) == 2
+        assert {vm.host.name for vm in vms} == {"host1", "host2"}
+
+
+class TestMigrationTargets:
+    def test_prefers_idle_host(self, cluster):
+        vms = cluster.place_one_vm_per_host(["a", "b"], VM_SPEC, spares=1)
+        target = cluster.find_migration_target(vms[0])
+        assert target is not None and not target.vms
+
+    def test_requires_room_for_grown_spec(self, cluster):
+        vms = cluster.place_one_vm_per_host(["a"], VM_SPEC, spares=1)
+        spare = cluster.idle_hosts()[0]
+        # Occupy the spare so only 0.5 cores remain free.
+        cluster.create_vm("filler", ResourceSpec(1.5, 512.0), spare)
+        required = ResourceSpec(2.0, 1024.0)
+        assert cluster.find_migration_target(vms[0], required=required) is None
+
+    def test_excludes_current_host(self, cluster):
+        host = cluster.add_host("only")
+        vm = cluster.create_vm("vm", VM_SPEC, host)
+        assert cluster.find_migration_target(vm) is None
+
+    def test_falls_back_to_partially_used_host(self, cluster):
+        hosts = cluster.add_hosts(2)
+        vm = cluster.create_vm("vm", VM_SPEC, hosts[0])
+        cluster.create_vm("neighbour", ResourceSpec(0.5, 512.0), hosts[1])
+        target = cluster.find_migration_target(vm)
+        assert target is hosts[1]
+
+    def test_deterministic_choice_among_idle(self, cluster):
+        cluster.place_one_vm_per_host(["a"], VM_SPEC, spares=3)
+        vm = cluster.vm("a")
+        first = cluster.find_migration_target(vm)
+        second = cluster.find_migration_target(vm)
+        assert first is second

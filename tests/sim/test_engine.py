@@ -1,0 +1,198 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_fires_at_requested_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [5.0]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(7.5, lambda: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [7.5]
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run_until(5.0)
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, lambda t=tag: order.append(t))
+        sim.run_until(2.0)
+        assert order == ["first", "second", "third"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_event_can_schedule_followup(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append(sim.now)
+            sim.schedule(2.0, lambda: fired.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run_until(10.0)
+        assert fired == [1.0, 3.0]
+
+
+class TestRunUntil:
+    def test_clock_advances_to_end_time(self):
+        sim = Simulator()
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+    def test_events_beyond_end_not_fired(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("early"))
+        sim.schedule(15.0, lambda: fired.append("late"))
+        sim.run_until(10.0)
+        assert fired == ["early"]
+        sim.run_until(20.0)
+        assert fired == ["early", "late"]
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_reentrant_run_until_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def bad():
+            try:
+                sim.run_until(99.0)
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, bad)
+        sim.run_until(2.0)
+        assert len(errors) == 1
+
+    def test_run_drains_queue(self):
+        sim = Simulator()
+        fired = []
+        for delay in (1.0, 2.0, 3.0):
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+        assert sim.pending() == 0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run_until(5.0)
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending() == 1
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek() == 2.0
+
+
+class TestPeriodicTask:
+    def test_fires_every_interval(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(5.0, ticks.append)
+        sim.run_until(20.0)
+        assert ticks == [0.0, 5.0, 10.0, 15.0, 20.0]
+
+    def test_start_at_offsets_first_fire(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(5.0, ticks.append, start_at=3.0)
+        sim.run_until(14.0)
+        assert ticks == [3.0, 8.0, 13.0]
+
+    def test_stop_halts_task(self):
+        sim = Simulator()
+        ticks = []
+        task = sim.every(1.0, ticks.append)
+        sim.run_until(3.0)
+        task.stop()
+        sim.run_until(10.0)
+        assert ticks == [0.0, 1.0, 2.0, 3.0]
+        assert task.stopped
+
+    def test_stop_is_idempotent(self):
+        sim = Simulator()
+        task = sim.every(1.0, lambda now: None)
+        task.stop()
+        task.stop()
+        assert task.stopped
+
+    def test_stop_from_within_callback(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick(now):
+            ticks.append(now)
+            if len(ticks) == 2:
+                task.stop()
+
+        task = sim.every(1.0, tick)
+        sim.run_until(10.0)
+        assert ticks == [0.0, 1.0]
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().every(0.0, lambda now: None)
+
+    def test_start_in_past_rejected(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.every(1.0, lambda now: None, start_at=5.0)
+
+    def test_two_tasks_interleave(self):
+        sim = Simulator()
+        log = []
+        sim.every(2.0, lambda now: log.append(("a", now)))
+        sim.every(3.0, lambda now: log.append(("b", now)))
+        sim.run_until(6.0)
+        assert ("a", 4.0) in log and ("b", 3.0) in log
+        assert log[0] == ("a", 0.0)

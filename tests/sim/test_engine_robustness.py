@@ -1,0 +1,83 @@
+"""Engine robustness: callback failures, heavy loads, interleavings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestCallbackFailure:
+    def test_exception_propagates_and_engine_recovers(self):
+        sim = Simulator()
+        fired = []
+
+        def boom():
+            raise RuntimeError("injected failure")
+
+        sim.schedule(1.0, boom)
+        sim.schedule(2.0, lambda: fired.append(sim.now))
+        with pytest.raises(RuntimeError, match="injected failure"):
+            sim.run_until(5.0)
+        # The engine is not wedged: the remaining event still runs.
+        sim.run_until(5.0)
+        assert fired == [2.0]
+
+    def test_failed_run_does_not_leave_running_flag(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: (_ for _ in ()).throw(ValueError("x")))
+        with pytest.raises(ValueError):
+            sim.run_until(2.0)
+        # A second run_until must not be treated as re-entrant.
+        sim.run_until(3.0)
+
+
+class TestHeavyLoad:
+    def test_ten_thousand_events_in_order(self):
+        sim = Simulator()
+        seen = []
+        import random
+        rng = random.Random(7)
+        times = [rng.uniform(0, 100) for _ in range(10_000)]
+        for t in times:
+            sim.schedule_at(t, lambda t=t: seen.append(t))
+        sim.run_until(100.0)
+        assert len(seen) == 10_000
+        assert seen == sorted(seen)
+
+    def test_many_periodic_tasks_fire_expected_counts(self):
+        sim = Simulator()
+        counters = [0] * 20
+        for i in range(20):
+            def tick(now, i=i):
+                counters[i] += 1
+            sim.every(float(i + 1), tick, start_at=0.0)
+        sim.run_until(60.0)
+        for i, count in enumerate(counters):
+            assert count == 60 // (i + 1) + 1
+
+
+class TestPropertyScheduling:
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e4,
+                              allow_nan=False), min_size=1, max_size=60))
+    def test_all_events_fire_once_in_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run_until(1e4 + 1.0)
+        assert sorted(fired) == sorted(delays)
+        assert fired == sorted(fired)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0,
+                              allow_nan=False), min_size=1, max_size=20),
+           st.floats(min_value=0.0, max_value=50.0))
+    def test_clock_never_runs_backwards(self, delays, horizon):
+        sim = Simulator()
+        stamps = []
+        for delay in delays:
+            sim.schedule(delay, lambda: stamps.append(sim.now))
+        sim.run_until(horizon)
+        assert stamps == sorted(stamps)
+        assert sim.now == horizon

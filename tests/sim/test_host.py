@@ -1,0 +1,100 @@
+"""Tests for host placement, capacity accounting and reservations."""
+
+import pytest
+
+from repro.sim.host import Host, VCL_HOST_SPEC
+from repro.sim.resources import ResourceError, ResourceKind, ResourceSpec
+from repro.sim.vm import VirtualMachine
+
+
+def make_host(name="h1"):
+    return Host(name, ResourceSpec(2.0, 4096.0))
+
+
+def make_vm(name="vm1", cpu=1.0, mem=1024.0):
+    return VirtualMachine(name, ResourceSpec(cpu, mem))
+
+
+class TestPlacement:
+    def test_place_and_remove(self):
+        host, vm = make_host(), make_vm()
+        host.place(vm)
+        assert vm.host is host
+        assert host.vms == [vm]
+        host.remove(vm)
+        assert vm.host is None
+        assert host.vms == []
+
+    def test_capacity_enforced(self):
+        host = make_host()
+        host.place(make_vm("a", cpu=2.0))
+        with pytest.raises(ResourceError):
+            host.place(make_vm("b", cpu=0.5))
+
+    def test_duplicate_name_rejected(self):
+        host = make_host()
+        host.place(make_vm("a", cpu=0.5))
+        with pytest.raises(ResourceError):
+            host.place(make_vm("a", cpu=0.5))
+
+    def test_already_placed_vm_rejected(self):
+        host1, host2 = make_host("h1"), make_host("h2")
+        vm = make_vm()
+        host1.place(vm)
+        with pytest.raises(ResourceError):
+            host2.place(vm)
+
+    def test_remove_unplaced_rejected(self):
+        with pytest.raises(ResourceError):
+            make_host().remove(make_vm())
+
+    def test_vcl_default_spec(self):
+        assert VCL_HOST_SPEC == ResourceSpec(2.0, 4096.0)
+
+
+class TestAccounting:
+    def test_free_tracks_allocations(self):
+        host = make_host()
+        host.place(make_vm("a", cpu=0.5, mem=512.0))
+        host.place(make_vm("b", cpu=1.0, mem=1024.0))
+        assert host.allocated() == ResourceSpec(1.5, 1536.0)
+        assert host.free() == ResourceSpec(0.5, 2560.0)
+
+    def test_headroom_by_kind(self):
+        host = make_host()
+        host.place(make_vm(cpu=1.0, mem=1024.0))
+        assert host.headroom(ResourceKind.CPU) == pytest.approx(1.0)
+        assert host.headroom(ResourceKind.MEMORY) == pytest.approx(3072.0)
+
+    def test_free_reflects_vm_scaling(self):
+        host = make_host()
+        vm = make_vm()
+        host.place(vm)
+        vm.set_allocation(ResourceKind.CPU, 2.0)
+        assert host.headroom(ResourceKind.CPU) == pytest.approx(0.0)
+
+
+class TestReservations:
+    def test_reservation_reduces_free(self):
+        host = make_host()
+        host.reserve(ResourceSpec(1.0, 1024.0))
+        assert host.free() == ResourceSpec(1.0, 3072.0)
+
+    def test_release_restores_free(self):
+        host = make_host()
+        spec = ResourceSpec(1.0, 1024.0)
+        host.reserve(spec)
+        host.release(spec)
+        assert host.free() == ResourceSpec(2.0, 4096.0)
+
+    def test_over_reservation_rejected(self):
+        host = make_host()
+        host.reserve(ResourceSpec(1.5, 1024.0))
+        with pytest.raises(ResourceError):
+            host.reserve(ResourceSpec(1.0, 512.0))
+
+    def test_reservation_blocks_placement(self):
+        host = make_host()
+        host.reserve(ResourceSpec(1.5, 3500.0))
+        with pytest.raises(ResourceError):
+            host.place(make_vm(cpu=1.0))

@@ -1,0 +1,115 @@
+"""Tests for hypervisor scaling and live migration semantics."""
+
+import pytest
+
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.hypervisor import (
+    CPU_SCALING_LATENCY,
+    MEMORY_SCALING_LATENCY,
+    MIGRATION_SECONDS_PER_512MB,
+)
+from repro.sim.resources import ResourceError, ResourceKind, ResourceSpec
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    cluster = Cluster(sim)
+    hosts = cluster.add_hosts(3)
+    vm = cluster.create_vm("vm1", ResourceSpec(1.0, 1024.0), hosts[0])
+    return sim, cluster, hosts, vm
+
+
+class TestScaling:
+    def test_scale_applies_after_latency(self, world):
+        sim, cluster, _hosts, vm = world
+        cluster.hypervisor.scale(vm, ResourceKind.CPU, 2.0)
+        assert vm.cpu_allocated == 1.0  # not yet
+        sim.run_until(CPU_SCALING_LATENCY + 0.01)
+        assert vm.cpu_allocated == 2.0
+
+    def test_memory_scaling_latency_differs(self, world):
+        sim, cluster, _hosts, vm = world
+        cluster.hypervisor.scale(vm, ResourceKind.MEMORY, 2048.0)
+        sim.run_until(CPU_SCALING_LATENCY + 0.001)
+        assert vm.mem_allocated_mb == 1024.0
+        sim.run_until(MEMORY_SCALING_LATENCY + 0.01)
+        assert vm.mem_allocated_mb == 2048.0
+
+    def test_scale_beyond_headroom_rejected(self, world):
+        _sim, cluster, _hosts, vm = world
+        with pytest.raises(ResourceError):
+            cluster.hypervisor.scale(vm, ResourceKind.CPU, 3.0)
+
+    def test_can_scale_down_always(self, world):
+        _sim, cluster, _hosts, vm = world
+        assert cluster.hypervisor.can_scale(vm, ResourceKind.CPU, 0.5)
+
+    def test_scale_records_operation(self, world):
+        sim, cluster, _hosts, vm = world
+        cluster.hypervisor.scale(vm, ResourceKind.CPU, 1.5)
+        sim.run_until(1.0)
+        ops = cluster.hypervisor.operations
+        assert len(ops) == 1
+        assert ops[0].op == "scale-cpu" and ops[0].vm == "vm1"
+
+    def test_on_done_callback(self, world):
+        sim, cluster, _hosts, vm = world
+        done = []
+        cluster.hypervisor.scale(vm, ResourceKind.CPU, 1.5, on_done=lambda: done.append(sim.now))
+        sim.run_until(1.0)
+        assert done == [pytest.approx(CPU_SCALING_LATENCY)]
+
+
+class TestMigration:
+    def test_duration_scales_with_memory(self, world):
+        _sim, cluster, _hosts, vm = world
+        expected = MIGRATION_SECONDS_PER_512MB * 1024.0 / 512.0
+        assert cluster.hypervisor.migration_duration(vm) == pytest.approx(expected)
+
+    def test_vm_moves_after_duration(self, world):
+        sim, cluster, hosts, vm = world
+        duration = cluster.hypervisor.migrate(vm, hosts[1])
+        assert vm.migrating
+        assert vm.host is hosts[0]
+        sim.run_until(duration + 0.01)
+        assert not vm.migrating
+        assert vm.host is hosts[1]
+        assert hosts[0].vms == []
+
+    def test_destination_capacity_reserved_up_front(self, world):
+        sim, cluster, hosts, vm = world
+        other = cluster.create_vm("vm2", ResourceSpec(1.5, 1024.0), hosts[2])
+        cluster.hypervisor.migrate(vm, hosts[1])
+        # hosts[1] now only has 1 core free; vm2 (1.5) must not fit.
+        with pytest.raises(ResourceError):
+            cluster.hypervisor.migrate(other, hosts[1])
+
+    def test_migrate_to_own_host_rejected(self, world):
+        _sim, cluster, hosts, vm = world
+        with pytest.raises(ResourceError):
+            cluster.hypervisor.migrate(vm, hosts[0])
+
+    def test_double_migration_rejected(self, world):
+        _sim, cluster, hosts, vm = world
+        cluster.hypervisor.migrate(vm, hosts[1])
+        with pytest.raises(ResourceError):
+            cluster.hypervisor.migrate(vm, hosts[2])
+
+    def test_migration_records_operation(self, world):
+        sim, cluster, hosts, vm = world
+        duration = cluster.hypervisor.migrate(vm, hosts[1])
+        sim.run_until(duration + 0.1)
+        ops = [o for o in cluster.hypervisor.operations if o.op == "migrate"]
+        assert len(ops) == 1
+        assert "->" in ops[0].detail
+
+    def test_on_done_after_arrival(self, world):
+        sim, cluster, hosts, vm = world
+        seen = []
+        duration = cluster.hypervisor.migrate(
+            vm, hosts[1], on_done=lambda: seen.append(vm.host.name)
+        )
+        sim.run_until(duration + 0.1)
+        assert seen == [hosts[1].name]

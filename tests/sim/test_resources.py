@@ -1,0 +1,85 @@
+"""Tests for resource specs, including property-based arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.resources import ResourceError, ResourceKind, ResourceSpec
+
+finite = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+class TestResourceSpec:
+    def test_negative_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceSpec(-1.0, 10.0)
+        with pytest.raises(ResourceError):
+            ResourceSpec(1.0, -10.0)
+
+    def test_addition(self):
+        total = ResourceSpec(1.0, 512.0) + ResourceSpec(0.5, 256.0)
+        assert total == ResourceSpec(1.5, 768.0)
+
+    def test_subtraction(self):
+        left = ResourceSpec(2.0, 1024.0) - ResourceSpec(0.5, 24.0)
+        assert left == ResourceSpec(1.5, 1000.0)
+
+    def test_subtraction_underflow_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceSpec(1.0, 100.0) - ResourceSpec(2.0, 50.0)
+
+    def test_fits_within(self):
+        small = ResourceSpec(1.0, 512.0)
+        big = ResourceSpec(2.0, 4096.0)
+        assert small.fits_within(big)
+        assert not big.fits_within(small)
+
+    def test_fits_within_itself(self):
+        spec = ResourceSpec(1.0, 1024.0)
+        assert spec.fits_within(spec)
+
+    def test_get_by_kind(self):
+        spec = ResourceSpec(1.5, 2048.0)
+        assert spec.get(ResourceKind.CPU) == 1.5
+        assert spec.get(ResourceKind.MEMORY) == 2048.0
+
+    def test_with_amount_replaces_one_dimension(self):
+        spec = ResourceSpec(1.0, 1024.0)
+        assert spec.with_amount(ResourceKind.CPU, 2.0) == ResourceSpec(2.0, 1024.0)
+        assert spec.with_amount(ResourceKind.MEMORY, 64.0) == ResourceSpec(1.0, 64.0)
+
+    def test_scaled(self):
+        assert ResourceSpec(1.0, 100.0).scaled(2.5) == ResourceSpec(2.5, 250.0)
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceSpec(1.0, 100.0).scaled(-1.0)
+
+    def test_frozen(self):
+        spec = ResourceSpec(1.0, 100.0)
+        with pytest.raises(AttributeError):
+            spec.cpu_cores = 5.0
+
+
+class TestResourceSpecProperties:
+    @given(finite, finite, finite, finite)
+    def test_addition_commutative(self, c1, m1, c2, m2):
+        a, b = ResourceSpec(c1, m1), ResourceSpec(c2, m2)
+        assert a + b == b + a
+
+    @given(finite, finite, finite, finite)
+    def test_add_then_subtract_roundtrip(self, c1, m1, c2, m2):
+        a, b = ResourceSpec(c1, m1), ResourceSpec(c2, m2)
+        back = (a + b) - b
+        assert back.cpu_cores == pytest.approx(a.cpu_cores, abs=1e-6)
+        assert back.memory_mb == pytest.approx(a.memory_mb, abs=1e-6)
+
+    @given(finite, finite, finite, finite)
+    def test_sum_always_fits_components(self, c1, m1, c2, m2):
+        a, b = ResourceSpec(c1, m1), ResourceSpec(c2, m2)
+        assert a.fits_within(a + b)
+        assert b.fits_within(a + b)
+
+    @given(finite, finite, st.floats(min_value=0.0, max_value=1.0))
+    def test_scaling_down_fits_within_original(self, c, m, factor):
+        spec = ResourceSpec(c, m)
+        assert spec.scaled(factor).fits_within(spec)

@@ -1,0 +1,97 @@
+"""Chaos tests: the loop under degraded monitoring.
+
+Real monitoring pipelines drop reads; a prevention system that falls
+apart on a few stale samples is useless.  These tests run the full
+PREPARE loop with monitor dropout and noisy measurements and assert it
+still prevents.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment, RUBIS, SYSTEM_S
+from repro.faults import FaultKind
+from repro.sim.monitor import VMMonitor
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.resources import ResourceSpec
+
+
+class TestMonitorDropout:
+    def test_dropped_reads_forward_fill(self):
+        sim = Simulator()
+        cluster = Cluster(sim)
+        vms = cluster.place_one_vm_per_host(
+            ["vm1"], ResourceSpec(1.0, 1024.0), spares=0
+        )
+        monitor = VMMonitor(
+            sim, vms, interval=5.0, rng=np.random.default_rng(0),
+            drop_rate=0.5,
+        )
+        monitor.start(start_at=5.0)
+        sim.run_until(500.0)
+        trace = monitor.traces["vm1"]
+        assert len(trace) == 100  # alignment preserved
+        stale = [s for s in trace if s.stale]
+        assert 25 <= len(stale) <= 75
+        for i, sample in enumerate(trace):
+            if sample.stale:
+                assert sample.values == trace[i - 1].values
+                assert sample.timestamp > trace[i - 1].timestamp
+
+    def test_first_round_never_stale(self):
+        sim = Simulator()
+        cluster = Cluster(sim)
+        vms = cluster.place_one_vm_per_host(
+            ["vm1"], ResourceSpec(1.0, 1024.0), spares=0
+        )
+        monitor = VMMonitor(sim, vms, rng=np.random.default_rng(0),
+                            drop_rate=0.99)
+        monitor.start(start_at=5.0)
+        sim.run_until(10.0)
+        assert not monitor.traces["vm1"][0].stale
+
+    def test_invalid_drop_rate_rejected(self):
+        sim = Simulator()
+        cluster = Cluster(sim)
+        vms = cluster.place_one_vm_per_host(
+            ["vm1"], ResourceSpec(1.0, 1024.0), spares=0
+        )
+        with pytest.raises(ValueError):
+            VMMonitor(sim, vms, drop_rate=1.0)
+
+
+@pytest.mark.slow
+class TestLoopUnderDegradedMonitoring:
+    def test_prepare_still_prevents_with_10pct_loss(self):
+        degraded = run_experiment(ExperimentConfig(
+            app=RUBIS, fault=FaultKind.CPU_HOG, scheme="prepare",
+            seed=3, monitor_drop_rate=0.10,
+        ))
+        none = run_experiment(ExperimentConfig(
+            app=RUBIS, fault=FaultKind.CPU_HOG, scheme="none", seed=3,
+        ))
+        assert degraded.violation_time < 0.3 * none.violation_time
+        assert degraded.actions
+
+    def test_gradual_fault_still_predicted_with_loss(self):
+        degraded = run_experiment(ExperimentConfig(
+            app=SYSTEM_S, fault=FaultKind.MEMORY_LEAK, scheme="prepare",
+            seed=3, monitor_drop_rate=0.10,
+        ))
+        clean = run_experiment(ExperimentConfig(
+            app=SYSTEM_S, fault=FaultKind.MEMORY_LEAK, scheme="prepare",
+            seed=3,
+        ))
+        # Degradation is bounded: at most ~2x the clean violation time.
+        assert degraded.violation_time <= 2.0 * clean.violation_time + 30.0
+
+    def test_double_noise_bounded_damage(self):
+        noisy = run_experiment(ExperimentConfig(
+            app=RUBIS, fault=FaultKind.CPU_HOG, scheme="prepare",
+            seed=3, noise_scale=2.0,
+        ))
+        none = run_experiment(ExperimentConfig(
+            app=RUBIS, fault=FaultKind.CPU_HOG, scheme="none", seed=3,
+        ))
+        assert noisy.violation_time < 0.4 * none.violation_time

@@ -1,0 +1,111 @@
+"""End-to-end integration tests: the paper's headline claims in small.
+
+These run shortened versions of the Sec. III experiments and assert
+the *qualitative* results the paper reports — they are the safety net
+for the whole predict-diagnose-prevent pipeline.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment, RUBIS, SYSTEM_S
+from repro.faults import FaultKind
+
+
+def run(app, fault, scheme, mode="scaling", seed=3):
+    return run_experiment(ExperimentConfig(
+        app=app, fault=fault, scheme=scheme, action_mode=mode, seed=seed,
+    ))
+
+
+@pytest.mark.slow
+class TestHeadlineClaims:
+    def test_prepare_crushes_no_intervention_rubis_leak(self):
+        none = run(RUBIS, FaultKind.MEMORY_LEAK, "none")
+        prepare = run(RUBIS, FaultKind.MEMORY_LEAK, "prepare")
+        # Paper: 90-99% reduction; demand at least 70% here.
+        assert prepare.violation_time < 0.3 * none.violation_time
+
+    def test_prepare_prevents_second_leak_injection_system_s(self):
+        """The model learns injection 1 and predictively prevents
+        injection 2 (the paper's core mechanism)."""
+        prepare = run(SYSTEM_S, FaultKind.MEMORY_LEAK, "prepare")
+        reactive = run(SYSTEM_S, FaultKind.MEMORY_LEAK, "reactive")
+        assert (
+            prepare.violation_time_second_injection
+            < 0.5 * reactive.violation_time_second_injection
+        )
+        assert prepare.proactive_actions > 0
+
+    def test_prepare_never_worse_than_reactive_rubis_leak(self):
+        prepare = run(RUBIS, FaultKind.MEMORY_LEAK, "prepare")
+        reactive = run(RUBIS, FaultKind.MEMORY_LEAK, "reactive")
+        assert (
+            prepare.violation_time_second_injection
+            <= reactive.violation_time_second_injection
+        )
+
+    def test_prepare_prevents_second_bottleneck_injection_system_s(self):
+        prepare = run(SYSTEM_S, FaultKind.BOTTLENECK, "prepare")
+        reactive = run(SYSTEM_S, FaultKind.BOTTLENECK, "reactive")
+        assert (
+            prepare.violation_time_second_injection
+            <= reactive.violation_time_second_injection
+        )
+
+    def test_cpu_hog_gains_are_marginal(self):
+        """Sudden faults cannot be predicted far ahead: PREPARE may
+        only match the reactive scheme (paper Sec. III-B)."""
+        prepare = run(SYSTEM_S, FaultKind.CPU_HOG, "prepare")
+        reactive = run(SYSTEM_S, FaultKind.CPU_HOG, "reactive")
+        none = run(SYSTEM_S, FaultKind.CPU_HOG, "none")
+        assert prepare.violation_time <= 1.3 * reactive.violation_time
+        assert prepare.violation_time < 0.3 * none.violation_time
+
+    def test_reactive_beats_no_intervention_everywhere(self):
+        for app in (SYSTEM_S, RUBIS):
+            for fault in FaultKind:
+                none = run(app, fault, "none")
+                reactive = run(app, fault, "reactive")
+                assert reactive.violation_time < none.violation_time, (
+                    f"{app}/{fault.value}"
+                )
+
+
+@pytest.mark.slow
+class TestMigrationMode:
+    def test_migration_costlier_than_scaling(self):
+        """Fig. 8 vs Fig. 6: migration prevention incurs longer SLO
+        violation than scaling in most cases."""
+        worse = 0
+        cases = [(RUBIS, FaultKind.MEMORY_LEAK), (SYSTEM_S, FaultKind.CPU_HOG)]
+        for app, fault in cases:
+            scaling = run(app, fault, "prepare", mode="scaling")
+            migration = run(app, fault, "prepare", mode="migration")
+            if migration.violation_time >= scaling.violation_time:
+                worse += 1
+        assert worse == len(cases)
+
+    def test_migration_actually_migrates(self):
+        result = run(RUBIS, FaultKind.MEMORY_LEAK, "prepare", mode="migration")
+        assert any(a.verb == "migrate" for a in result.actions)
+
+
+@pytest.mark.slow
+class TestDiagnosisQuality:
+    def test_leak_diagnosed_as_memory_on_faulty_vm(self):
+        result = run(RUBIS, FaultKind.MEMORY_LEAK, "prepare")
+        effective = [
+            a for a in result.actions
+            if a.vm == "vm_db" and a.resource is not None
+            and a.resource.value == "memory"
+        ]
+        assert effective, "memory scaling on the leaking VM expected"
+
+    def test_hog_diagnosed_as_cpu(self):
+        result = run(RUBIS, FaultKind.CPU_HOG, "prepare")
+        effective = [
+            a for a in result.actions
+            if a.vm == "vm_db" and a.resource is not None
+            and a.resource.value == "cpu"
+        ]
+        assert effective, "cpu scaling on the hogged VM expected"
