@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Diff two benchmark result files; fail on median-time regressions.
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE.json CANDIDATE.json
+    python scripts/bench_compare.py --threshold 0.10 old.json new.json
+
+Exits 1 when any benchmark present in both files is more than
+``--threshold`` (default 20%) slower in the candidate, printing each
+offending benchmark.  Files are produced by
+``benchmarks/perf_prediction.py`` (see ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    compare_results,
+    read_results,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("candidate", type=Path)
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_REGRESSION_THRESHOLD,
+        help="fractional slowdown tolerated before failing "
+             "(default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = read_results(args.baseline)
+    candidate = read_results(args.candidate)
+    regressions = compare_results(
+        baseline, candidate, threshold=args.threshold
+    )
+
+    shared = sorted(
+        set(baseline["results"]) & set(candidate["results"])
+    )
+    print(
+        f"compared {len(shared)} shared benchmarks "
+        f"({args.baseline} -> {args.candidate})"
+    )
+    only_base = set(baseline["results"]) - set(candidate["results"])
+    only_cand = set(candidate["results"]) - set(baseline["results"])
+    if only_base:
+        print(f"only in baseline: {', '.join(sorted(only_base))}")
+    if only_cand:
+        print(f"only in candidate: {', '.join(sorted(only_cand))}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s):")
+        for message in regressions:
+            print(f"  REGRESSION {message}")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

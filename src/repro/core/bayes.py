@@ -178,6 +178,11 @@ class NaiveBayesClassifier:
         self.attribute_mask: Optional[np.ndarray] = None
         self._log_prior: Optional[np.ndarray] = None       # (2,)
         self._log_cpt: Optional[np.ndarray] = None         # (n_attrs, 2, n_bins)
+        # Fit-time scoring tensors, both (n_attrs, n_bins):
+        # support-masked log-likelihood-ratios, unclipped (hard path)
+        # and clipped (soft/expected path).
+        self._diff_hard: Optional[np.ndarray] = None
+        self._diff_soft: Optional[np.ndarray] = None
 
     @property
     def trained(self) -> bool:
@@ -214,10 +219,16 @@ class NaiveBayesClassifier:
         # Attribute selection: score every training sample, keep only
         # attributes that separate the classes.
         diff = self._log_cpt[:, ABNORMAL, :] - self._log_cpt[:, NORMAL, :]
+        self._diff_hard = np.where(self._support, diff, 0.0)
+        self._diff_soft = np.where(
+            self._support,
+            np.clip(diff, -STRENGTH_CLIP, STRENGTH_CLIP),
+            0.0,
+        )
         if self.robust:
-            sample_strengths = np.column_stack(
-                [diff[j, X[:, j]] for j in range(n_attrs)]
-            )
+            # Selection deliberately uses the *unmasked* ratios, as the
+            # per-sample scoring of the original implementation did.
+            sample_strengths = diff[np.arange(n_attrs)[None, :], X]
             self.attribute_mask = select_attributes(sample_strengths, y)
         else:
             self.attribute_mask = np.ones(n_attrs, dtype=bool)
@@ -227,6 +238,14 @@ class NaiveBayesClassifier:
         if not self.trained:
             raise NotTrainedError(f"{type(self).__name__} is not trained")
 
+    def _check_batch(self, X: Sequence[Sequence[int]]) -> np.ndarray:
+        X = np.asarray(X, dtype=np.intp)
+        if X.ndim != 2 or X.shape[1] != self.n_attributes:
+            raise ValueError(
+                f"expected (n, {self.n_attributes}) samples, got shape {X.shape}"
+            )
+        return np.clip(X, 0, self.n_bins - 1)
+
     def log_odds(self, x: Sequence[int]) -> float:
         """``log P(abnormal | x) - log P(normal | x)`` (up to evidence)."""
         self._require_trained()
@@ -235,8 +254,48 @@ class NaiveBayesClassifier:
             raise ValueError(
                 f"expected {self.n_attributes} attributes, got shape {x.shape}"
             )
+        return float(self.log_odds_batch(x[None])[0])
+
+    def strengths_batch(self, X: Sequence[Sequence[int]]) -> np.ndarray:
+        """Masked strengths for a batch of binned samples.
+
+        ``X`` has shape (m, n_attributes); returns (m, n_attributes).
+        Row ``k`` is bitwise-identical to ``attribute_strengths(X[k])``.
+        """
+        self._require_trained()
+        X = self._check_batch(np.atleast_2d(np.asarray(X, dtype=np.intp)))
+        raw = self._diff_hard[np.arange(self.n_attributes)[None, :], X]
+        return np.where(self.attribute_mask[None, :], raw, 0.0)
+
+    def log_odds_batch(self, X: Sequence[Sequence[int]]) -> np.ndarray:
+        """Eq. (1) statistic for a batch of binned samples, shape (m,)."""
+        strengths = self.strengths_batch(X)
+        return strengths.sum(axis=1) + (
+            self._log_prior[ABNORMAL] - self._log_prior[NORMAL]
+        )
+
+    def strengths_reference(self, x: Sequence[int]) -> List[float]:
+        """Pre-vectorization :meth:`attribute_strengths` (reference)."""
+        self._require_trained()
+        x = np.asarray(x, dtype=np.intp)
+        if x.shape != (self.n_attributes,):
+            raise ValueError(
+                f"expected {self.n_attributes} attributes, got shape {x.shape}"
+            )
+        x = np.clip(x, 0, self.n_bins - 1)
+        idx = np.arange(self.n_attributes)
+        diff = (
+            self._log_cpt[idx, ABNORMAL, x] - self._log_cpt[idx, NORMAL, x]
+        )
+        diff = np.where(self._support[idx, x], diff, 0.0)
+        diff = np.where(self.attribute_mask, diff, 0.0)
+        return [float(v) for v in diff]
+
+    def log_odds_reference(self, x: Sequence[int]) -> float:
+        """Pre-vectorization :meth:`log_odds` (reference)."""
+        self._require_trained()
         return float(
-            sum(self.attribute_strengths(x))
+            sum(self.strengths_reference(x))
             + self._log_prior[ABNORMAL] - self._log_prior[NORMAL]
         )
 
@@ -262,18 +321,28 @@ class NaiveBayesClassifier:
             raise ValueError(
                 f"expected {self.n_attributes} attributes, got shape {x.shape}"
             )
-        x = np.clip(x, 0, self.n_bins - 1)
-        idx = np.arange(self.n_attributes)
-        diff = (
-            self._log_cpt[idx, ABNORMAL, x] - self._log_cpt[idx, NORMAL, x]
-        )
-        diff = np.where(self._support[idx, x], diff, 0.0)
-        diff = np.where(self.attribute_mask, diff, 0.0)
-        return [float(v) for v in diff]
+        return [float(v) for v in self.strengths_batch(x[None])[0]]
 
     # ------------------------------------------------------------------
     # Soft (distribution-based) classification
     # ------------------------------------------------------------------
+    def _as_distribution_matrix(
+        self, distributions: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        if len(distributions) != self.n_attributes:
+            raise ValueError(
+                f"expected {self.n_attributes} distributions, got {len(distributions)}"
+            )
+        dists = np.empty((self.n_attributes, self.n_bins))
+        for i, dist in enumerate(distributions):
+            p = np.asarray(dist, dtype=float)
+            if p.shape != (self.n_bins,):
+                raise ValueError(
+                    f"distribution {i} must have shape ({self.n_bins},)"
+                )
+            dists[i] = p
+        return dists
+
     def expected_strengths(self, distributions: Sequence[np.ndarray]) -> List[float]:
         """Expected per-attribute strengths under predicted bin
         distributions (one probability vector per attribute).
@@ -286,6 +355,44 @@ class NaiveBayesClassifier:
         dominate the expectation (the alert should fire on *probable*
         anomalies, not improbable catastrophic ones).
         """
+        self._require_trained()
+        D = self._as_distribution_matrix(distributions)
+        return [float(v) for v in self.expected_strengths_batch(D[None])[0]]
+
+    def expected_strengths_batch(self, D: np.ndarray) -> np.ndarray:
+        """Expected strengths for a batch of distribution sets.
+
+        ``D`` has shape (m, n_attributes, n_bins) — e.g. the ``m``
+        look-ahead horizons of one propagation.  Returns
+        (m, n_attributes); row ``k`` is bitwise-identical to
+        ``expected_strengths(list(D[k]))``.
+        """
+        self._require_trained()
+        D = np.asarray(D, dtype=float)
+        if D.ndim != 3 or D.shape[1:] != (self.n_attributes, self.n_bins):
+            raise ValueError(
+                f"expected (m, {self.n_attributes}, {self.n_bins}) "
+                f"distributions, got shape {D.shape}"
+            )
+        S = np.einsum("mab,ab->ma", D, self._diff_soft)
+        return np.where(self.attribute_mask[None, :], S, 0.0)
+
+    def expected_log_odds(self, distributions: Sequence[np.ndarray]) -> float:
+        """Eq. (1) statistic averaged over predicted distributions."""
+        self._require_trained()
+        D = self._as_distribution_matrix(distributions)
+        return float(self.expected_log_odds_batch(D[None])[0])
+
+    def expected_log_odds_batch(self, D: np.ndarray) -> np.ndarray:
+        """Batched :meth:`expected_log_odds`, shape (m,)."""
+        return self.expected_strengths_batch(D).sum(axis=1) + (
+            self._log_prior[ABNORMAL] - self._log_prior[NORMAL]
+        )
+
+    def expected_strengths_reference(
+        self, distributions: Sequence[np.ndarray]
+    ) -> List[float]:
+        """Pre-vectorization :meth:`expected_strengths` (reference)."""
         self._require_trained()
         if len(distributions) != self.n_attributes:
             raise ValueError(
@@ -309,7 +416,11 @@ class NaiveBayesClassifier:
             strengths.append(float(p @ diff))
         return strengths
 
-    def expected_log_odds(self, distributions: Sequence[np.ndarray]) -> float:
-        """Eq. (1) statistic averaged over predicted distributions."""
+    def expected_log_odds_reference(
+        self, distributions: Sequence[np.ndarray]
+    ) -> float:
+        """Pre-vectorization :meth:`expected_log_odds` (reference)."""
         prior = self._log_prior[ABNORMAL] - self._log_prior[NORMAL]
-        return float(sum(self.expected_strengths(distributions)) + prior)
+        return float(
+            sum(self.expected_strengths_reference(distributions)) + prior
+        )

@@ -116,6 +116,13 @@ class PrepareConfig:
     #: re-equilibrates are meaningless; suppression must end before
     #: validation matures so the validator sees fresh alert state.
     post_action_grace: float = 35.0
+    #: When True the predictive path classifies *every* horizon
+    #: 1..lookahead_steps (one batched propagation per VM via
+    #: ``predict_horizons``) and alerts on the earliest horizon whose
+    #: score clears ``alert_threshold``, instead of only the final
+    #: horizon.  Off by default: the paper evaluates a single fixed
+    #: look-ahead window.
+    horizon_sweep: bool = False
 
 
 @dataclass(frozen=True)
@@ -361,7 +368,20 @@ class PrepareController:
             history = buffer.recent_values(predictor.history_needed)
             if history.shape[0] < predictor.history_needed:
                 continue
-            result = predictor.predict(history, steps=self.lookahead_steps)
+            if self.config.horizon_sweep:
+                horizons = predictor.predict_horizons(
+                    history, steps=self.lookahead_steps
+                )
+                # Earliest horizon that clears the alert margin wins;
+                # otherwise keep the final-horizon result (identical to
+                # the single-horizon path).
+                result = next(
+                    (r for r in horizons
+                     if r.score > self.config.alert_threshold),
+                    horizons[-1],
+                )
+            else:
+                result = predictor.predict(history, steps=self.lookahead_steps)
             self._latest_results[name] = result
             self._note_strengths(name, result)
             if self._suppressed(name, now):

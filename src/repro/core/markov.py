@@ -18,15 +18,52 @@ sequence, then predict the state distribution ``steps`` transitions
 ahead.  Counts are Laplace-smoothed; :meth:`update` adds new
 observations so the model can "periodically update with new data
 measurements to adapt to dynamic systems".
+
+Performance notes (see ``docs/performance.md``): the smoothed
+transition matrix is cached with dirty-flag invalidation on
+:meth:`fit`/:meth:`update`, multi-step propagation runs as tensor
+contractions over the combined-state distribution, and
+:meth:`predict_distributions` returns *every* intermediate horizon of
+one propagation so look-ahead sweeps do the O(steps) work once.  The
+pre-vectorization code paths are preserved verbatim as
+``_transition_matrix_reference`` / ``_predict_reference`` — they are
+the ground truth for the equivalence tests and the baseline for the
+``benchmarks/perf_prediction.py`` speedup measurements.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["MarkovModel", "SimpleMarkovModel", "TwoDependentMarkovModel"]
+__all__ = [
+    "MarkovModel",
+    "SimpleMarkovModel",
+    "TwoDependentMarkovModel",
+    "expected_bin",
+    "expected_bins",
+]
+
+
+def expected_bins(distributions: np.ndarray) -> np.ndarray:
+    """Expectation-rounded bin per distribution (rows of the input).
+
+    The shared expectation-rounding rule of the predictor stack: the
+    distribution mean, rounded to the nearest bin and clipped into
+    range.  Using the expectation rather than the mode keeps multi-step
+    predictions of trending attributes from collapsing onto the
+    most-visited state.  Accepts any ``(..., n_states)`` array.
+    """
+    distributions = np.asarray(distributions, dtype=float)
+    n_states = distributions.shape[-1]
+    expected = distributions @ np.arange(n_states)
+    return np.clip(np.rint(expected), 0, n_states - 1).astype(np.intp)
+
+
+def expected_bin(distribution: np.ndarray) -> int:
+    """Expectation-rounded bin of one state distribution."""
+    return int(expected_bins(distribution))
 
 
 class MarkovModel:
@@ -56,6 +93,14 @@ class MarkovModel:
             (self._n_condition_states(), n_states), dtype=float
         )
         self._trained = False
+        #: Cached smoothed transition matrix; None = dirty (counts have
+        #: changed since it was last built).
+        self._matrix_cache: Optional[np.ndarray] = None
+        #: Monotonic training version; bumped whenever the counts
+        #: change so stacked multi-model operators (see
+        #: :class:`~repro.core.predictor.BatchedAttributeChains`) can
+        #: detect staleness.
+        self._version = 0
 
     # -- subclass hooks -------------------------------------------------
     def _n_condition_states(self) -> int:
@@ -74,6 +119,7 @@ class MarkovModel:
         """Train from scratch on a discrete state sequence."""
         self._counts[:] = 0.0
         self._trained = False
+        self._invalidate_cache()
         return self.update(sequence)
 
     def update(self, sequence: Sequence[int]) -> "MarkovModel":
@@ -82,23 +128,40 @@ class MarkovModel:
         if seq.size > self.history_needed:
             rows, nxt = self._extract_transitions(seq)
             np.add.at(self._counts, (rows, nxt), 1.0)
+            self._invalidate_cache()
         self._trained = True
         return self
+
+    def _invalidate_cache(self) -> None:
+        self._matrix_cache = None
+        self._version += 1
 
     def _validate(self, sequence: Sequence[int]) -> np.ndarray:
         seq = np.asarray(sequence, dtype=np.intp)
         if seq.ndim != 1:
             raise ValueError("state sequence must be 1-D")
-        if seq.size and (seq.min() < 0 or seq.max() >= self.n_states):
-            raise ValueError(
-                f"states must lie in [0, {self.n_states}), "
-                f"got range [{seq.min()}, {seq.max()}]"
-            )
+        if seq.size:
+            lo, hi = int(seq.min()), int(seq.max())
+            if lo < 0 or hi >= self.n_states:
+                raise ValueError(
+                    f"states must lie in [0, {self.n_states}), "
+                    f"got range [{lo}, {hi}]"
+                )
         return seq
 
     def _persistence_targets(self) -> np.ndarray:
         """For each conditioning state, the 'stay put' next state."""
         raise NotImplementedError
+
+    def _transition_matrix_reference(self) -> np.ndarray:
+        """Smoothed row-stochastic transition matrix, built from the raw
+        counts on every call (the pre-caching implementation; kept as
+        the equivalence/benchmark reference)."""
+        smoothed = self._counts + self.smoothing
+        if self.persistence > 0:
+            rows = np.arange(smoothed.shape[0])
+            smoothed[rows, self._persistence_targets()] += self.persistence
+        return smoothed / smoothed.sum(axis=1, keepdims=True)
 
     def transition_matrix(self) -> np.ndarray:
         """Smoothed row-stochastic transition matrix.
@@ -106,21 +169,19 @@ class MarkovModel:
         Rows get Laplace smoothing plus a persistence pseudo-count on
         the stay-put target, so unseen conditioning states predict "no
         change" rather than uniform noise.
+
+        The matrix is rebuilt only when :meth:`fit`/:meth:`update` have
+        touched the counts since the last call; the returned array is
+        the (read-only) cache, shared across calls.
         """
-        smoothed = self._counts + self.smoothing
-        if self.persistence > 0:
-            rows = np.arange(smoothed.shape[0])
-            smoothed[rows, self._persistence_targets()] += self.persistence
-        return smoothed / smoothed.sum(axis=1, keepdims=True)
+        if self._matrix_cache is None:
+            matrix = self._transition_matrix_reference()
+            matrix.flags.writeable = False
+            self._matrix_cache = matrix
+        return self._matrix_cache
 
     # -- prediction --------------------------------------------------------
-    def predict_distribution(self, history: Sequence[int], steps: int = 1) -> np.ndarray:
-        """Distribution over single states ``steps`` transitions ahead.
-
-        ``history`` is the trailing observed states (at least
-        :attr:`history_needed` of them; extra leading entries are
-        ignored).
-        """
+    def _check_prediction_inputs(self, history: Sequence[int], steps: int) -> None:
         if not self._trained:
             raise RuntimeError("model is not trained")
         if steps < 1:
@@ -129,21 +190,43 @@ class MarkovModel:
             raise ValueError(
                 f"need {self.history_needed} trailing states, got {len(history)}"
             )
-        return self._predict(list(history), steps)
 
-    def _predict(self, history: Sequence[int], steps: int) -> np.ndarray:
+    def predict_distribution(self, history: Sequence[int], steps: int = 1) -> np.ndarray:
+        """Distribution over single states ``steps`` transitions ahead.
+
+        ``history`` is the trailing observed states (at least
+        :attr:`history_needed` of them; extra leading entries are
+        ignored).
+        """
+        self._check_prediction_inputs(history, steps)
+        return self._predict_all(list(history), steps)[-1]
+
+    def predict_distributions(self, history: Sequence[int], steps: int) -> np.ndarray:
+        """State distributions at *every* horizon ``1..steps``.
+
+        Returns a ``(steps, n_states)`` array whose row ``k`` is the
+        distribution ``k + 1`` transitions ahead.  One propagation
+        produces all horizons, so a look-ahead sweep costs the same as
+        a single prediction at the farthest horizon; row ``k`` is
+        bitwise-identical to ``predict_distribution(history, k + 1)``.
+        """
+        self._check_prediction_inputs(history, steps)
+        return self._predict_all(list(history), steps)
+
+    def _predict_all(self, history: Sequence[int], steps: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def _predict_reference(self, history: Sequence[int], steps: int) -> np.ndarray:
+        """The pre-vectorization prediction path (kept for equivalence
+        tests and as the benchmark baseline)."""
         raise NotImplementedError
 
     def predict_state(self, history: Sequence[int], steps: int = 1) -> int:
         """Expected state ``steps`` ahead (distribution mean, rounded).
 
-        Using the expectation rather than the mode keeps multi-step
-        predictions of trending attributes from collapsing onto the
-        most-visited state.
+        See :func:`expected_bin` for the shared rounding rule.
         """
-        dist = self.predict_distribution(history, steps)
-        expected = float(np.dot(np.arange(self.n_states), dist))
-        return int(np.clip(round(expected), 0, self.n_states - 1))
+        return expected_bin(self.predict_distribution(history, steps))
 
 
 class SimpleMarkovModel(MarkovModel):
@@ -163,8 +246,23 @@ class SimpleMarkovModel(MarkovModel):
     def _persistence_targets(self) -> np.ndarray:
         return np.arange(self.n_states)
 
-    def _predict(self, history: Sequence[int], steps: int) -> np.ndarray:
+    def _predict_all(self, history: Sequence[int], steps: int) -> np.ndarray:
         matrix = self.transition_matrix()
+        dist = np.zeros(self.n_states)
+        dist[self._condition_index(history)] = 1.0
+        out = np.empty((steps, self.n_states))
+        for k in range(steps):
+            # einsum rather than `dist @ matrix`: the stacked operator
+            # (BatchedAttributeChains) advances with the same einsum
+            # kernel plus a batch axis, which keeps the two paths
+            # bitwise-identical; BLAS matmul orders the accumulation
+            # differently in the last ulp.
+            dist = np.einsum("c,cx->x", dist, matrix)
+            out[k] = dist
+        return out
+
+    def _predict_reference(self, history: Sequence[int], steps: int) -> np.ndarray:
+        matrix = self._transition_matrix_reference()
         dist = np.zeros(self.n_states)
         dist[self._condition_index(history)] = 1.0
         for _ in range(steps):
@@ -201,8 +299,24 @@ class TwoDependentMarkovModel(MarkovModel):
         # Combined state (prev, cur) persists by emitting cur again.
         return np.tile(np.arange(self.n_states), self.n_states)
 
-    def _predict(self, history: Sequence[int], steps: int) -> np.ndarray:
-        matrix = self.transition_matrix()  # (n^2, n)
+    def _predict_all(self, history: Sequence[int], steps: int) -> np.ndarray:
+        n = self.n_states
+        # tensor[prev, cur, next] = P(next | combined state (prev, cur)).
+        tensor = self.transition_matrix().reshape(n, n, n)
+        combined = np.zeros((n, n))  # combined[prev, cur]
+        combined[int(history[-2]), int(history[-1])] = 1.0
+        out = np.empty((steps, n))
+        for k in range(steps):
+            # One contraction advances (prev, cur) -> (cur, next):
+            # combined'[c, x] = sum_p combined[p, c] * tensor[p, c, x],
+            # and marginalizing the new "previous" axis gives the
+            # single-state distribution at this horizon.
+            combined = np.einsum("pc,pcx->cx", combined, tensor)
+            out[k] = combined.sum(axis=0)
+        return out
+
+    def _predict_reference(self, history: Sequence[int], steps: int) -> np.ndarray:
+        matrix = self._transition_matrix_reference()  # (n^2, n)
         n = self.n_states
         combined = np.zeros(n * n)
         combined[self._condition_index(history)] = 1.0

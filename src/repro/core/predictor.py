@@ -11,6 +11,19 @@ in Fig. 10); the *monolithic* baseline of Fig. 10 is the same class
 trained over the concatenated attributes of every VM (see
 :func:`monolithic_attributes` and
 :meth:`AnomalyPredictor.concat_histories`).
+
+The per-tick prediction (13 chains × a multi-step look-ahead window,
+every 5 s, for every VM) is the unit of work the paper's scalability
+argument rests on, so it is fully vectorized: all of a VM's
+per-attribute chains are stacked into one
+:class:`BatchedAttributeChains` operator and propagated as a single
+tensor contraction per step, and the classifiers score with
+precomputed log-CPT tensors (see ``docs/performance.md``).  The
+pre-vectorization code path is preserved as
+:meth:`AnomalyPredictor.predict_reference` for equivalence tests and
+benchmark baselines, and the scalar per-attribute loop remains as an
+exact-equivalence fallback whenever the stacked operator cannot be
+used (mixed chain kinds, externally mutated models).
 """
 
 from __future__ import annotations
@@ -26,11 +39,13 @@ from repro.core.markov import (
     MarkovModel,
     SimpleMarkovModel,
     TwoDependentMarkovModel,
+    expected_bins,
 )
 from repro.core.tan import TANClassifier
 
 __all__ = [
     "AnomalyPredictor",
+    "BatchedAttributeChains",
     "PredictionResult",
     "monolithic_attributes",
 ]
@@ -65,6 +80,99 @@ def monolithic_attributes(
 ) -> List[str]:
     """Attribute names for the monolithic (one-big-model) baseline."""
     return [f"{vm}:{attr}" for vm in vm_names for attr in attributes]
+
+
+class BatchedAttributeChains:
+    """All of one VM's per-attribute Markov chains as one tensor operator.
+
+    Stacks the smoothed transition matrices of ``n_attrs`` same-shaped
+    chains into a ``(n_attrs, n_condition_states, n_states)`` tensor
+    and propagates *every* attribute's state distribution
+    simultaneously — one contraction per look-ahead step instead of
+    ``n_attrs`` separate matrix products per step.
+
+    The operator snapshots each model's training version at build
+    time; :meth:`fresh` reports whether any underlying chain has been
+    refit/updated since, in which case callers fall back to the scalar
+    per-model path (which is exactly equivalent) and rebuild.
+    """
+
+    def __init__(self, models: Sequence[MarkovModel]) -> None:
+        if not models:
+            raise ValueError("need at least one chain")
+        kinds = {type(m) for m in models}
+        if len(kinds) != 1:
+            raise ValueError(f"chains must share one variant, got {kinds}")
+        states = {m.n_states for m in models}
+        if len(states) != 1:
+            raise ValueError(f"chains must share n_states, got {states}")
+        if not all(m._trained for m in models):
+            raise ValueError("all chains must be trained")
+        self._models = tuple(models)
+        self.n_states = models[0].n_states
+        self.two_dependent = isinstance(models[0], TwoDependentMarkovModel)
+        self.history_needed = models[0].history_needed
+        n = self.n_states
+        stacked = np.stack([m.transition_matrix() for m in models])
+        if self.two_dependent:
+            #: (n_attrs, prev, cur, next)
+            self._tensor = np.ascontiguousarray(
+                stacked.reshape(len(models), n, n, n)
+            )
+        else:
+            #: (n_attrs, cur, next)
+            self._tensor = np.ascontiguousarray(stacked)
+        self._versions = tuple(m._version for m in models)
+
+    @property
+    def n_attrs(self) -> int:
+        return len(self._models)
+
+    def fresh(self) -> bool:
+        """True while no underlying chain has been refit/updated."""
+        return all(
+            m._version == v for m, v in zip(self._models, self._versions)
+        )
+
+    def predict_all(self, histories: np.ndarray, steps: int) -> np.ndarray:
+        """Distributions for every attribute at every horizon.
+
+        ``histories`` is a ``(>= history_needed, n_attrs)`` integer
+        matrix of trailing observed states, oldest first (one column
+        per attribute).  Returns ``(steps, n_attrs, n_states)``; slice
+        ``[k, j]`` equals ``models[j].predict_distribution(histories[:,
+        j], k + 1)`` bitwise.
+        """
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        histories = np.asarray(histories, dtype=np.intp)
+        if histories.ndim != 2 or histories.shape[1] != self.n_attrs:
+            raise ValueError(
+                f"expected (n, {self.n_attrs}) histories, got {histories.shape}"
+            )
+        if histories.shape[0] < self.history_needed:
+            raise ValueError(
+                f"need {self.history_needed} trailing states, "
+                f"got {histories.shape[0]}"
+            )
+        a, n = self.n_attrs, self.n_states
+        out = np.empty((steps, a, n))
+        attrs = np.arange(a)
+        if self.two_dependent:
+            combined = np.zeros((a, n, n))
+            combined[attrs, histories[-2], histories[-1]] = 1.0
+            for k in range(steps):
+                combined = np.einsum(
+                    "apc,apcx->acx", combined, self._tensor
+                )
+                out[k] = combined.sum(axis=1)
+        else:
+            dist = np.zeros((a, n))
+            dist[attrs, histories[-1]] = 1.0
+            for k in range(steps):
+                dist = np.einsum("ac,acx->ax", dist, self._tensor)
+                out[k] = dist
+        return out
 
 
 class AnomalyPredictor:
@@ -113,6 +221,10 @@ class AnomalyPredictor:
         self.discretizer = Discretizer(n_bins=n_bins)
         self.value_models: List[MarkovModel] = []
         self.robust = robust
+        #: False forces the scalar per-attribute fallback even when the
+        #: stacked operator is available (equivalence testing, bench).
+        self.vectorized = True
+        self._batched: Optional[BatchedAttributeChains] = None
         if classifier == "tan":
             self.classifier: "TANClassifier | NaiveBayesClassifier" = TANClassifier(
                 n_bins=n_bins, smoothing=smoothing, class_prior=class_prior,
@@ -190,6 +302,7 @@ class AnomalyPredictor:
             for rows in segments:
                 model.update(binned[rows, j])
             self.value_models.append(model)
+        self._batched = BatchedAttributeChains(self.value_models)
         self.classifier.fit(binned, labels)
         self._trained = True
         return self
@@ -207,13 +320,7 @@ class AnomalyPredictor:
         bins = self.discretizer.transform(np.asarray(values, dtype=float))
         return self._classify(tuple(int(b) for b in bins), steps=0)
 
-    def predict(self, recent_values: np.ndarray, steps: int) -> PredictionResult:
-        """Classify the *predicted* state ``steps`` samples ahead.
-
-        ``recent_values`` is a (>= history_needed, n_attributes) matrix
-        of the most recent raw samples, oldest first.
-        """
-        self._require_trained()
+    def _check_recent(self, recent_values: np.ndarray, steps: int) -> np.ndarray:
         if steps < 1:
             raise ValueError(f"steps must be >= 1, got {steps}")
         recent = np.asarray(recent_values, dtype=float)
@@ -226,18 +333,120 @@ class AnomalyPredictor:
             raise ValueError(
                 f"need {self.history_needed} recent samples, got {recent.shape[0]}"
             )
+        return recent
+
+    def _distributions_all(self, binned: np.ndarray, steps: int) -> np.ndarray:
+        """(steps, n_attrs, n_bins) attribute distributions at every
+        horizon — stacked-tensor operator when available, scalar
+        per-chain loop (exactly equivalent) otherwise."""
+        batched = self._batched
+        if (
+            self.vectorized
+            and batched is not None
+            and batched.fresh()
+            and batched.n_attrs == len(self.value_models)
+        ):
+            return batched.predict_all(binned, steps)
+        out = np.empty((steps, len(self.value_models), self.n_bins))
+        for j, model in enumerate(self.value_models):
+            out[:, j, :] = model.predict_distributions(
+                binned[:, j].tolist(), steps
+            )
+        return out
+
+    def predict(self, recent_values: np.ndarray, steps: int) -> PredictionResult:
+        """Classify the *predicted* state ``steps`` samples ahead.
+
+        ``recent_values`` is a (>= history_needed, n_attributes) matrix
+        of the most recent raw samples, oldest first.
+        """
+        self._require_trained()
+        recent = self._check_recent(recent_values, steps)
+        binned = self.discretizer.transform(recent)
+        final = self._distributions_all(binned, steps)[-1]
+        predicted_bins = tuple(int(b) for b in expected_bins(final))
+        if self.prediction_mode == "hard":
+            return self._classify(predicted_bins, steps=steps)
+        return self._classify_soft(list(final), predicted_bins, steps)
+
+    def predict_horizons(
+        self, recent_values: np.ndarray, steps: int
+    ) -> List[PredictionResult]:
+        """Classify the predicted state at *every* horizon ``1..steps``.
+
+        One chain propagation plus one batched classifier evaluation
+        covers the whole look-ahead sweep; entry ``k`` equals
+        ``predict(recent_values, k + 1)`` (iterative propagation visits
+        the same intermediate distributions, and the batched classifier
+        scores each horizon with the same tensors as the single-sample
+        path).
+        """
+        self._require_trained()
+        recent = self._check_recent(recent_values, steps)
+        binned = self.discretizer.transform(recent)
+        dists = self._distributions_all(binned, steps)  # (steps, a, n)
+        bins = expected_bins(dists)                      # (steps, a)
+        if self.prediction_mode == "hard":
+            scores = self.classifier.log_odds_batch(bins)
+            strengths = self.classifier.strengths_batch(bins)
+        else:
+            strengths = self.classifier.expected_strengths_batch(dists)
+            scores = self.classifier.expected_log_odds_batch(dists)
+        results = []
+        for k in range(steps):
+            score = float(scores[k])
+            results.append(PredictionResult(
+                abnormal=score > 0.0,
+                probability=float(1.0 / (1.0 + np.exp(-score))),
+                score=score,
+                bins=tuple(int(b) for b in bins[k]),
+                strengths=tuple(float(v) for v in strengths[k]),
+                attributes=self.attributes,
+                steps=k + 1,
+            ))
+        return results
+
+    def predict_reference(
+        self, recent_values: np.ndarray, steps: int
+    ) -> PredictionResult:
+        """The pre-vectorization prediction path, preserved verbatim.
+
+        Recomputes each chain's transition matrix from raw counts,
+        propagates attribute-by-attribute in Python, and scores with
+        the classifiers' scalar reference loops.  Ground truth for the
+        equivalence tests and the baseline the
+        ``benchmarks/perf_prediction.py`` speedups are measured
+        against.
+        """
+        self._require_trained()
+        recent = self._check_recent(recent_values, steps)
         binned = self.discretizer.transform(recent)
         distributions: List[np.ndarray] = []
         predicted_bins: List[int] = []
         for j, model in enumerate(self.value_models):
             history = binned[:, j].tolist()
-            dist = model.predict_distribution(history, steps=steps)
+            dist = model._predict_reference(history, steps)
             distributions.append(dist)
             expected = float(np.dot(np.arange(self.n_bins), dist))
             predicted_bins.append(int(np.clip(round(expected), 0, self.n_bins - 1)))
+        bins = tuple(predicted_bins)
         if self.prediction_mode == "hard":
-            return self._classify(tuple(predicted_bins), steps=steps)
-        return self._classify_soft(distributions, tuple(predicted_bins), steps)
+            score = self.classifier.log_odds_reference(bins)
+            strengths = tuple(self.classifier.strengths_reference(bins))
+        else:
+            strengths = tuple(
+                self.classifier.expected_strengths_reference(distributions)
+            )
+            score = self.classifier.expected_log_odds_reference(distributions)
+        return PredictionResult(
+            abnormal=score > 0.0,
+            probability=float(1.0 / (1.0 + np.exp(-score))),
+            score=float(score),
+            bins=bins,
+            strengths=strengths,
+            attributes=self.attributes,
+            steps=steps,
+        )
 
     def _classify_soft(
         self,

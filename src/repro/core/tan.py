@@ -22,6 +22,19 @@ Classification implements Eq. (1):
 
 and :meth:`attribute_strengths` returns the per-attribute terms L_i of
 Eq. (2) used for metric attribution (Fig. 3).
+
+Performance notes (see ``docs/performance.md``): fit-time counting
+runs as one-hot tensor contractions instead of per-pair
+``np.add.at`` loops, and the per-attribute log-likelihood-ratio
+tables are flattened at fit time into dense ``(n_attrs, n_bins,
+n_bins)`` difference tensors so scoring is a single vectorized gather
+(hard path) or contraction (soft path).  Batch variants
+(:meth:`log_odds_batch`, :meth:`strengths_batch`,
+:meth:`expected_strengths_batch`) score many samples/horizons at
+once; the scalar methods route through them, so single-sample and
+batch results are bitwise-identical.  The pre-vectorization scoring
+loops are preserved as ``*_reference`` methods for equivalence tests
+and benchmark baselines.
 """
 
 from __future__ import annotations
@@ -84,6 +97,13 @@ class TANClassifier:
         # CPTs: for roots, shape (2, n_bins); for children, (2, n_bins
         # parent values, n_bins child values), stored per attribute.
         self._log_cpt: Optional[List[np.ndarray]] = None
+        # Fit-time scoring tensors (see _build_scoring_tensors).
+        self._parent_or_self: Optional[np.ndarray] = None
+        self._diff_hard: Optional[np.ndarray] = None
+        self._diff_soft: Optional[np.ndarray] = None
+        self._root_idx: Optional[np.ndarray] = None
+        self._child_idx: Optional[np.ndarray] = None
+        self._root_diff_soft: Optional[np.ndarray] = None
 
     @property
     def trained(self) -> bool:
@@ -93,9 +113,46 @@ class TANClassifier:
     # Structure learning
     # ------------------------------------------------------------------
     def _conditional_mutual_information(
+        self, X: np.ndarray, y: np.ndarray,
+        onehot: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """I(a_i; a_j | C) matrix estimated with smoothed counts.
+
+        All pairwise joint counts come from one one-hot contraction
+        instead of a per-pair ``np.add.at`` loop; the count and term
+        arithmetic is element-for-element the same as the reference
+        implementation, and the matrix is mirrored from the upper
+        triangle exactly as the reference fills it.
+        """
+        n_attrs = X.shape[1]
+        b = self.n_bins
+        if onehot is None:
+            onehot = (X[:, :, None] == np.arange(b)).astype(float)
+        cmi = np.zeros((n_attrs, n_attrs))
+        upper = np.triu(np.ones((n_attrs, n_attrs), dtype=bool), k=1)
+        for label in (NORMAL, ABNORMAL):
+            oh = onehot[y == label]
+            if oh.shape[0] == 0:
+                continue
+            class_weight = oh.shape[0] / X.shape[0]
+            marg = oh.sum(axis=0) + self.smoothing            # (a, b)
+            marg /= marg.sum(axis=1, keepdims=True)
+            joint = np.einsum("mip,mjq->ijpq", oh, oh) + self.smoothing
+            joint /= joint.sum(axis=(2, 3), keepdims=True)
+            denom = np.einsum("ip,jq->ijpq", marg, marg)
+            terms = np.sum(
+                joint * (np.log(joint) - np.log(denom)), axis=(2, 3)
+            )
+            contribution = class_weight * np.maximum(terms, 0.0)
+            contribution = np.where(upper, contribution, 0.0)
+            cmi += contribution + contribution.T
+        return cmi
+
+    def _conditional_mutual_information_reference(
         self, X: np.ndarray, y: np.ndarray
     ) -> np.ndarray:
-        """I(a_i; a_j | C) matrix estimated with smoothed counts."""
+        """The pre-vectorization per-pair CMI loop (equivalence
+        reference)."""
         n_attrs = X.shape[1]
         b = self.n_bins
         cmi = np.zeros((n_attrs, n_attrs))
@@ -150,20 +207,32 @@ class TANClassifier:
         n_samples, n_attrs = X.shape
         self.n_attributes = n_attrs
 
-        cmi = self._conditional_mutual_information(X, y)
+        onehot = (X[:, :, None] == np.arange(self.n_bins)).astype(float)
+        cmi = self._conditional_mutual_information(X, y, onehot)
         self.parents = self._maximum_spanning_tree(cmi)
 
         self._log_prior = _class_log_prior(y, self.class_prior, self.smoothing)
+
+        parent_or_self = np.where(
+            self.parents >= 0, self.parents, np.arange(n_attrs)
+        )
+        # Class-conditional marginal and (parent, child) pair counts for
+        # every attribute, from one contraction per class.
+        marg_counts = np.zeros((2, n_attrs, self.n_bins))
+        pair_counts = np.zeros((2, n_attrs, self.n_bins, self.n_bins))
+        for label in (NORMAL, ABNORMAL):
+            oh = onehot[y == label]
+            if oh.shape[0]:
+                marg_counts[label] = oh.sum(axis=0)
+                pair_counts[label] = np.einsum(
+                    "map,mac->apc", oh[:, parent_or_self], oh
+                )
 
         cpts: List[np.ndarray] = []
         supports: List[np.ndarray] = []
         for i in range(n_attrs):
             parent = self.parents[i]
-            marg_raw = np.zeros((2, self.n_bins))
-            for label in (NORMAL, ABNORMAL):
-                rows = X[y == label]
-                if rows.size:
-                    marg_raw[label] += np.bincount(rows[:, i], minlength=self.n_bins)
+            marg_raw = marg_counts[:, i, :].copy()
             if self.robust:
                 marg_raw = ordinal_smooth(marg_raw, axis=1)
             marginal = marg_raw + self.smoothing
@@ -177,11 +246,7 @@ class TANClassifier:
                 else:
                     supports.append(np.ones(self.n_bins, dtype=bool))
             else:
-                raw = np.zeros((2, self.n_bins, self.n_bins))
-                for label in (NORMAL, ABNORMAL):
-                    rows = X[y == label]
-                    if rows.size:
-                        np.add.at(raw[label], (rows[:, parent], rows[:, i]), 1.0)
+                raw = pair_counts[:, i, :, :]
                 if self.robust:
                     raw = ordinal_smooth(ordinal_smooth(raw, axis=2), axis=1)
                 cond = raw + self.smoothing
@@ -208,16 +273,48 @@ class TANClassifier:
             cpts.append(np.log(table))
         self._log_cpt = cpts
         self._support = supports
+        self._build_scoring_tensors(parent_or_self)
         # Attribute selection (as in Cohen et al. [12]): keep only
         # attributes whose strengths separate the classes on the
         # training set itself.
         self.attribute_mask = np.ones(n_attrs, dtype=bool)
         if self.robust:
-            sample_strengths = np.stack(
-                [self._raw_strengths(row) for row in X]
-            )
+            sample_strengths = self._raw_strengths_batch(X)
             self.attribute_mask = select_attributes(sample_strengths, y)
         return self
+
+    def _build_scoring_tensors(self, parent_or_self: np.ndarray) -> None:
+        """Flatten the per-attribute CPTs into dense gather tensors.
+
+        ``_diff_hard[i, p, c]`` is the Eq. (2) log-likelihood-ratio of
+        attribute ``i`` at child bin ``c`` under parent bin ``p``
+        (support-masked, unclipped — the hard path); ``_diff_soft`` is
+        the clipped variant the soft/expected path uses.  Root
+        attributes are broadcast along the parent axis with their own
+        index as pseudo-parent, so one fancy-indexed gather covers the
+        whole attribute vector.
+        """
+        n_attrs, b = self.n_attributes, self.n_bins
+        diff = np.empty((n_attrs, b, b))
+        support = np.empty((n_attrs, b, b), dtype=bool)
+        for i in range(n_attrs):
+            table = self._log_cpt[i]
+            if self.parents[i] < 0:
+                diff[i] = table[ABNORMAL] - table[NORMAL]   # broadcast (b,)
+                support[i] = self._support[i]
+            else:
+                diff[i] = table[ABNORMAL] - table[NORMAL]
+                support[i] = self._support[i]
+        self._parent_or_self = parent_or_self
+        self._diff_hard = np.where(support, diff, 0.0)
+        self._diff_soft = np.where(
+            support, np.clip(diff, -STRENGTH_CLIP, STRENGTH_CLIP), 0.0
+        )
+        self._root_idx = np.flatnonzero(self.parents < 0)
+        self._child_idx = np.flatnonzero(self.parents >= 0)
+        # Root rows are constant along the parent axis; keep the
+        # compact (n_roots, b) view the soft path contracts with.
+        self._root_diff_soft = self._diff_soft[self._root_idx, 0, :]
 
     # ------------------------------------------------------------------
     # Inference
@@ -234,8 +331,23 @@ class TANClassifier:
             )
         return np.clip(x, 0, self.n_bins - 1)
 
-    def _raw_strengths(self, x: np.ndarray) -> np.ndarray:
-        """Unmasked Eq. (2) terms for one binned sample."""
+    def _check_batch(self, X: Sequence[Sequence[int]]) -> np.ndarray:
+        X = np.asarray(X, dtype=np.intp)
+        if X.ndim != 2 or X.shape[1] != self.n_attributes:
+            raise ValueError(
+                f"expected (n, {self.n_attributes}) samples, got shape {X.shape}"
+            )
+        return np.clip(X, 0, self.n_bins - 1)
+
+    def _raw_strengths_batch(self, X: np.ndarray) -> np.ndarray:
+        """Unmasked Eq. (2) terms for already-validated binned samples:
+        one gather over the dense difference tensor, shape (m, a)."""
+        attrs = np.arange(self.n_attributes)
+        return self._diff_hard[attrs[None, :], X[:, self._parent_or_self], X]
+
+    def _raw_strengths_reference(self, x: np.ndarray) -> np.ndarray:
+        """Unmasked Eq. (2) terms for one binned sample — the
+        pre-vectorization per-attribute loop (equivalence reference)."""
         strengths = np.empty(self.n_attributes)
         for i in range(self.n_attributes):
             parent = self.parents[i]
@@ -266,14 +378,43 @@ class TANClassifier:
         """
         self._require_trained()
         x = self._check_sample(x)
-        raw = self._raw_strengths(x)
-        raw = np.where(self.attribute_mask, raw, 0.0)
-        return [float(v) for v in raw]
+        return [float(v) for v in self.strengths_batch(x[None])[0]]
+
+    def strengths_batch(self, X: Sequence[Sequence[int]]) -> np.ndarray:
+        """Masked Eq. (2) strengths for a batch of binned samples.
+
+        ``X`` has shape (m, n_attributes); returns (m, n_attributes).
+        Row ``k`` is bitwise-identical to ``attribute_strengths(X[k])``.
+        """
+        self._require_trained()
+        X = self._check_batch(np.atleast_2d(np.asarray(X, dtype=np.intp)))
+        raw = self._raw_strengths_batch(X)
+        return np.where(self.attribute_mask[None, :], raw, 0.0)
 
     def log_odds(self, x: Sequence[int]) -> float:
         """Left-hand side of Eq. (1)."""
         self._require_trained()
-        strengths = self.attribute_strengths(x)
+        x = self._check_sample(x)
+        return float(self.log_odds_batch(x[None])[0])
+
+    def log_odds_batch(self, X: Sequence[Sequence[int]]) -> np.ndarray:
+        """Eq. (1) statistic for a batch of binned samples, shape (m,)."""
+        strengths = self.strengths_batch(X)
+        return strengths.sum(axis=1) + (
+            self._log_prior[ABNORMAL] - self._log_prior[NORMAL]
+        )
+
+    def strengths_reference(self, x: Sequence[int]) -> List[float]:
+        """Pre-vectorization :meth:`attribute_strengths` (reference)."""
+        self._require_trained()
+        x = self._check_sample(x)
+        raw = self._raw_strengths_reference(x)
+        raw = np.where(self.attribute_mask, raw, 0.0)
+        return [float(v) for v in raw]
+
+    def log_odds_reference(self, x: Sequence[int]) -> float:
+        """Pre-vectorization :meth:`log_odds` (reference)."""
+        strengths = self.strengths_reference(x)
         return float(
             sum(strengths) + self._log_prior[ABNORMAL] - self._log_prior[NORMAL]
         )
@@ -290,6 +431,23 @@ class TANClassifier:
     # ------------------------------------------------------------------
     # Soft (distribution-based) classification
     # ------------------------------------------------------------------
+    def _as_distribution_matrix(
+        self, distributions: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        if len(distributions) != self.n_attributes:
+            raise ValueError(
+                f"expected {self.n_attributes} distributions, got {len(distributions)}"
+            )
+        dists = np.empty((self.n_attributes, self.n_bins))
+        for i, dist in enumerate(distributions):
+            p = np.asarray(dist, dtype=float)
+            if p.shape != (self.n_bins,):
+                raise ValueError(
+                    f"distribution {i} must have shape ({self.n_bins},)"
+                )
+            dists[i] = p
+        return dists
+
     def expected_strengths(self, distributions: Sequence[np.ndarray]) -> List[float]:
         """Expected L_i under independent predicted bin distributions.
 
@@ -301,6 +459,56 @@ class TANClassifier:
         the decision statistic over it avoids the brittleness of
         rounding every attribute to a single bin.
         """
+        self._require_trained()
+        D = self._as_distribution_matrix(distributions)
+        return [float(v) for v in self.expected_strengths_batch(D[None])[0]]
+
+    def expected_strengths_batch(self, D: np.ndarray) -> np.ndarray:
+        """Expected strengths for a batch of distribution sets.
+
+        ``D`` has shape (m, n_attributes, n_bins) — e.g. the ``m``
+        look-ahead horizons of one propagation.  Returns (m,
+        n_attributes); row ``k`` is bitwise-identical to
+        ``expected_strengths(list(D[k]))``.
+        """
+        self._require_trained()
+        D = np.asarray(D, dtype=float)
+        if D.ndim != 3 or D.shape[1:] != (self.n_attributes, self.n_bins):
+            raise ValueError(
+                f"expected (m, {self.n_attributes}, {self.n_bins}) "
+                f"distributions, got shape {D.shape}"
+            )
+        S = np.zeros((D.shape[0], self.n_attributes))
+        roots, children = self._root_idx, self._child_idx
+        if roots.size:
+            S[:, roots] = np.einsum(
+                "mrc,rc->mr", D[:, roots], self._root_diff_soft
+            )
+        if children.size:
+            S[:, children] = np.einsum(
+                "mrp,rpc,mrc->mr",
+                D[:, self._parent_or_self[children]],
+                self._diff_soft[children],
+                D[:, children],
+            )
+        return np.where(self.attribute_mask[None, :], S, 0.0)
+
+    def expected_log_odds(self, distributions: Sequence[np.ndarray]) -> float:
+        """Eq. (1) statistic averaged over predicted distributions."""
+        self._require_trained()
+        D = self._as_distribution_matrix(distributions)
+        return float(self.expected_log_odds_batch(D[None])[0])
+
+    def expected_log_odds_batch(self, D: np.ndarray) -> np.ndarray:
+        """Batched :meth:`expected_log_odds`, shape (m,)."""
+        return self.expected_strengths_batch(D).sum(axis=1) + (
+            self._log_prior[ABNORMAL] - self._log_prior[NORMAL]
+        )
+
+    def expected_strengths_reference(
+        self, distributions: Sequence[np.ndarray]
+    ) -> List[float]:
+        """Pre-vectorization :meth:`expected_strengths` (reference)."""
         self._require_trained()
         if len(distributions) != self.n_attributes:
             raise ValueError(
@@ -331,10 +539,14 @@ class TANClassifier:
                 strengths.append(float(dists[parent] @ diff @ dists[i]))
         return strengths
 
-    def expected_log_odds(self, distributions: Sequence[np.ndarray]) -> float:
-        """Eq. (1) statistic averaged over predicted distributions."""
+    def expected_log_odds_reference(
+        self, distributions: Sequence[np.ndarray]
+    ) -> float:
+        """Pre-vectorization :meth:`expected_log_odds` (reference)."""
         prior = self._log_prior[ABNORMAL] - self._log_prior[NORMAL]
-        return float(sum(self.expected_strengths(distributions)) + prior)
+        return float(
+            sum(self.expected_strengths_reference(distributions)) + prior
+        )
 
     def rank_attributes(
         self, x: Sequence[int], names: Optional[Sequence[str]] = None

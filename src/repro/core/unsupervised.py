@@ -15,8 +15,9 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
-__all__ = ["OutlierDetector"]
+__all__ = ["OutlierDetector", "rolling_outlier_flags"]
 
 
 class OutlierDetector:
@@ -109,3 +110,63 @@ class OutlierDetector:
         if len(names) != z.size:
             raise ValueError(f"{len(names)} names for {z.size} attributes")
         return sorted(zip(names, z.tolist()), key=lambda kv: -kv[1])
+
+
+def rolling_outlier_flags(
+    values: np.ndarray,
+    window: int,
+    gap: int,
+    threshold: float = 4.0,
+    min_attributes: int = 1,
+) -> np.ndarray:
+    """Online outlier flags over a whole trace in one vectorized pass.
+
+    Equivalent to refitting an :class:`OutlierDetector` per sample on
+    the trailing ``window`` rows ending ``gap`` rows back and
+    classifying the current row::
+
+        for i in range(window + gap, len(values)):
+            det = OutlierDetector(threshold, min_attributes)
+            det.fit(values[i - window - gap:i - gap])
+            flags[i] = det.classify(values[i])
+
+    but every rolling window's robust profile (median, MAD, scale
+    floor) is computed at once over a strided window view, so the
+    per-step Python re-fit disappears.  Returns a boolean array the
+    length of ``values``; positions with insufficient history are
+    False.  Flags are identical to the loop above: the per-window
+    statistics are the same reductions over the same rows, and the
+    k-th-largest-exceeds-threshold test equals counting per-attribute
+    exceedances.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ValueError(f"values must be 2-D, got shape {values.shape}")
+    if window < 4:
+        raise ValueError(f"window must be >= 4 samples, got {window}")
+    if gap < 0:
+        raise ValueError(f"gap must be >= 0, got {gap}")
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    if min_attributes < 1:
+        raise ValueError(f"min_attributes must be >= 1, got {min_attributes}")
+    n_samples, n_attrs = values.shape
+    flags = np.zeros(n_samples, dtype=bool)
+    offset = window + gap
+    if n_samples <= offset:
+        return flags
+    # windows[s] covers rows s..s+window-1; sample i trains on the
+    # window starting at i - offset.
+    windows = sliding_window_view(values, window, axis=0)[: n_samples - offset]
+    median = np.median(windows, axis=-1)                        # (m, a)
+    mad = np.median(np.abs(windows - median[..., None]), axis=-1)
+    scale = OutlierDetector._MAD_SCALE * mad
+    floor = np.maximum(
+        0.5 * windows.std(axis=-1),
+        1e-2 * np.maximum(np.abs(median), 1.0),
+    )
+    scale = np.maximum(scale, floor)
+    z = np.abs(values[offset:] - median) / scale
+    k = min(min_attributes, n_attrs)
+    flags[offset:] = (z > threshold).sum(axis=1) >= k
+    return flags

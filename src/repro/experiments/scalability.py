@@ -78,8 +78,22 @@ def scalability_sweep(
                 predictor.predict(history, steps=6)
             samples.append(1000.0 * (time.perf_counter() - start))
         round_ms = float(np.median(samples))
+
+        # Same round with the preserved pre-vectorization prediction
+        # path, so the sweep tracks what the engine rework buys.
+        reference_samples = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for vm, predictor, history in zip(vms, predictors, histories):
+                monitor.sample_vm(vm, 10.0)
+                predictor.predict_reference(history, steps=6)
+            reference_samples.append(1000.0 * (time.perf_counter() - start))
+        reference_round_ms = float(np.median(reference_samples))
+
         out[n_vms] = {
             "round_ms": round_ms,
             "per_vm_ms": round_ms / n_vms,
+            "reference_round_ms": reference_round_ms,
+            "speedup": reference_round_ms / round_ms if round_ms else float("inf"),
         }
     return out

@@ -20,7 +20,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core.unsupervised import OutlierDetector
+from repro.core.unsupervised import rolling_outlier_flags
 from repro.faults.base import FaultKind
 from repro.experiments.runner import ExperimentConfig, run_experiment
 from repro.experiments.scenarios import RUBIS
@@ -71,14 +71,12 @@ def evaluate_first_occurrence(
     )
 
     # Unsupervised: rolling robust profile, refitted each step on a
-    # trailing window that ends ``gap_samples`` back.
-    flags = np.zeros(times.size, dtype=bool)
-    for i in range(window_samples + gap_samples, times.size):
-        train = values[i - window_samples - gap_samples:i - gap_samples]
-        detector = OutlierDetector(
-            threshold=threshold, min_attributes=2
-        ).fit(train)
-        flags[i] = detector.classify(values[i])
+    # trailing window that ends ``gap_samples`` back (vectorized over
+    # the whole trace).
+    flags = rolling_outlier_flags(
+        values, window_samples, gap_samples,
+        threshold=threshold, min_attributes=2,
+    )
     unsupervised = _score(
         flags, in_fault, warm & ~transition, times, "unsupervised"
     )

@@ -79,3 +79,22 @@ class TestPredictionAccuracy:
     def test_sweep_covers_lookaheads(self, leak_dataset):
         results = accuracy_vs_lookahead(leak_dataset, lookaheads=(5, 25, 45))
         assert [r.lookahead for r in results] == [5, 25, 45]
+
+    def test_sweep_matches_per_lookahead_calls(self, leak_dataset):
+        # The train-once + predict_horizons sweep must reproduce the
+        # per-lookahead prediction_accuracy results exactly (training
+        # is deterministic and one propagation yields every horizon).
+        lookaheads = (10, 20, 40)
+        swept = accuracy_vs_lookahead(
+            leak_dataset, lookaheads=lookaheads, filter_k=2
+        )
+        individual = [
+            prediction_accuracy(leak_dataset, lookahead, filter_k=2)
+            for lookahead in lookaheads
+        ]
+        assert swept == individual
+
+    def test_sweep_validates_model_and_handles_empty(self, leak_dataset):
+        with pytest.raises(ValueError):
+            accuracy_vs_lookahead(leak_dataset, model="ensemble")
+        assert accuracy_vs_lookahead(leak_dataset, lookaheads=()) == []
