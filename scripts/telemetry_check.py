@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Validate a telemetry export directory (CI smoke check).
+
+Given a directory produced by ``prepare-repro telemetry --output-dir``,
+verifies that the three export artifacts are well-formed and that the
+run actually exercised the control loop:
+
+* ``metrics.prom`` parses as Prometheus text and contains the required
+  metric families with non-zero activity;
+* ``trace.jsonl`` parses line-by-line and covers all four loop stages
+  (monitor ingest, predict, diagnosis, actuation);
+* ``telemetry.jsonl`` round-trips through the RunTelemetry schema.
+
+Exits non-zero with a message on the first failure.
+
+Usage::
+
+    PYTHONPATH=src python -m repro telemetry --output-dir tele_out
+    PYTHONPATH=src python scripts/telemetry_check.py tele_out
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import LOOP_STAGES, parse_prometheus_text, read_telemetry_jsonl
+
+#: Metric families any instrumented predictive run must export.
+REQUIRED_FAMILIES = (
+    "prepare_samples_ingested_total",
+    "prepare_raw_alerts_total",
+    "prepare_actions_total",
+    "prepare_validations_total",
+    "prepare_models_trained",
+    "prepare_stage_seconds",
+    "prepare_hypervisor_ops_total",
+)
+
+
+def check(directory: Path) -> None:
+    metrics_path = directory / "metrics.prom"
+    trace_path = directory / "trace.jsonl"
+    telemetry_path = directory / "telemetry.jsonl"
+    for path in (metrics_path, trace_path, telemetry_path):
+        if not path.is_file():
+            raise SystemExit(f"FAIL: missing export {path}")
+
+    families = parse_prometheus_text(metrics_path.read_text())
+    for name in REQUIRED_FAMILIES:
+        if name not in families:
+            raise SystemExit(f"FAIL: {metrics_path} lacks series {name}")
+        if not families[name]["samples"]:
+            raise SystemExit(f"FAIL: {metrics_path} series {name} is empty")
+    ingested = sum(
+        value for _n, _l, value
+        in families["prepare_samples_ingested_total"]["samples"]
+    )
+    if ingested <= 0:
+        raise SystemExit("FAIL: no samples ingested — loop never ran")
+
+    stages = set()
+    with trace_path.open() as fh:
+        for lineno, line in enumerate(fh, 1):
+            if not line.strip():
+                continue
+            try:
+                span = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(
+                    f"FAIL: {trace_path}:{lineno}: invalid JSON: {exc}"
+                )
+            stages.add(span.get("name"))
+    missing = [stage for stage in LOOP_STAGES if stage not in stages]
+    if missing:
+        raise SystemExit(
+            f"FAIL: {trace_path} does not cover loop stages {missing} "
+            f"(saw {sorted(stages)})"
+        )
+
+    records = read_telemetry_jsonl(telemetry_path)
+    if not records:
+        raise SystemExit(f"FAIL: {telemetry_path} holds no records")
+    for record in records:
+        if record.trace.get("spans", 0) <= 0:
+            raise SystemExit("FAIL: telemetry record reports zero spans")
+
+    print(
+        f"OK: {int(ingested)} samples, {len(stages)} span kinds "
+        f"({', '.join(sorted(stages))}), {len(records)} telemetry record(s)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("directory", type=Path,
+                        help="telemetry export directory to validate")
+    args = parser.parse_args(argv)
+    check(args.directory)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ Exposes the experiment harness without writing Python::
     prepare-repro reproduce table1
     prepare-repro accuracy --app system-s --fault memory_leak
     prepare-repro leadtime
+    prepare-repro telemetry --app rubis --output-dir runs/tele
 
 Also runnable as ``python -m repro ...``.
 """
@@ -69,6 +70,34 @@ def build_parser() -> argparse.ArgumentParser:
     acc.add_argument("--seed", type=int, default=2)
 
     sub.add_parser("leadtime", help="alert lead time per fault kind")
+
+    tel = sub.add_parser(
+        "telemetry",
+        help="run one scenario with full observability and export "
+             "metrics, trace, and run telemetry",
+    )
+    tel.add_argument("--app", choices=("system-s", "rubis"), default="rubis")
+    tel.add_argument(
+        "--fault", choices=[k.value for k in FaultKind], default="memory_leak"
+    )
+    tel.add_argument(
+        "--scheme", choices=("prepare", "reactive", "none"), default="prepare"
+    )
+    tel.add_argument(
+        "--mode", choices=("scaling", "migration", "auto"), default="scaling"
+    )
+    tel.add_argument("--seed", type=int, default=11)
+    tel.add_argument("--duration", type=float, default=1500.0)
+    tel.add_argument(
+        "--output-dir", default=None,
+        help="write metrics.prom, trace.jsonl and telemetry.jsonl here",
+    )
+    tel.add_argument(
+        "--input", default=None, metavar="JSONL",
+        help="render an existing telemetry JSONL file instead of running",
+    )
+    tel.add_argument("--json", action="store_true",
+                     help="print the telemetry record(s) as JSON lines")
 
     rep_all = sub.add_parser(
         "report", help="regenerate the whole evaluation into a directory"
@@ -201,6 +230,50 @@ def _cmd_accuracy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.obs import render_telemetry, read_telemetry_jsonl
+
+    if args.input is not None:
+        records = read_telemetry_jsonl(args.input)
+        for record in records:
+            if args.json:
+                print(record.to_json_line())
+            else:
+                print(render_telemetry(record))
+                print()
+        return 0
+
+    from pathlib import Path
+
+    from repro.experiments import ExperimentConfig, run_experiment
+    from repro.obs import write_telemetry_jsonl
+
+    result = run_experiment(ExperimentConfig(
+        app=args.app,
+        fault=FaultKind(args.fault),
+        scheme=args.scheme,
+        action_mode=args.mode,
+        seed=args.seed,
+        duration=args.duration,
+        telemetry=True,
+    ))
+    telemetry, obs = result.telemetry, result.observability
+    if args.json:
+        print(telemetry.to_json_line())
+    else:
+        print(render_telemetry(telemetry))
+    if args.output_dir is not None:
+        out = Path(args.output_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "metrics.prom").write_text(obs.metrics.render_prometheus())
+        obs.tracer.write_jsonl(out / "trace.jsonl")
+        write_telemetry_jsonl(out / "telemetry.jsonl", telemetry)
+        if not args.json:
+            print(f"\nwrote {out / 'metrics.prom'}, {out / 'trace.jsonl'}, "
+                  f"{out / 'telemetry.jsonl'}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import reproduce_all
 
@@ -232,6 +305,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "reproduce": _cmd_reproduce,
         "accuracy": _cmd_accuracy,
         "leadtime": _cmd_leadtime,
+        "telemetry": _cmd_telemetry,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

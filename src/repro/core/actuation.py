@@ -61,9 +61,6 @@ METRIC_RESOURCE_MAP: Dict[str, Optional[ResourceKind]] = {
     "disk_write": None,
 }
 
-_ACTION_IDS = itertools.count(1)
-
-
 @dataclass
 class PreventionAction:
     """One triggered prevention action and its lifecycle."""
@@ -112,6 +109,11 @@ class PreventionActuator:
         self._sim = sim
         self.mode = mode
         self.scale_factor = scale_factor
+        #: Per-actuator ID stream: action IDs must depend only on this
+        #: actuator's history, not on how many other actuators ran
+        #: earlier in the process, or repeated experiments and replayed
+        #: runs stop being bitwise-reproducible.
+        self._action_ids = itertools.count(1)
         #: After migrating a VM, follow-up preventions within this many
         #: seconds refine resources locally instead of migrating again
         #: — repeated migrations degrade the guest far more than the
@@ -198,7 +200,7 @@ class PreventionActuator:
         if target < current * meaningful:
             return None  # headroom too small to matter -> fall back
         action = PreventionAction(
-            action_id=next(_ACTION_IDS),
+            action_id=next(self._action_ids),
             timestamp=self._sim.now,
             vm=vm.name,
             verb="scale",
@@ -226,7 +228,7 @@ class PreventionActuator:
         if destination is None:
             return None
         action = PreventionAction(
-            action_id=next(_ACTION_IDS),
+            action_id=next(self._action_ids),
             timestamp=self._sim.now,
             vm=vm.name,
             verb="migrate",
@@ -362,15 +364,18 @@ class EffectivenessValidator:
     def check(
         self,
         now: float,
-        look_ahead_values: Mapping[str, np.ndarray],
+        look_ahead_values: Mapping[int, np.ndarray],
         alerts_active: Mapping[str, bool],
     ) -> List[Tuple[PreventionAction, str]]:
         """Resolve matured validations.
 
-        ``look_ahead_values`` maps VM name to the recent values of
-        *that action's indicted metric*; ``alerts_active`` maps VM name
-        to whether its anomaly alert (or SLO violation) persists.
-        Returns (action, outcome) for every matured action.
+        ``look_ahead_values`` maps ``action_id`` to the recent values
+        of *that action's indicted metric* — keyed by action, not VM,
+        because two actions for the same VM can be in flight at once
+        (cooldown < settle, or after an escalation) and each must be
+        judged against its own metric column.  ``alerts_active`` maps
+        VM name to whether its anomaly alert (or SLO violation)
+        persists.  Returns (action, outcome) for every matured action.
         """
         resolved: List[Tuple[PreventionAction, str]] = []
         still_pending: List[_PendingValidation] = []
@@ -379,7 +384,9 @@ class EffectivenessValidator:
                 still_pending.append(item)
                 continue
             vm = item.action.vm
-            values = np.asarray(look_ahead_values.get(vm, ()), dtype=float)
+            values = np.asarray(
+                look_ahead_values.get(item.action.action_id, ()), dtype=float
+            )
             after = (
                 float(values[-self.window_samples:].mean()) if values.size else 0.0
             )

@@ -30,6 +30,7 @@ starts to make prediction for the second injected fault".
 from __future__ import annotations
 
 import dataclasses
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -49,6 +50,16 @@ from repro.core.inference import CauseInference, Diagnosis
 from repro.core.labeling import TrainingBuffer
 from repro.core.localization import DeviationLocalizer, violation_epochs
 from repro.core.predictor import AnomalyPredictor, PredictionResult
+from repro.obs import (
+    NULL_OBS,
+    STAGE_ACTUATE,
+    STAGE_CLASSIFY,
+    STAGE_DIAGNOSIS,
+    STAGE_INGEST,
+    STAGE_PREDICT,
+    STAGE_RETRAIN,
+    STAGE_VALIDATE,
+)
 from repro.sim.cluster import Cluster
 from repro.sim.engine import Simulator
 from repro.sim.monitor import ATTRIBUTES, MetricSample, VMMonitor
@@ -146,6 +157,7 @@ class PrepareController:
         actuator: PreventionActuator,
         config: Optional[PrepareConfig] = None,
         attributes: Sequence[str] = ATTRIBUTES,
+        obs=None,
     ) -> None:
         self._sim = sim
         self.cluster = cluster
@@ -186,6 +198,38 @@ class PrepareController:
         self.diagnoses: List[Diagnosis] = []
         #: Structured decision log (see :mod:`repro.core.events`).
         self.events = EventLog()
+        #: Observability handle (see :mod:`repro.obs`).  Defaults to
+        #: the shared no-op instance, so instrumentation costs one
+        #: no-op call per stage unless a real bundle is passed.
+        self.obs = obs if obs is not None else NULL_OBS
+        metrics = self.obs.metrics
+        self._m_samples = metrics.counter(
+            "prepare_samples_ingested_total",
+            "Monitoring samples ingested by the controller")
+        self._m_raw_alerts = metrics.counter(
+            "prepare_raw_alerts_total",
+            "Raw (pre-filter) predictive alerts", ("vm",))
+        self._m_confirmed = metrics.counter(
+            "prepare_alerts_confirmed_total",
+            "k-of-W confirmed anomaly alerts", ("vm",))
+        self._m_suppressed = metrics.counter(
+            "prepare_alerts_suppressed_total",
+            "Post-action alert suppression windows opened", ("vm",))
+        self._m_actions = metrics.counter(
+            "prepare_actions_total",
+            "Prevention actions triggered", ("verb", "trigger"))
+        self._m_validations = metrics.counter(
+            "prepare_validations_total",
+            "Effectiveness validation outcomes", ("outcome",))
+        self._m_retrains = metrics.counter(
+            "prepare_model_trainings_total",
+            "Per-VM model (re)trainings completed")
+        self._m_models = metrics.gauge(
+            "prepare_models_trained",
+            "VMs currently holding a trained model")
+        self._m_pending = metrics.gauge(
+            "prepare_pending_validations",
+            "Prevention actions awaiting effectiveness validation")
         self._latest_results: Dict[str, PredictionResult] = {}
         #: Strength vectors (with scores) of the current alert episode
         #: per VM; diagnosis averages them so a single noisy sample
@@ -215,8 +259,13 @@ class PrepareController:
 
     @property
     def lookahead_steps(self) -> int:
-        steps = round(self.config.lookahead_seconds / self.monitor.interval)
-        return max(1, int(steps))
+        # Ceiling, not round(): the look-ahead window is a promise to
+        # predict *at least* this far out, and banker's rounding would
+        # silently shorten it at half-way points (12.5 s at a 5 s
+        # interval must be 3 steps, not 2).  The epsilon absorbs float
+        # division noise so exact multiples never round up a full step.
+        ratio = self.config.lookahead_seconds / self.monitor.interval
+        return max(1, math.ceil(ratio - 1e-9))
 
     def trained(self) -> bool:
         return any(p.trained for p in self.predictors.values())
@@ -226,15 +275,19 @@ class PrepareController:
     # ------------------------------------------------------------------
     def _on_samples(self, batch: List[MetricSample]) -> None:
         now = self._sim.now
-        for sample in batch:
-            buffer = self.buffers.get(sample.vm)
-            if buffer is not None:
-                buffer.append(sample)
+        with self.obs.span(STAGE_INGEST) as span:
+            for sample in batch:
+                buffer = self.buffers.get(sample.vm)
+                if buffer is not None:
+                    buffer.append(sample)
+            span.set("samples", len(batch))
+        self._m_samples.inc(len(batch))
         self._rounds += 1
         self._refresh_suppressions(now)
 
         if self._rounds % self.config.retrain_every == 0:
-            self._retrain()
+            with self.obs.span(STAGE_RETRAIN):
+                self._retrain()
 
         slo_violated = self.app.slo.violated_at(now)
         if slo_violated:
@@ -250,12 +303,19 @@ class PrepareController:
             self._violated_ticks = 0
 
         if self.config.prediction_enabled:
-            self._predictive_path(now)
+            with self.obs.span(STAGE_PREDICT):
+                self._predictive_path(now)
         if self._violated_ticks >= self.config.reactive_confirmations:
-            self._reactive_path(now)
+            with self.obs.span(STAGE_CLASSIFY):
+                self._reactive_path(now)
         elif not slo_violated:
             self._reactive_abnormal.clear()
         self._resolve_validations(now, slo_violated)
+        if self.obs.enabled:
+            self._m_pending.set(self.validator.pending_count)
+            self._m_models.set(
+                sum(1 for p in self.predictors.values() if p.trained)
+            )
 
     # ------------------------------------------------------------------
     # Post-operation alert suppression
@@ -274,6 +334,7 @@ class PrepareController:
                     now, "suppressed", vm=op.vm,
                     until=self._suppressed_until[op.vm], cause=op.op,
                 )
+                self._m_suppressed.inc(vm=op.vm)
         self._ops_seen = len(ops)
 
     def _suppressed(self, vm_name: str, now: float) -> bool:
@@ -355,6 +416,7 @@ class PrepareController:
                     self._sim.now, "model_trained", vm=name,
                     samples=int(rows.size), abnormal=int(y_sel.sum()),
                 )
+                self._m_retrains.inc()
 
     # ------------------------------------------------------------------
     # Predictive path
@@ -391,8 +453,10 @@ class PrepareController:
                 self.events.emit(
                     now, "raw_alert", vm=name, score=round(result.score, 3)
                 )
+                self._m_raw_alerts.inc(vm=name)
             if self.filters[name].push(raw_alert):
                 self.events.emit(now, "alert_confirmed", vm=name)
+                self._m_confirmed.inc(vm=name)
                 confirmed.append((name, result))
         if confirmed:
             self._handle_confirmed_alert(now, dict(confirmed), proactive=True)
@@ -405,7 +469,8 @@ class PrepareController:
         # A violation is the labelled data the supervised model needs:
         # make sure models reflect it before diagnosing.
         if not self.trained():
-            self._retrain()
+            with self.obs.span(STAGE_RETRAIN):
+                self._retrain()
         results: Dict[str, PredictionResult] = {}
         for name, predictor in self.predictors.items():
             if not predictor.trained:
@@ -446,7 +511,10 @@ class PrepareController:
         for name, buffer in self.buffers.items():
             values = buffer.recent_values(needed)
             if values.shape[0] < needed:
-                return {}
+                # A VM that joined late (or lost samples) cannot be
+                # diagnosed yet — but it must not disable the fallback
+                # for the whole cluster: skip it, diagnose the rest.
+                continue
             reference = values[:ref_len]
             epoch = values[-epoch_len:]
             scale = np.maximum(
@@ -455,6 +523,8 @@ class PrepareController:
             )
             z = np.abs(epoch.mean(axis=0) - reference.mean(axis=0)) / scale
             scores[name] = (float(z.max()), z)
+        if not scores:
+            return {}
         top = max(score for score, _z in scores.values())
         if top < 2.0:
             return {}
@@ -502,14 +572,18 @@ class PrepareController:
             AlertRecord(timestamp=now, vms=tuple(sorted(abnormal_vms)),
                         proactive=proactive)
         )
-        windows = {
-            name: self.buffers[name].recent_values(12) for name in results
-        }
-        smoothed = {
-            name: self._window_averaged(name, result)
-            for name, result in results.items()
-        }
-        diagnosis = self.inference.diagnose(now, smoothed, recent_windows=windows)
+        with self.obs.span(STAGE_DIAGNOSIS) as span:
+            windows = {
+                name: self.buffers[name].recent_values(12) for name in results
+            }
+            smoothed = {
+                name: self._window_averaged(name, result)
+                for name, result in results.items()
+            }
+            diagnosis = self.inference.diagnose(
+                now, smoothed, recent_windows=windows
+            )
+            span.set("faulty", list(diagnosis.faulty_vms))
         self.diagnoses.append(diagnosis)
         self.events.emit(
             now, "diagnosis",
@@ -531,23 +605,31 @@ class PrepareController:
             limit = 1
             ordered.sort(key=lambda name: -self._current_cpu_usage(name))
         acted = 0
-        for vm_name in ordered:
-            if vm_name not in actionable:
-                continue
-            if acted >= limit:
-                break
-            ranking = diagnosis.ranked_metrics.get(vm_name, ())
-            action = self.actuator.prevent(vm_name, ranking, proactive=proactive)
-            if action is None:
-                continue
-            acted += 1
-            self._last_action_at[vm_name] = now
-            self._watch_action(action, now)
-            self.events.emit(
-                now, "action", vm=vm_name, verb=action.verb,
-                resource=str(action.resource), metric=action.metric,
-                proactive=action.proactive,
-            )
+        with self.obs.span(STAGE_ACTUATE) as span:
+            for vm_name in ordered:
+                if vm_name not in actionable:
+                    continue
+                if acted >= limit:
+                    break
+                ranking = diagnosis.ranked_metrics.get(vm_name, ())
+                action = self.actuator.prevent(
+                    vm_name, ranking, proactive=proactive
+                )
+                if action is None:
+                    continue
+                acted += 1
+                self._last_action_at[vm_name] = now
+                self._watch_action(action, now)
+                self.events.emit(
+                    now, "action", vm=vm_name, verb=action.verb,
+                    resource=str(action.resource), metric=action.metric,
+                    proactive=action.proactive,
+                )
+                self._m_actions.inc(
+                    verb=action.verb,
+                    trigger="predicted" if action.proactive else "reactive",
+                )
+            span.set("actions", acted)
 
     def _current_cpu_usage(self, name: str) -> float:
         """Latest cpu_usage reading for a VM (0 when unavailable)."""
@@ -606,20 +688,30 @@ class PrepareController:
             )
             for name in self.buffers
         }
-        resolved = self.validator.check(
-            now,
-            {
-                action.vm: self._metric_column(action.vm, action.metric)
-                for action in self.actuator.actions
-                if action.effective is None
-            },
-            alerts_active,
-        )
+        # Look-ahead windows are keyed by action_id, not VM: two
+        # in-flight actions for the same VM (cooldown 30 s < settle
+        # 45 s, or an escalation retry) indict different metrics, and a
+        # VM-keyed map would validate the earlier action against the
+        # later action's metric column.
+        with self.obs.span(STAGE_VALIDATE) as span:
+            resolved = self.validator.check(
+                now,
+                {
+                    action.action_id: self._metric_column(
+                        action.vm, action.metric
+                    )
+                    for action in self.actuator.actions
+                    if action.effective is None
+                },
+                alerts_active,
+            )
+            span.set("resolved", len(resolved))
         for action, outcome in resolved:
             self.events.emit(
                 now, "validation", vm=action.vm, outcome=outcome,
                 metric=action.metric, usage_changed=action.usage_changed,
             )
+            self._m_validations.inc(outcome=outcome)
             if outcome == ValidationOutcome.EFFECTIVE:
                 self.actuator.mark_effective(action)
                 self.filters[action.vm].reset()

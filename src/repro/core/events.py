@@ -45,6 +45,15 @@ class ControllerEvent:
         extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
         return f"[{self.timestamp:9.1f}s] {self.kind}{vm} {extras}".rstrip()
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (one JSONL record per event)."""
+        return {
+            "timestamp": self.timestamp,
+            "kind": self.kind,
+            "vm": self.vm,
+            "detail": dict(self.detail),
+        }
+
 
 class EventLog:
     """Bounded append-only event log with simple queries."""
@@ -98,6 +107,10 @@ class EventLog:
         for event in self._events:
             out[event.kind] = out.get(event.kind, 0) + 1
         return out
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """Every event as a JSON-serializable dict, in emit order."""
+        return [event.to_dict() for event in self._events]
 
     def timeline(self, kinds: Optional[Tuple[str, ...]] = None) -> str:
         """Human-readable dump, optionally filtered by kind."""

@@ -29,6 +29,9 @@ from repro.experiments.figures import (
     table1_overhead,
 )
 from repro.experiments.leadtime import lead_time_summary
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.faults.base import FaultKind
+from repro.obs import render_telemetry, write_telemetry_jsonl
 from repro.experiments.reporting import (
     render_accuracy_series,
     render_overhead_table,
@@ -156,6 +159,20 @@ def reproduce_all(
                 }
                 for name, r in disc.items()
             })
+
+    # One fully instrumented run: the telemetry summary goes in the
+    # report, and the raw exports (Prometheus text, span trace, JSONL
+    # record) land next to it for machine consumption.
+    telem_run = run_experiment(ExperimentConfig(
+        app="rubis", fault=FaultKind.MEMORY_LEAK, scheme="prepare",
+        seed=seed, telemetry=True,
+    ))
+    telemetry, obs = telem_run.telemetry, telem_run.observability
+    (out / "metrics.prom").write_text(obs.metrics.render_prometheus())
+    obs.tracer.write_jsonl(out / "trace.jsonl")
+    write_telemetry_jsonl(out / "telemetry.jsonl", telemetry)
+    add("Run telemetry (PREPARE, memory leak on RUBiS)",
+        render_telemetry(telemetry), "telemetry", telemetry.to_dict())
 
     report = out / "report.md"
     header = (

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.actuation import PreventionAction
 from repro.core.controller import PrepareConfig
+from repro.obs import Observability, RunTelemetry, build_run_telemetry
 from repro.faults.base import Fault, FaultKind
 from repro.experiments.scenarios import build_testbed, make_fault
 from repro.experiments.schemes import deploy_scheme
@@ -61,6 +62,10 @@ class ExperimentConfig:
     #: round (forward-filled as a stale repeat).
     monitor_drop_rate: float = 0.0
     controller: Optional[PrepareConfig] = None
+    #: Enable the observability layer (metrics, span tracing, run
+    #: telemetry — see :mod:`repro.obs`).  Off by default: the
+    #: instrumented components then use shared no-op handles.
+    telemetry: bool = False
 
     def injection_windows(self) -> List[Tuple[float, float]]:
         windows = []
@@ -94,6 +99,11 @@ class ExperimentResult:
     #: Ground-truth injection windows.
     injections: List[Tuple[float, float]]
     slo_metric_name: str
+    #: Per-run telemetry summary (populated when ``config.telemetry``).
+    telemetry: Optional[RunTelemetry] = None
+    #: The live observability bundle behind the summary — exposes the
+    #: metrics registry and span trace for export (None when disabled).
+    observability: Optional[Observability] = None
 
     @property
     def violation_time_second_injection(self) -> float:
@@ -139,9 +149,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         noise_scale=config.noise_scale,
         monitor_drop_rate=config.monitor_drop_rate,
     )
+    obs = (
+        Observability(clock=lambda: testbed.sim.now)
+        if config.telemetry else None
+    )
     scheme = deploy_scheme(
         testbed, config.scheme, action_mode=config.action_mode,
-        config=config.controller,
+        config=config.controller, obs=obs,
     )
 
     fault = make_fault(testbed, config.fault)
@@ -178,6 +192,22 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     proactive = sum(1 for a in actions if a.proactive)
     any_trace = next(iter(testbed.monitor.traces.values()), [])
     sample_labels = [int(slo.violated_at(s.timestamp)) for s in any_trace]
+    telemetry = None
+    if obs is not None:
+        telemetry = build_run_telemetry(
+            events=scheme.controller.events if scheme.controller else None,
+            actions=actions,
+            tracer=obs.tracer,
+            meta={
+                "app": config.app,
+                "fault": config.fault.value,
+                "scheme": config.scheme,
+                "action_mode": config.action_mode,
+                "seed": config.seed,
+                "duration_s": config.duration,
+            },
+            injections=windows,
+        )
     return ExperimentResult(
         config=config,
         violation_time=violation_time,
@@ -190,6 +220,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         sample_labels=sample_labels,
         injections=windows,
         slo_metric_name=testbed.app.slo_metric_name(),
+        telemetry=telemetry,
+        observability=obs,
     )
 
 

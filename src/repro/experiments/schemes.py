@@ -47,15 +47,20 @@ def deploy_scheme(
     scheme: str,
     action_mode: str = "scaling",
     config: Optional[PrepareConfig] = None,
+    obs=None,
 ) -> ManagedScheme:
     """Instantiate and attach a management scheme to a testbed.
 
     ``action_mode`` selects the forced prevention action — ``scaling``
     for the Fig. 6/7 experiments, ``migration`` for Fig. 8/9, ``auto``
-    for the deployed scale-first policy.
+    for the deployed scale-first policy.  ``obs`` (an
+    :class:`repro.obs.Observability` bundle) enables metrics + span
+    tracing across the controller and the hypervisor verbs.
     """
     if scheme not in SCHEME_NAMES:
         raise ValueError(f"unknown scheme {scheme!r}; pick from {SCHEME_NAMES}")
+    if obs is not None:
+        testbed.cluster.hypervisor.set_observability(obs)
     if scheme == NO_INTERVENTION:
         return ManagedScheme(name=scheme, actuator=None, controller=None)
 
@@ -72,6 +77,7 @@ def deploy_scheme(
         monitor=testbed.monitor,
         actuator=actuator,
         config=base,
+        obs=obs,
     )
     controller.attach()
     return ManagedScheme(name=scheme, actuator=actuator, controller=controller)

@@ -1,0 +1,395 @@
+"""Metrics registry: counters, gauges, histograms with two exporters.
+
+The PREPARE loop is operated, not just run once — alert rates, action
+mix, validation outcomes and per-stage latency are the signals that
+tell an operator whether the controller is healthy.  This module is a
+deliberately tiny, zero-dependency subset of the Prometheus client
+data model:
+
+* :class:`Counter` — monotone totals (alerts raised, actions taken);
+* :class:`Gauge` — point-in-time values (models trained, validations
+  pending);
+* :class:`Histogram` — distributions (per-stage latency), with fixed
+  buckets for export plus a bounded reservoir of raw observations so
+  run summaries can report real percentiles instead of bucket
+  interpolations.
+
+Every metric supports label dimensions (``counter.inc(vm="PE4")``).
+:meth:`MetricsRegistry.render_prometheus` emits the standard text
+exposition format; :meth:`MetricsRegistry.to_dict` emits JSON for the
+run-telemetry files.  :func:`parse_prometheus_text` is the matching
+reader used by the CI smoke check and the tests.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_prometheus_text",
+    "DEFAULT_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets, in seconds — sized for the sub-millisecond
+#: to tens-of-milliseconds range the loop stages live in, with a tail
+#: for hypervisor verbs (migration takes seconds of sim time).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: Raw observations kept per label set for percentile queries.
+RESERVOIR_SIZE = 2048
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labelnames: Sequence[str], labelvalues: Sequence[str],
+                   extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    pairs.extend(f'{name}="{_escape_label_value(value)}"' for name, value in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+class _Metric:
+    """Shared label plumbing for all three metric types."""
+
+    metric_type = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+
+    def _key(self, labels: Mapping[str, object]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+
+class Counter(_Metric):
+    """Monotonically increasing total."""
+
+    metric_type = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._series: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._series.get(self._key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        return sum(self._series.values())
+
+    def samples(self) -> Iterable[Tuple[str, Tuple[str, ...], float]]:
+        for key, value in sorted(self._series.items()):
+            yield self.name, key, value
+
+
+class Gauge(_Metric):
+    """Point-in-time value that can go up and down."""
+
+    metric_type = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._series: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._series[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._series.get(self._key(labels), 0.0)
+
+    def samples(self) -> Iterable[Tuple[str, Tuple[str, ...], float]]:
+        for key, value in sorted(self._series.items()):
+            yield self.name, key, value
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "sum", "count", "reservoir")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * n_buckets
+        self.sum = 0.0
+        self.count = 0
+        self.reservoir: Deque[float] = deque(maxlen=RESERVOIR_SIZE)
+
+
+class Histogram(_Metric):
+    """Distribution with cumulative export buckets + raw percentiles."""
+
+    metric_type = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = (),
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self.buckets = bounds
+        self._series: Dict[Tuple[str, ...], _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets))
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                series.bucket_counts[i] += 1
+                break
+        series.sum += value
+        series.count += 1
+        series.reservoir.append(value)
+
+    def count(self, **labels: object) -> int:
+        series = self._series.get(self._key(labels))
+        return series.count if series else 0
+
+    def percentile(self, q: float, **labels: object) -> Optional[float]:
+        """Exact percentile over the retained reservoir (q in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        series = self._series.get(self._key(labels))
+        if series is None or not series.reservoir:
+            return None
+        ordered = sorted(series.reservoir)
+        rank = (q / 100.0) * (len(ordered) - 1)
+        lo = int(math.floor(rank))
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def label_sets(self) -> List[Tuple[str, ...]]:
+        return sorted(self._series)
+
+
+class MetricsRegistry:
+    """Flat namespace of metrics with idempotent registration."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterable[_Metric]:
+        return iter(self._metrics.values())
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def _register(self, cls, name: str, help: str,
+                  labelnames: Sequence[str], **kwargs) -> _Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if (type(existing) is not cls
+                    or existing.labelnames != tuple(labelnames)):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.metric_type} with labels {existing.labelnames}"
+                )
+            return existing
+        metric = cls(name, help, labelnames, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return self._register(Histogram, name, help, labelnames,
+                              buckets=buckets)
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """The standard text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.metric_type}")
+            if isinstance(metric, Histogram):
+                for key in metric.label_sets():
+                    series = metric._series[key]
+                    cumulative = 0
+                    for bound, count in zip(metric.buckets,
+                                            series.bucket_counts):
+                        cumulative += count
+                        labels = _render_labels(
+                            metric.labelnames, key,
+                            extra=((u"le", _format_value(bound)),))
+                        lines.append(f"{name}_bucket{labels} {cumulative}")
+                    labels = _render_labels(metric.labelnames, key,
+                                            extra=(("le", "+Inf"),))
+                    lines.append(f"{name}_bucket{labels} {series.count}")
+                    plain = _render_labels(metric.labelnames, key)
+                    lines.append(f"{name}_sum{plain} "
+                                 f"{_format_value(series.sum)}")
+                    lines.append(f"{name}_count{plain} {series.count}")
+            else:
+                for _n, key, value in metric.samples():
+                    labels = _render_labels(metric.labelnames, key)
+                    lines.append(f"{name}{labels} {_format_value(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of every series."""
+        out: Dict[str, object] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            entry: Dict[str, object] = {
+                "type": metric.metric_type,
+                "help": metric.help,
+                "labelnames": list(metric.labelnames),
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["series"] = [
+                    {
+                        "labels": dict(zip(metric.labelnames, key)),
+                        "bucket_counts": list(series.bucket_counts),
+                        "sum": series.sum,
+                        "count": series.count,
+                    }
+                    for key, series in sorted(metric._series.items())
+                ]
+            else:
+                entry["series"] = [
+                    {"labels": dict(zip(metric.labelnames, key)),
+                     "value": value}
+                    for _n, key, value in metric.samples()
+                ]
+            out[name] = entry
+        return out
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_ESCAPE_SEQ_RE = re.compile(r"\\(.)")
+_UNESCAPE_MAP = {"n": "\n", '"': '"', "\\": "\\"}
+
+
+def _unescape_label_value(value: str) -> str:
+    # Single pass: sequential str.replace would corrupt values where an
+    # escaped backslash precedes a literal "n" (r"\\n" is backslash+n,
+    # not newline).
+    return _ESCAPE_SEQ_RE.sub(
+        lambda m: _UNESCAPE_MAP.get(m.group(1), m.group(1)), value
+    )
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse the text exposition format back into a queryable dict.
+
+    Returns ``{family: {"type": str, "samples": [(name, labels, value)]}}``
+    where histogram ``_bucket``/``_sum``/``_count`` samples are grouped
+    under their family name.  Raises :class:`ValueError` on malformed
+    lines — the CI smoke check relies on that strictness.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+    current_family = None
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE line {raw!r}")
+            current_family = parts[2]
+            families[current_family] = {"type": parts[3], "samples": []}
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {raw!r}")
+        name = match.group("name")
+        labels: Dict[str, str] = {}
+        if match.group("labels"):
+            for label_name, value in _LABEL_PAIR_RE.findall(match.group("labels")):
+                labels[label_name] = _unescape_label_value(value)
+        text_value = match.group("value")
+        if text_value == "+Inf":
+            value = math.inf
+        elif text_value == "-Inf":
+            value = -math.inf
+        else:
+            value = float(text_value)
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and base in families and families[base]["type"] == "histogram":
+                family = base
+                break
+        if family not in families:
+            families[family] = {"type": "untyped", "samples": []}
+        families[family]["samples"].append((name, labels, value))
+    return families

@@ -1,0 +1,309 @@
+"""Per-run telemetry summaries.
+
+A :class:`RunTelemetry` record condenses one experiment run's event
+log, action list and span trace into the handful of numbers an
+operator compares across runs: alert volumes (raw / confirmed /
+suppressed), the action mix by verb and validation outcome, how fast
+the controller responded to each fault injection, and what every loop
+stage cost in host time (count + p50/p90/p99).
+
+Records round-trip through plain dicts (:meth:`RunTelemetry.to_dict` /
+:meth:`RunTelemetry.from_dict`) and are persisted as JSONL — one run
+per line — so a directory of runs greps and streams like any other
+structured log.  ``repro telemetry`` renders them from the CLI;
+``experiments/report.py`` embeds one in the reproduction report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "RunTelemetry",
+    "build_run_telemetry",
+    "render_telemetry",
+    "write_telemetry_jsonl",
+    "read_telemetry_jsonl",
+]
+
+#: Schema version stamped into every record so future readers can
+#: migrate old files instead of misreading them.
+SCHEMA_VERSION = 1
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    if not ordered:
+        return 0.0
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass
+class RunTelemetry:
+    """Summary of one run's control-loop behaviour."""
+
+    #: Free-form run identity (app, fault, scheme, seed, duration...).
+    meta: Dict[str, object] = field(default_factory=dict)
+    #: Alert funnel: raw -> k-of-W confirmed; suppression windows opened.
+    alerts: Dict[str, int] = field(default_factory=dict)
+    #: Action mix: total, proactive, per-verb, per-validation-outcome.
+    actions: Dict[str, object] = field(default_factory=dict)
+    #: Validation outcomes (effective / ineffective).
+    validations: Dict[str, int] = field(default_factory=dict)
+    #: Model lifecycle: trainings and retirements.
+    models: Dict[str, int] = field(default_factory=dict)
+    #: Per-injection response: seconds from injection start to the
+    #: first confirmed alert and to the first prevention action.
+    responses: List[Dict[str, object]] = field(default_factory=list)
+    #: Host-time cost per span name: count, total_ms, p50/p90/p99_ms.
+    stage_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Trace bookkeeping (span count, dropped spans, event count).
+    trace: Dict[str, int] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": self.schema_version,
+            "meta": dict(self.meta),
+            "alerts": dict(self.alerts),
+            "actions": dict(self.actions),
+            "validations": dict(self.validations),
+            "models": dict(self.models),
+            "responses": [dict(r) for r in self.responses],
+            "stage_latency": {
+                name: dict(stats) for name, stats in self.stage_latency.items()
+            },
+            "trace": dict(self.trace),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "RunTelemetry":
+        version = payload.get("schema_version", SCHEMA_VERSION)
+        if not isinstance(version, int) or version < 1:
+            raise ValueError(f"bad telemetry schema_version: {version!r}")
+        if version > SCHEMA_VERSION:
+            raise ValueError(
+                f"telemetry schema_version {version} is newer than "
+                f"supported {SCHEMA_VERSION}"
+            )
+        return cls(
+            meta=dict(payload.get("meta", {})),
+            alerts=dict(payload.get("alerts", {})),
+            actions=dict(payload.get("actions", {})),
+            validations=dict(payload.get("validations", {})),
+            models=dict(payload.get("models", {})),
+            responses=[dict(r) for r in payload.get("responses", [])],
+            stage_latency={
+                name: dict(stats)
+                for name, stats in dict(payload.get("stage_latency", {})).items()
+            },
+            trace=dict(payload.get("trace", {})),
+            schema_version=version,
+        )
+
+    def to_json_line(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+def build_run_telemetry(
+    events=None,
+    actions: Sequence[object] = (),
+    tracer: Optional[Tracer] = None,
+    meta: Optional[Mapping[str, object]] = None,
+    injections: Sequence[Tuple[float, float]] = (),
+) -> RunTelemetry:
+    """Condense one run's observability state into a summary record.
+
+    ``events`` is the controller's :class:`~repro.core.events.EventLog`
+    (or ``None`` for schemes without a controller); ``actions`` the
+    actuator's :class:`~repro.core.actuation.PreventionAction` list;
+    ``injections`` the ground-truth fault windows used for response
+    latencies.
+    """
+    event_list = list(events) if events is not None else []
+    counts: Dict[str, int] = {}
+    for event in event_list:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+
+    alerts = {
+        "raw": counts.get("raw_alert", 0),
+        "confirmed": counts.get("alert_confirmed", 0),
+        "suppressed": counts.get("suppressed", 0),
+    }
+
+    by_verb: Dict[str, int] = {}
+    by_outcome = {"effective": 0, "ineffective": 0, "unvalidated": 0}
+    proactive = 0
+    for action in actions:
+        by_verb[action.verb] = by_verb.get(action.verb, 0) + 1
+        if action.effective is True:
+            by_outcome["effective"] += 1
+        elif action.effective is False:
+            by_outcome["ineffective"] += 1
+        else:
+            by_outcome["unvalidated"] += 1
+        if action.proactive:
+            proactive += 1
+    actions_summary: Dict[str, object] = {
+        "total": len(list(actions)),
+        "proactive": proactive,
+        "by_verb": by_verb,
+        "by_outcome": by_outcome,
+    }
+
+    validations = {"effective": 0, "ineffective": 0}
+    for event in event_list:
+        if event.kind == "validation":
+            outcome = str(event.detail.get("outcome", ""))
+            if outcome in validations:
+                validations[outcome] += 1
+
+    models = {
+        "trained": counts.get("model_trained", 0),
+        "retired": counts.get("model_retired", 0),
+    }
+
+    confirmed_times = sorted(
+        e.timestamp for e in event_list if e.kind == "alert_confirmed"
+    )
+    action_times = sorted(a.timestamp for a in actions)
+    responses: List[Dict[str, object]] = []
+    for index, (start, end) in enumerate(injections):
+        first_alert = next((t for t in confirmed_times if t >= start), None)
+        first_action = next((t for t in action_times if t >= start), None)
+        responses.append({
+            "injection": index,
+            "start": start,
+            "end": end,
+            "alert_after_s": (
+                None if first_alert is None else first_alert - start
+            ),
+            "action_after_s": (
+                None if first_action is None else first_action - start
+            ),
+        })
+
+    stage_latency: Dict[str, Dict[str, float]] = {}
+    span_count = 0
+    dropped = 0
+    if tracer is not None:
+        span_count = len(tracer.finished)
+        dropped = tracer.dropped
+        per_stage: Dict[str, List[float]] = {}
+        for span in tracer.finished:
+            per_stage.setdefault(span.name, []).append(span.wall_duration)
+        for name, durations in sorted(per_stage.items()):
+            ordered = sorted(durations)
+            stage_latency[name] = {
+                "count": len(ordered),
+                "total_ms": 1e3 * sum(ordered),
+                "p50_ms": 1e3 * _percentile(ordered, 50.0),
+                "p90_ms": 1e3 * _percentile(ordered, 90.0),
+                "p99_ms": 1e3 * _percentile(ordered, 99.0),
+            }
+
+    return RunTelemetry(
+        meta=dict(meta or {}),
+        alerts=alerts,
+        actions=actions_summary,
+        validations=validations,
+        models=models,
+        responses=responses,
+        stage_latency=stage_latency,
+        trace={
+            "spans": span_count,
+            "spans_dropped": dropped,
+            "events": len(event_list),
+        },
+    )
+
+
+def render_telemetry(telemetry: RunTelemetry) -> str:
+    """Human-readable one-run summary for the CLI and the report."""
+    lines: List[str] = []
+    meta = telemetry.meta
+    if meta:
+        identity = " ".join(f"{k}={meta[k]}" for k in sorted(meta))
+        lines.append(f"run: {identity}")
+    a = telemetry.alerts
+    lines.append(
+        f"alerts: raw={a.get('raw', 0)} confirmed={a.get('confirmed', 0)} "
+        f"suppressed={a.get('suppressed', 0)}"
+    )
+    act = telemetry.actions
+    verb_text = " ".join(
+        f"{verb}={count}" for verb, count in sorted(
+            dict(act.get("by_verb", {})).items())
+    ) or "none"
+    outcome = dict(act.get("by_outcome", {}))
+    lines.append(
+        f"actions: total={act.get('total', 0)} "
+        f"proactive={act.get('proactive', 0)} [{verb_text}] "
+        f"effective={outcome.get('effective', 0)} "
+        f"ineffective={outcome.get('ineffective', 0)} "
+        f"unvalidated={outcome.get('unvalidated', 0)}"
+    )
+    m = telemetry.models
+    lines.append(
+        f"models: trained={m.get('trained', 0)} retired={m.get('retired', 0)}"
+    )
+    for response in telemetry.responses:
+        alert = response.get("alert_after_s")
+        action = response.get("action_after_s")
+        lines.append(
+            f"injection {response.get('injection')}: "
+            f"first alert {'n/a' if alert is None else f'+{alert:.0f}s'}, "
+            f"first action {'n/a' if action is None else f'+{action:.0f}s'}"
+        )
+    if telemetry.stage_latency:
+        lines.append(f"{'stage':<20s} {'count':>7s} {'p50 ms':>9s} "
+                     f"{'p90 ms':>9s} {'p99 ms':>9s} {'total ms':>10s}")
+        for name, stats in sorted(telemetry.stage_latency.items()):
+            lines.append(
+                f"{name:<20s} {int(stats['count']):>7d} "
+                f"{stats['p50_ms']:>9.3f} {stats['p90_ms']:>9.3f} "
+                f"{stats['p99_ms']:>9.3f} {stats['total_ms']:>10.2f}"
+            )
+    trace = telemetry.trace
+    lines.append(
+        f"trace: {trace.get('spans', 0)} spans "
+        f"({trace.get('spans_dropped', 0)} dropped), "
+        f"{trace.get('events', 0)} events"
+    )
+    return "\n".join(lines)
+
+
+def write_telemetry_jsonl(
+    path: Union[str, Path],
+    telemetries: Union[RunTelemetry, Sequence[RunTelemetry]],
+) -> Path:
+    """Append-friendly JSONL persistence (one run per line)."""
+    if isinstance(telemetries, RunTelemetry):
+        telemetries = [telemetries]
+    path = Path(path)
+    with path.open("w") as fh:
+        for telemetry in telemetries:
+            fh.write(telemetry.to_json_line() + "\n")
+    return path
+
+
+def read_telemetry_jsonl(path: Union[str, Path]) -> List[RunTelemetry]:
+    """Read every record of a telemetry JSONL file (strict parse)."""
+    records: List[RunTelemetry] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+        records.append(RunTelemetry.from_dict(payload))
+    return records

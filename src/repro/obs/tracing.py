@@ -1,0 +1,248 @@
+"""Lightweight span tracing for the PREPARE control loop.
+
+A :class:`Span` records one unit of controller work on two clocks at
+once: monotonic *wall* time (``time.perf_counter`` — what the stage
+actually cost the host) and *sim* time (the simulator clock — when in
+the experiment it happened).  Spans are plain data appended to a
+bounded in-memory list; there is no propagation, sampling, or wire
+protocol — the consumer is the run-telemetry summary, the JSONL trace
+file, and the tests.
+
+Two usage shapes:
+
+* synchronous stages use the context manager::
+
+      with tracer.span("predict", vms=4) as sp:
+          ...
+          sp.set("alerts", n)
+
+* asynchronous work (hypervisor verbs that complete on a later sim
+  tick) uses the explicit pair::
+
+      sp = tracer.start("hypervisor.migrate", vm=vm.name)
+      ...   # later, inside the completion callback
+      tracer.finish(sp)
+
+``NullTracer`` is the disabled twin: its spans are a shared no-op
+object, so instrumented code pays one attribute lookup and one no-op
+call per stage when observability is off.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Set, Union
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "STAGE_INGEST",
+    "STAGE_PREDICT",
+    "STAGE_CLASSIFY",
+    "STAGE_DIAGNOSIS",
+    "STAGE_ACTUATE",
+    "STAGE_VALIDATE",
+    "STAGE_RETRAIN",
+    "SPAN_SCALE",
+    "SPAN_MIGRATE",
+    "LOOP_STAGES",
+]
+
+#: Span taxonomy — the four loop stages of Fig. 1 ...
+STAGE_INGEST = "monitor.ingest"       # batch sample ingest
+STAGE_PREDICT = "predict"             # per-VM Markov predict + classify
+STAGE_DIAGNOSIS = "diagnosis"         # cause inference on confirmed alerts
+STAGE_ACTUATE = "actuate"             # prevention actuation fan-out
+#: ... plus the auxiliary paths that ride on the same cadence.
+STAGE_CLASSIFY = "classify.reactive"  # reactive-path current-state classify
+STAGE_VALIDATE = "validate"           # effectiveness validation sweep
+STAGE_RETRAIN = "retrain"             # online model (re)training
+SPAN_SCALE = "hypervisor.scale"       # elastic scaling verb (async)
+SPAN_MIGRATE = "hypervisor.migrate"   # live migration verb (async)
+
+#: The four canonical loop stages a healthy predictive run must cover.
+LOOP_STAGES = (STAGE_INGEST, STAGE_PREDICT, STAGE_DIAGNOSIS, STAGE_ACTUATE)
+
+
+@dataclass
+class Span:
+    """One timed unit of controller work."""
+
+    name: str
+    sim_start: float
+    wall_start: float
+    sim_end: Optional[float] = None
+    wall_end: Optional[float] = None
+    status: str = "ok"
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.wall_end is not None
+
+    @property
+    def wall_duration(self) -> float:
+        """Host seconds spent in the span (0.0 while unfinished)."""
+        if self.wall_end is None:
+            return 0.0
+        return self.wall_end - self.wall_start
+
+    @property
+    def sim_duration(self) -> float:
+        """Simulated seconds covered by the span (0.0 while unfinished)."""
+        if self.sim_end is None:
+            return 0.0
+        return self.sim_end - self.sim_start
+
+    def set(self, key: str, value: object) -> None:
+        """Attach one attribute."""
+        self.attributes[key] = value
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "sim_start": self.sim_start,
+            "sim_end": self.sim_end,
+            "wall_duration_s": self.wall_duration,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+
+class Tracer:
+    """Bounded collector of finished spans.
+
+    ``clock`` supplies sim time (defaults to a constant 0.0 so the
+    tracer also works outside a simulation); ``on_finish`` is invoked
+    with each finished span — the hook the metrics registry uses to
+    feed the per-stage latency histogram without a second timing call.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        max_spans: int = 100_000,
+        on_finish: Optional[Callable[[Span], None]] = None,
+    ) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self.max_spans = max_spans
+        self.on_finish = on_finish
+        self.finished: List[Span] = []
+        #: Spans discarded after hitting the bound (oldest first).
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.finished)
+
+    def start(self, name: str, **attributes: object) -> Span:
+        """Open a span; pair with :meth:`finish`."""
+        return Span(
+            name=name,
+            sim_start=self._clock(),
+            wall_start=time.perf_counter(),
+            attributes=dict(attributes),
+        )
+
+    def finish(self, span: Span, **attributes: object) -> Span:
+        """Close a span and record it."""
+        if attributes:
+            span.attributes.update(attributes)
+        span.sim_end = self._clock()
+        span.wall_end = time.perf_counter()
+        self.finished.append(span)
+        if len(self.finished) > self.max_spans:
+            overflow = len(self.finished) - self.max_spans
+            del self.finished[:overflow]
+            self.dropped += overflow
+        if self.on_finish is not None:
+            self.on_finish(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """Time a synchronous block; exceptions mark the span failed."""
+        sp = self.start(name, **attributes)
+        try:
+            yield sp
+        except BaseException as exc:
+            sp.status = "error"
+            sp.attributes["exception"] = repr(exc)
+            raise
+        finally:
+            self.finish(sp)
+
+    # ------------------------------------------------------------------
+    # Queries + export
+    # ------------------------------------------------------------------
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        if name is None:
+            return list(self.finished)
+        return [sp for sp in self.finished if sp.name == name]
+
+    def stage_names(self) -> Set[str]:
+        return {sp.name for sp in self.finished}
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [sp.to_dict() for sp in self.finished]
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        """One span per line, in completion order."""
+        path = Path(path)
+        with path.open("w") as fh:
+            for sp in self.finished:
+                fh.write(json.dumps(sp.to_dict(), sort_keys=True) + "\n")
+        return path
+
+
+class _NullSpan:
+    """Shared no-op span for disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op."""
+
+    finished: List[Span] = []
+    dropped = 0
+
+    def __len__(self) -> int:
+        return 0
+
+    def start(self, name: str, **attributes: object) -> _NullSpan:
+        return NULL_SPAN
+
+    def finish(self, span: _NullSpan, **attributes: object) -> _NullSpan:
+        return span
+
+    def span(self, name: str, **attributes: object) -> _NullSpan:
+        return NULL_SPAN
+
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        return []
+
+    def stage_names(self) -> Set[str]:
+        return set()
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return []

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro.obs import NULL_OBS, SPAN_MIGRATE, SPAN_SCALE
 from repro.sim.engine import Simulator
 from repro.sim.host import Host
 from repro.sim.resources import ResourceError, ResourceKind
@@ -48,9 +49,19 @@ class OperationRecord:
 class Hypervisor:
     """Performs scaling/migration on VMs with realistic latencies."""
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(self, sim: Simulator, obs=None) -> None:
         self._sim = sim
         self.operations: List[OperationRecord] = []
+        self.set_observability(obs if obs is not None else NULL_OBS)
+
+    def set_observability(self, obs) -> None:
+        """Attach an :class:`repro.obs.Observability` bundle (or the
+        null twin) — called post-construction because the cluster
+        builds the hypervisor before any experiment wiring exists."""
+        self.obs = obs
+        self._m_ops = obs.metrics.counter(
+            "prepare_hypervisor_ops_total",
+            "Completed hypervisor operations", ("op",))
 
     # ------------------------------------------------------------------
     # Elastic resource scaling
@@ -88,6 +99,9 @@ class Hypervisor:
             CPU_SCALING_LATENCY if kind is ResourceKind.CPU else MEMORY_SCALING_LATENCY
         )
         started = self._sim.now
+        span = self.obs.tracer.start(
+            SPAN_SCALE, vm=vm.name, resource=kind.value, target=new_amount
+        )
 
         def apply() -> None:
             vm.set_allocation(kind, new_amount)
@@ -100,6 +114,8 @@ class Hypervisor:
                     detail=f"-> {new_amount:g}",
                 )
             )
+            self.obs.tracer.finish(span)
+            self._m_ops.inc(op=f"scale-{kind.value}")
             if on_done is not None:
                 on_done()
 
@@ -138,6 +154,10 @@ class Hypervisor:
         duration = self.migration_duration(vm)
         source = vm.host
         started = self._sim.now
+        span = self.obs.tracer.start(
+            SPAN_MIGRATE, vm=vm.name,
+            source=source.name, destination=destination.name,
+        )
         vm.migrating = True
         # Hold the destination capacity for the whole pre-copy phase so
         # concurrent migrations cannot over-commit the target host.
@@ -158,6 +178,8 @@ class Hypervisor:
                     detail=f"{source.name} -> {destination.name}",
                 )
             )
+            self.obs.tracer.finish(span)
+            self._m_ops.inc(op="migrate")
             if on_done is not None:
                 on_done()
 

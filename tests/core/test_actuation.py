@@ -187,7 +187,7 @@ class TestEffectivenessValidator:
         validator = EffectivenessValidator(settle_seconds=20.0)
         validator.watch(action, np.array([5.0, 6.0]), now=sim.now)
         resolved = validator.check(
-            sim.now + 25.0, {"vm1": np.array([5.0])}, {"vm1": False}
+            sim.now + 25.0, {action.action_id: np.array([5.0])}, {"vm1": False}
         )
         assert resolved == [(action, ValidationOutcome.EFFECTIVE)]
         assert action.effective is True
@@ -197,7 +197,7 @@ class TestEffectivenessValidator:
         validator = EffectivenessValidator(settle_seconds=20.0)
         validator.watch(action, np.array([5.0, 6.0]), now=sim.now)
         resolved = validator.check(
-            sim.now + 25.0, {"vm1": np.array([5.5])}, {"vm1": True}
+            sim.now + 25.0, {action.action_id: np.array([5.5])}, {"vm1": True}
         )
         assert resolved == [(action, ValidationOutcome.INEFFECTIVE)]
         assert action.effective is False
@@ -208,7 +208,9 @@ class TestEffectivenessValidator:
         sim, action = self._action(world)
         validator = EffectivenessValidator(settle_seconds=20.0)
         validator.watch(action, np.array([100.0]), now=sim.now)
-        validator.check(sim.now + 25.0, {"vm1": np.array([10.0])}, {"vm1": True})
+        validator.check(
+            sim.now + 25.0, {action.action_id: np.array([10.0])}, {"vm1": True}
+        )
         assert action.usage_changed is True
 
     def test_validator_bounds(self):

@@ -32,9 +32,10 @@ class TestWiring:
     def test_lookahead_steps(self):
         testbed, managed = deploy()
         controller = managed.controller
-        assert controller.lookahead_steps == round(
-            controller.config.lookahead_seconds / testbed.monitor.interval
-        )
+        # Exact multiple: 30 s at a 5 s interval is exactly 6 steps.
+        assert controller.config.lookahead_seconds == 30.0
+        assert testbed.monitor.interval == 5.0
+        assert controller.lookahead_steps == 6
 
     def test_none_scheme_has_no_controller(self):
         testbed = build_testbed(RUBIS, seed=1)

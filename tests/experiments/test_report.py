@@ -28,6 +28,19 @@ class TestReproduceAll:
         cell = data["fig6"]["system-s"]["memory_leak"]
         assert cell["prepare"]["mean"] <= cell["none"]["mean"]
 
+    def test_telemetry_artifacts(self, report_dir):
+        from repro.obs import parse_prometheus_text, read_telemetry_jsonl
+
+        report = (report_dir / "report.md").read_text()
+        assert "Run telemetry" in report
+        families = parse_prometheus_text(
+            (report_dir / "metrics.prom").read_text()
+        )
+        assert "prepare_samples_ingested_total" in families
+        records = read_telemetry_jsonl(report_dir / "telemetry.jsonl")
+        assert len(records) == 1
+        assert (report_dir / "trace.jsonl").exists()
+
     def test_quick_skips_slow_sections(self, report_dir):
         report = (report_dir / "report.md").read_text()
         assert "Fig. 8" not in report

@@ -1,0 +1,169 @@
+"""Tests for the metrics registry and its two exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("requests_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labels_partition_series(self):
+        c = Counter("alerts_total", labelnames=("vm",))
+        c.inc(vm="vm1")
+        c.inc(vm="vm1")
+        c.inc(vm="vm2")
+        assert c.value(vm="vm1") == 2
+        assert c.value(vm="vm2") == 1
+        assert c.total() == 3
+
+    def test_negative_increment_rejected(self):
+        c = Counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_wrong_labels_rejected(self):
+        c = Counter("x_total", labelnames=("vm",))
+        with pytest.raises(ValueError):
+            c.inc(host="h1")
+        with pytest.raises(ValueError):
+            c.inc()
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("1bad")
+        with pytest.raises(ValueError):
+            Counter("ok_total", labelnames=("bad-label",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("pending")
+        g.set(4.0)
+        g.inc()
+        g.dec(2.0)
+        assert g.value() == 3.0
+
+
+class TestHistogram:
+    def test_observe_counts_and_sum(self):
+        h = Histogram("latency_seconds", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count() == 4
+        series = h._series[()]
+        assert series.bucket_counts == [1, 1, 1]  # 5.0 overflows +Inf
+        assert series.sum == pytest.approx(5.555)
+
+    def test_percentile_from_reservoir(self):
+        h = Histogram("latency_seconds")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(99) == pytest.approx(99.01)
+        assert h.percentile(0) == 1.0
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_percentile_empty_is_none(self):
+        h = Histogram("latency_seconds")
+        assert h.percentile(50) is None
+
+
+class TestRegistry:
+    def test_idempotent_registration(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help", ("vm",))
+        b = reg.counter("x_total", "other help", ("vm",))
+        assert a is b
+
+    def test_conflicting_registration_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+        with pytest.raises(ValueError):
+            reg.counter("x_total", labelnames=("vm",))
+
+    def test_to_dict_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "A", ("vm",)).inc(vm="v1")
+        reg.gauge("b").set(2.0)
+        reg.histogram("c_seconds", buckets=(1.0,)).observe(0.5)
+        payload = json.loads(json.dumps(reg.to_dict()))
+        assert payload["a_total"]["series"] == [
+            {"labels": {"vm": "v1"}, "value": 1.0}
+        ]
+        assert payload["c_seconds"]["series"][0]["count"] == 1
+
+
+class TestPrometheusExport:
+    def _registry(self):
+        reg = MetricsRegistry()
+        c = reg.counter("prepare_alerts_total", "Alerts", ("vm",))
+        c.inc(vm="vm1")
+        c.inc(3, vm='odd"vm\\name')
+        reg.gauge("prepare_models_trained", "Models").set(2)
+        h = reg.histogram("prepare_stage_seconds", "Stage cost",
+                          ("stage",), buckets=(0.01, 0.1))
+        h.observe(0.005, stage="predict")
+        h.observe(0.05, stage="predict")
+        h.observe(0.5, stage="predict")
+        return reg
+
+    def test_render_structure(self):
+        text = self._registry().render_prometheus()
+        assert "# HELP prepare_alerts_total Alerts" in text
+        assert "# TYPE prepare_alerts_total counter" in text
+        assert 'prepare_alerts_total{vm="vm1"} 1' in text
+        assert '# TYPE prepare_stage_seconds histogram' in text
+        assert 'prepare_stage_seconds_bucket{stage="predict",le="0.01"} 1' in text
+        assert 'prepare_stage_seconds_bucket{stage="predict",le="0.1"} 2' in text
+        assert 'prepare_stage_seconds_bucket{stage="predict",le="+Inf"} 3' in text
+        assert 'prepare_stage_seconds_count{stage="predict"} 3' in text
+
+    def test_label_escaping_round_trips(self):
+        text = self._registry().render_prometheus()
+        families = parse_prometheus_text(text)
+        samples = families["prepare_alerts_total"]["samples"]
+        labels = {lab["vm"] for _n, lab, _v in samples}
+        assert labels == {"vm1", 'odd"vm\\name'}
+
+    def test_parse_groups_histogram_family(self):
+        families = parse_prometheus_text(self._registry().render_prometheus())
+        fam = families["prepare_stage_seconds"]
+        assert fam["type"] == "histogram"
+        names = {name for name, _l, _v in fam["samples"]}
+        assert names == {
+            "prepare_stage_seconds_bucket",
+            "prepare_stage_seconds_sum",
+            "prepare_stage_seconds_count",
+        }
+        inf_bucket = [
+            v for name, labels, v in fam["samples"]
+            if name.endswith("_bucket") and labels["le"] == "+Inf"
+        ]
+        assert inf_bucket == [3]
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is { not a sample")
+
+    def test_inf_value_round_trips(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(math.inf)
+        families = parse_prometheus_text(reg.render_prometheus())
+        assert families["g"]["samples"][0][2] == math.inf

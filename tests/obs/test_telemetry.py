@@ -1,0 +1,186 @@
+"""Tests for run-telemetry summaries: schema round-trip + end-to-end."""
+
+import json
+
+import pytest
+
+from repro.core.events import EventLog
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.faults import FaultKind
+from repro.obs import (
+    LOOP_STAGES,
+    RunTelemetry,
+    Tracer,
+    build_run_telemetry,
+    parse_prometheus_text,
+    read_telemetry_jsonl,
+    render_telemetry,
+    write_telemetry_jsonl,
+)
+
+
+class _FakeAction:
+    def __init__(self, timestamp, verb, effective, proactive):
+        self.timestamp = timestamp
+        self.verb = verb
+        self.effective = effective
+        self.proactive = proactive
+
+
+def _synthetic_inputs():
+    events = EventLog()
+    events.emit(10.0, "raw_alert", vm="vm1", score=1.2)
+    events.emit(15.0, "raw_alert", vm="vm1", score=1.4)
+    events.emit(20.0, "alert_confirmed", vm="vm1")
+    events.emit(25.0, "suppressed", vm="vm1", until=60.0, cause="scale-cpu")
+    events.emit(70.0, "validation", vm="vm1", outcome="effective",
+                metric="swap_used", usage_changed=True)
+    events.emit(80.0, "model_trained", vm="vm1", samples=50, abnormal=9)
+    actions = [
+        _FakeAction(22.0, "scale", True, True),
+        _FakeAction(90.0, "migrate", None, False),
+    ]
+    tracer = Tracer()
+    for name in ("monitor.ingest", "predict", "predict", "diagnosis"):
+        with tracer.span(name):
+            pass
+    return events, actions, tracer
+
+
+class TestBuildRunTelemetry:
+    def test_counts(self):
+        events, actions, tracer = _synthetic_inputs()
+        telemetry = build_run_telemetry(
+            events=events, actions=actions, tracer=tracer,
+            meta={"app": "rubis", "seed": 7},
+            injections=[(5.0, 305.0)],
+        )
+        assert telemetry.alerts == {"raw": 2, "confirmed": 1, "suppressed": 1}
+        assert telemetry.actions["total"] == 2
+        assert telemetry.actions["proactive"] == 1
+        assert telemetry.actions["by_verb"] == {"scale": 1, "migrate": 1}
+        assert telemetry.actions["by_outcome"] == {
+            "effective": 1, "ineffective": 0, "unvalidated": 1,
+        }
+        assert telemetry.validations == {"effective": 1, "ineffective": 0}
+        assert telemetry.models == {"trained": 1, "retired": 0}
+        assert telemetry.trace == {"spans": 4, "spans_dropped": 0,
+                                   "events": 6}
+        response = telemetry.responses[0]
+        assert response["alert_after_s"] == 15.0
+        assert response["action_after_s"] == 17.0
+        assert telemetry.stage_latency["predict"]["count"] == 2
+
+    def test_empty_inputs(self):
+        telemetry = build_run_telemetry()
+        assert telemetry.alerts["raw"] == 0
+        assert telemetry.actions["total"] == 0
+        assert telemetry.stage_latency == {}
+
+    def test_no_response_recorded_as_none(self):
+        events, actions, tracer = _synthetic_inputs()
+        telemetry = build_run_telemetry(
+            events=events, actions=actions, tracer=tracer,
+            injections=[(1000.0, 1300.0)],
+        )
+        assert telemetry.responses[0]["alert_after_s"] is None
+        assert telemetry.responses[0]["action_after_s"] is None
+
+
+class TestSchemaRoundTrip:
+    def _telemetry(self):
+        events, actions, tracer = _synthetic_inputs()
+        return build_run_telemetry(
+            events=events, actions=actions, tracer=tracer,
+            meta={"app": "rubis", "fault": "memory_leak", "seed": 7},
+            injections=[(5.0, 305.0)],
+        )
+
+    def test_dict_round_trip(self):
+        telemetry = self._telemetry()
+        clone = RunTelemetry.from_dict(
+            json.loads(json.dumps(telemetry.to_dict()))
+        )
+        assert clone == telemetry
+
+    def test_jsonl_round_trip(self, tmp_path):
+        telemetry = self._telemetry()
+        path = write_telemetry_jsonl(tmp_path / "t.jsonl",
+                                     [telemetry, telemetry])
+        records = read_telemetry_jsonl(path)
+        assert records == [telemetry, telemetry]
+
+    def test_bad_json_line_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"schema_version": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_telemetry_jsonl(path)
+
+    def test_future_schema_rejected(self):
+        with pytest.raises(ValueError, match="newer"):
+            RunTelemetry.from_dict({"schema_version": 99})
+        with pytest.raises(ValueError):
+            RunTelemetry.from_dict({"schema_version": "x"})
+
+    def test_render_mentions_key_numbers(self):
+        text = render_telemetry(self._telemetry())
+        assert "raw=2" in text
+        assert "total=2" in text
+        assert "predict" in text
+        assert "app=rubis" in text
+
+
+class TestInstrumentedRun:
+    """The acceptance scenario: one instrumented run must produce a
+    Prometheus export and a span trace covering all four loop stages,
+    with zero observability residue when telemetry is off."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_experiment(ExperimentConfig(
+            app="rubis", fault=FaultKind.MEMORY_LEAK, scheme="prepare",
+            seed=11, duration=1500.0, telemetry=True,
+        ))
+
+    def test_trace_covers_all_four_loop_stages(self, run):
+        stages = run.observability.tracer.stage_names()
+        for stage in LOOP_STAGES:
+            assert stage in stages, f"missing loop stage {stage}"
+
+    def test_prometheus_export_parses_with_activity(self, run):
+        families = parse_prometheus_text(
+            run.observability.metrics.render_prometheus()
+        )
+        ingested = sum(
+            v for _n, _l, v
+            in families["prepare_samples_ingested_total"]["samples"]
+        )
+        assert ingested > 0
+        assert families["prepare_stage_seconds"]["type"] == "histogram"
+        assert families["prepare_actions_total"]["samples"]
+
+    def test_summary_matches_run(self, run):
+        telemetry = run.telemetry
+        assert telemetry.actions["total"] == len(run.actions)
+        assert telemetry.meta["app"] == "rubis"
+        assert telemetry.trace["spans"] == len(
+            run.observability.tracer.finished
+        )
+        # Summary counts mirror the Prometheus counters.
+        families = parse_prometheus_text(
+            run.observability.metrics.render_prometheus()
+        )
+        confirmed = sum(
+            v for _n, _l, v
+            in families.get("prepare_alerts_confirmed_total",
+                            {"samples": []})["samples"]
+        )
+        assert telemetry.alerts["confirmed"] == confirmed
+
+    def test_disabled_by_default(self):
+        result = run_experiment(ExperimentConfig(
+            app="rubis", fault=FaultKind.CPU_HOG, scheme="none",
+            seed=5, duration=1300.0,
+        ))
+        assert result.telemetry is None
+        assert result.observability is None

@@ -1,0 +1,131 @@
+"""Tests for span tracing and the null (disabled) twin."""
+
+import json
+
+import pytest
+
+from repro.obs import NULL_OBS, Observability
+from repro.obs.tracing import NULL_SPAN, NullTracer, Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestTracer:
+    def test_span_context_manager_records_both_clocks(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("predict", vms=4) as sp:
+            clock.now = 5.0
+            sp.set("alerts", 1)
+        assert len(tracer) == 1
+        span = tracer.finished[0]
+        assert span.name == "predict"
+        assert span.sim_start == 0.0 and span.sim_end == 5.0
+        assert span.sim_duration == 5.0
+        assert span.wall_duration >= 0.0
+        assert span.attributes == {"vms": 4, "alerts": 1}
+        assert span.status == "ok"
+
+    def test_exception_marks_span_failed_and_reraises(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("diagnosis"):
+                raise RuntimeError("boom")
+        span = tracer.finished[0]
+        assert span.status == "error"
+        assert "boom" in span.attributes["exception"]
+
+    def test_start_finish_pair_for_async_work(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        span = tracer.start("hypervisor.migrate", vm="vm1")
+        assert not span.finished
+        assert tracer.finished == []
+        clock.now = 8.56
+        tracer.finish(span, outcome="done")
+        assert span.finished and span.sim_duration == 8.56
+        assert span.attributes["outcome"] == "done"
+
+    def test_bound_drops_oldest(self):
+        tracer = Tracer(max_spans=2)
+        for i in range(4):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [sp.name for sp in tracer.finished] == ["s2", "s3"]
+        assert tracer.dropped == 2
+
+    def test_on_finish_hook(self):
+        seen = []
+        tracer = Tracer(on_finish=seen.append)
+        with tracer.span("predict"):
+            pass
+        assert [sp.name for sp in seen] == ["predict"]
+
+    def test_queries(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        with tracer.span("a"):
+            pass
+        assert len(tracer.spans("a")) == 2
+        assert tracer.stage_names() == {"a", "b"}
+
+    def test_write_jsonl(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("predict", vms=2):
+            pass
+        path = tracer.write_jsonl(tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["name"] == "predict"
+        assert record["attributes"] == {"vms": 2}
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+
+class TestNullTracer:
+    def test_all_noops(self):
+        tracer = NullTracer()
+        with tracer.span("predict") as sp:
+            sp.set("k", "v")
+        span = tracer.start("x")
+        tracer.finish(span)
+        assert len(tracer) == 0
+        assert tracer.spans() == []
+        assert tracer.to_dicts() == []
+
+    def test_shared_null_span(self):
+        tracer = NullTracer()
+        assert tracer.start("a") is NULL_SPAN
+        assert tracer.span("b") is NULL_SPAN
+
+
+class TestObservabilityBundle:
+    def test_spans_feed_stage_histogram(self):
+        obs = Observability()
+        with obs.span("predict"):
+            pass
+        with obs.span("predict"):
+            pass
+        hist = obs.metrics.get("prepare_stage_seconds")
+        assert hist.count(stage="predict") == 2
+
+    def test_null_obs_is_inert(self):
+        counter = NULL_OBS.metrics.counter("whatever_total")
+        counter.inc()
+        assert counter.value() == 0.0
+        with NULL_OBS.span("predict") as sp:
+            sp.set("k", 1)
+        assert NULL_OBS.metrics.render_prometheus() == ""
+        assert not NULL_OBS.enabled and Observability().enabled

@@ -66,3 +66,66 @@ class TestCommands:
         assert code == 0
         assert "Table I" in out
         assert "live_migration_512mb" in out
+
+
+class TestTelemetryCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["telemetry"])
+        assert args.app == "rubis"
+        assert args.fault == "memory_leak"
+        assert args.scheme == "prepare"
+        assert args.output_dir is None and args.input is None
+
+    def test_run_writes_exports(self, capsys, tmp_path):
+        from repro.obs import (
+            LOOP_STAGES,
+            parse_prometheus_text,
+            read_telemetry_jsonl,
+        )
+
+        code = main([
+            "telemetry", "--app", "rubis", "--fault", "memory_leak",
+            "--seed", "11", "--output-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "alerts" in out and "actions" in out
+
+        families = parse_prometheus_text(
+            (tmp_path / "metrics.prom").read_text()
+        )
+        assert "prepare_samples_ingested_total" in families
+        assert "prepare_stage_seconds" in families
+
+        trace_names = {
+            json.loads(line)["name"]
+            for line in (tmp_path / "trace.jsonl").read_text().splitlines()
+        }
+        assert set(LOOP_STAGES) <= trace_names
+
+        records = read_telemetry_jsonl(tmp_path / "telemetry.jsonl")
+        assert len(records) == 1
+        assert records[0].meta["seed"] == 11
+
+    def test_input_mode_renders_existing_jsonl(self, capsys, tmp_path):
+        from repro.obs import build_run_telemetry, write_telemetry_jsonl
+
+        path = write_telemetry_jsonl(
+            tmp_path / "t.jsonl",
+            build_run_telemetry(meta={"app": "rubis", "seed": 3}),
+        )
+        code = main(["telemetry", "--input", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "app=rubis" in out
+
+    def test_input_mode_json(self, capsys, tmp_path):
+        from repro.obs import build_run_telemetry, write_telemetry_jsonl
+
+        path = write_telemetry_jsonl(
+            tmp_path / "t.jsonl", build_run_telemetry()
+        )
+        code = main(["telemetry", "--input", str(path), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["schema_version"] == 1
