@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Validate relative Markdown links and anchors in the repo docs.
+
+For every ``[text](target)`` link in the given files/directories:
+
+* external targets (``http://``, ``https://``, ``mailto:``) are skipped;
+* relative file targets must exist on disk (resolved against the
+  linking file's directory);
+* ``file.md#anchor`` / ``#anchor`` targets must match a heading in the
+  target file, using GitHub's heading-to-anchor slug rules.
+
+Fenced code blocks and inline code spans are stripped before scanning,
+so example snippets cannot produce false positives.  Exits non-zero on
+any dangling reference — the CI guard that keeps future PRs from
+landing broken cross-references.
+
+Usage::
+
+    python scripts/check_doc_links.py README.md docs
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List, Set
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
+FENCE_RE = re.compile(r"^```.*?^```[ \t]*$", re.DOTALL | re.MULTILINE)
+INLINE_CODE_RE = re.compile(r"`[^`\n]+`")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's heading -> anchor rule: lowercase, drop punctuation,
+    hyphenate spaces."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)          # formatting markers
+    text = re.sub(r"[^\w\- ]", "", text)       # punctuation
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> Set[str]:
+    text = FENCE_RE.sub("", path.read_text())
+    anchors: Set[str] = set()
+    for match in HEADING_RE.finditer(text):
+        slug = slugify(match.group(1))
+        if slug in anchors:                    # GitHub dedups with -1, -2...
+            suffix = 1
+            while f"{slug}-{suffix}" in anchors:
+                suffix += 1
+            slug = f"{slug}-{suffix}"
+        anchors.add(slug)
+    return anchors
+
+
+def check_file(path: Path) -> List[str]:
+    """Return a list of error strings for one Markdown file."""
+    errors: List[str] = []
+    text = FENCE_RE.sub("", path.read_text())
+    text = INLINE_CODE_RE.sub("", text)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        base, _, anchor = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}: broken link -> {target}")
+                continue
+        else:
+            resolved = path.resolve()
+        if anchor:
+            if resolved.suffix != ".md" or not resolved.is_file():
+                continue                        # anchors only checked in .md
+            if slugify(anchor) not in anchors_of(resolved):
+                errors.append(f"{path}: missing anchor -> {target}")
+    return errors
+
+
+def collect_markdown(paths: List[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        default=[Path("README.md"), Path("docs")],
+        help="Markdown files or directories to scan",
+    )
+    args = parser.parse_args(argv)
+
+    errors: List[str] = []
+    files = collect_markdown(args.paths)
+    for path in files:
+        if not path.exists():
+            errors.append(f"{path}: missing file")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} files: "
+          f"{'OK' if not errors else f'{len(errors)} broken references'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Run the fenced doctest examples embedded in Markdown docs.
+
+Extracts every fenced ```python block that contains doctest prompts
+(``>>>``) from the given Markdown files and executes them, in order,
+as one doctest per file (so names defined in an early block are
+visible to later blocks — the blocks read as one session).  Exits
+non-zero on any failure, which is what lets CI enforce that
+`docs/experiments.md` cannot silently rot.
+
+Usage::
+
+    PYTHONPATH=src python scripts/doc_examples_check.py [FILE.md ...]
+
+Defaults to ``docs/experiments.md`` when no files are given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+FENCE_RE = re.compile(r"^```python[ \t]*\n(.*?)^```[ \t]*$",
+                      re.DOTALL | re.MULTILINE)
+
+
+def extract_doctest_blocks(text: str) -> List[str]:
+    """Fenced python blocks that contain at least one doctest prompt."""
+    return [
+        block.group(1)
+        for block in FENCE_RE.finditer(text)
+        if ">>>" in block.group(1)
+    ]
+
+
+def check_file(path: Path, verbose: bool = False) -> int:
+    """Run one file's examples; returns the number of failures."""
+    blocks = extract_doctest_blocks(path.read_text())
+    if not blocks:
+        print(f"{path}: no executable examples found")
+        return 0
+    source = "\n".join(blocks)
+    parser = doctest.DocTestParser()
+    test = parser.get_doctest(
+        source, {"__name__": "__doc_examples__"}, path.name, str(path), 0
+    )
+    runner = doctest.DocTestRunner(
+        verbose=verbose,
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+    )
+    runner.run(test)
+    results = runner.summarize(verbose=False)
+    status = "ok" if results.failed == 0 else "FAILED"
+    print(f"{path}: {len(blocks)} blocks, {results.attempted} examples, "
+          f"{results.failed} failures [{status}]")
+    return results.failed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", type=Path,
+                        default=[Path("docs/experiments.md")],
+                        help="Markdown files to check")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for path in args.files:
+        if not path.exists():
+            print(f"{path}: missing file", file=sys.stderr)
+            failures += 1
+            continue
+        failures += check_file(path, verbose=args.verbose)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

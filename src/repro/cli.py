@@ -8,6 +8,15 @@ Exposes the experiment harness without writing Python::
     prepare-repro accuracy --app system-s --fault memory_leak
     prepare-repro leadtime
     prepare-repro telemetry --app rubis --output-dir runs/tele
+    prepare-repro campaign spec.json --jobs 4 --checkpoint runs/camp
+    prepare-repro campaign spec.json --checkpoint runs/camp --resume
+
+``telemetry`` runs one scenario with the full observability layer
+attached and exports metrics (Prometheus text), the span trace and the
+run-telemetry record (JSONL).  ``campaign`` expands a declarative
+scenario grid (see ``docs/experiments.md``) into independent jobs,
+shards them over a worker pool, and checkpoints per-job results so an
+interrupted campaign resumes instead of recomputing.
 
 Also runnable as ``python -m repro ...``.
 """
@@ -98,6 +107,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tel.add_argument("--json", action="store_true",
                      help="print the telemetry record(s) as JSON lines")
+
+    camp = sub.add_parser(
+        "campaign",
+        help="expand a scenario-grid spec into jobs and run them on a "
+             "worker pool with checkpoint/resume",
+    )
+    camp.add_argument("spec", help="campaign spec JSON (see docs/experiments.md)")
+    camp.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes (results are identical for any N)")
+    camp.add_argument("--checkpoint", default=None, metavar="DIR",
+                      help="stream per-job records + manifest here")
+    camp.add_argument("--resume", action="store_true",
+                      help="skip jobs already completed in the checkpoint")
+    camp.add_argument("--limit", type=int, default=None, metavar="N",
+                      help="run at most N pending jobs, then stop cleanly")
+    camp.add_argument("--expand", action="store_true",
+                      help="print the expanded job grid and exit")
+    camp.add_argument("--json", action="store_true",
+                      help="print the summary (or grid) as JSON")
+    camp.add_argument("--quiet", action="store_true",
+                      help="suppress the per-job progress line")
 
     rep_all = sub.add_parser(
         "report", help="regenerate the whole evaluation into a directory"
@@ -274,6 +304,59 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import (
+        CampaignSpec,
+        render_campaign_summary,
+        run_campaign,
+    )
+
+    spec = CampaignSpec.from_file(args.spec)
+    grid = spec.expand()
+    if args.expand:
+        if args.json:
+            print(json.dumps(
+                [{"job_id": job.job_id, "index": job.index,
+                  "kind": job.kind, "params": job.params} for job in grid],
+                indent=1,
+            ))
+        else:
+            print(f"campaign {spec.name!r}: {len(grid)} jobs "
+                  f"(kind={spec.kind})")
+            for job in grid:
+                print(f"  [{job.index:3d}] {job.job_id} {job.label()}")
+        return 0
+
+    def progress(done: int, total: int, job, error) -> None:
+        if args.quiet:
+            return
+        status = f"FAILED: {error}" if error else "ok"
+        print(f"[{done}/{total}] {job.job_id} {job.label()} {status}",
+              flush=True)
+
+    report = run_campaign(
+        spec,
+        checkpoint_dir=args.checkpoint,
+        jobs=args.jobs,
+        resume=args.resume,
+        limit=args.limit,
+        progress=progress,
+    )
+    if args.json:
+        print(json.dumps(report.summary, indent=1, sort_keys=True))
+    else:
+        if report.skipped:
+            print(f"resumed: {len(report.skipped)} jobs already complete")
+        print(render_campaign_summary(report.summary))
+        if not report.complete:
+            remaining = report.total - len(report.records)
+            print(f"{remaining} jobs remaining — rerun with --resume "
+                  f"to continue")
+    for job_id, error in report.failed.items():
+        print(f"FAILED {job_id}: {error}", file=sys.stderr)
+    return 1 if report.failed else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import reproduce_all
 
@@ -306,6 +389,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "accuracy": _cmd_accuracy,
         "leadtime": _cmd_leadtime,
         "telemetry": _cmd_telemetry,
+        "campaign": _cmd_campaign,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

@@ -4,9 +4,19 @@ from repro.experiments.accuracy import (
     DEFAULT_LOOKAHEADS,
     AccuracyResult,
     TraceDataset,
+    accuracy_grid,
     accuracy_vs_lookahead,
     collect_trace,
     prediction_accuracy,
+)
+from repro.experiments.campaign import (
+    CampaignJob,
+    CampaignReport,
+    CampaignSpec,
+    read_campaign_records,
+    render_campaign_summary,
+    run_campaign,
+    summarize_campaign,
 )
 from repro.experiments.figures import (
     ALL_FAULTS,
@@ -54,7 +64,7 @@ from repro.experiments.persistence import (
     save_result,
     save_trace_dataset,
 )
-from repro.experiments.scalability import scalability_sweep
+from repro.experiments.scalability import scalability_cell, scalability_sweep
 from repro.experiments.sweeps import (
     filter_sweep,
     lookahead_sweep,
@@ -90,6 +100,9 @@ __all__ = [
     "ALL_SCHEMES",
     "APP_NAMES",
     "AccuracyResult",
+    "CampaignJob",
+    "CampaignReport",
+    "CampaignSpec",
     "DEFAULT_LOOKAHEADS",
     "DiscriminationResult",
     "ExperimentConfig",
@@ -103,7 +116,12 @@ __all__ = [
     "load_trace_dataset",
     "save_result",
     "save_trace_dataset",
+    "scalability_cell",
     "scalability_sweep",
+    "read_campaign_records",
+    "render_campaign_summary",
+    "run_campaign",
+    "summarize_campaign",
     "TenantOutcome",
     "run_multi_tenant",
     "reproduce_all",
@@ -121,6 +139,7 @@ __all__ = [
     "SYSTEM_S",
     "Testbed",
     "TraceDataset",
+    "accuracy_grid",
     "accuracy_vs_lookahead",
     "build_testbed",
     "collect_trace",

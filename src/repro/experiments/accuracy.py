@@ -15,6 +15,12 @@ Model variants compared:
 * 2-dependent vs simple Markov value prediction (Fig. 11);
 * k-of-W alert filtering with k in {1, 2, 3} (Fig. 12);
 * sampling interval in {1, 5, 10} seconds (Fig. 13).
+
+Each model-variant cell (trace collection + horizon sweep) is an
+independent computation, so grids of variants go through the campaign
+engine: :func:`accuracy_grid` expands them into ``accuracy`` jobs and
+runs them on a worker pool with optional checkpoint/resume — see
+:mod:`repro.experiments.campaign` and `docs/experiments.md`.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from repro.sim.monitor import ATTRIBUTES
 __all__ = [
     "TraceDataset",
     "AccuracyResult",
+    "accuracy_grid",
     "collect_trace",
     "prediction_accuracy",
     "accuracy_vs_lookahead",
@@ -247,6 +254,65 @@ def prediction_accuracy(
     if filter_k is not None:
         alerts = filter_alert_sequence(alerts, k=filter_k, window=filter_w)
     return _score(alerts, truth, lookahead_seconds)
+
+
+def accuracy_grid(
+    app: str,
+    fault: FaultKind,
+    variants: Dict[str, Dict[str, object]],
+    seed: int = 2,
+    sampling_interval: float = 5.0,
+    duration: float = 1500.0,
+    lookaheads: Sequence[float] = DEFAULT_LOOKAHEADS,
+    jobs: int = 1,
+    checkpoint_dir=None,
+    resume: bool = False,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Sweep model variants as a campaign of independent accuracy cells.
+
+    ``variants`` maps a display label to :func:`accuracy_vs_lookahead`
+    keyword overrides, e.g.::
+
+        {"per-vm/2dep": {"model": "per-vm", "markov": "2dep"},
+         "monolithic/2dep": {"model": "monolithic"}}
+
+    Every cell re-collects its trace and sweeps ``lookaheads``; cells
+    run on ``jobs`` workers and checkpoint/resume like any campaign.
+    Returns ``out[label] = {"lookahead": [...], "A_T": [...],
+    "A_F": [...]}`` with rates in percent, ready for
+    :func:`~repro.experiments.reporting.render_accuracy_series`.
+    """
+    from repro.experiments.campaign import CampaignSpec, run_campaign
+
+    labels = list(variants)
+    spec = CampaignSpec(
+        name=f"accuracy-grid-{app}-{fault.value}",
+        kind="accuracy",
+        base={
+            "app": app,
+            "fault": fault.value,
+            "seed": seed,
+            "sampling_interval": sampling_interval,
+            "duration": duration,
+            "lookaheads": [float(l) for l in lookaheads],
+        },
+        axes={"variant": [dict(variants[label]) for label in labels]},
+    )
+    report = run_campaign(
+        spec, checkpoint_dir=checkpoint_dir, jobs=jobs, resume=resume
+    )
+    if report.failed:
+        job_id, error = next(iter(report.failed.items()))
+        raise RuntimeError(f"accuracy job {job_id} failed: {error}")
+    out: Dict[str, Dict[str, List[float]]] = {}
+    for label, record in zip(labels, report.records):
+        result = record["result"]
+        out[label] = {
+            "lookahead": list(result["lookahead"]),
+            "A_T": [100.0 * rate for rate in result["A_T"]],
+            "A_F": [100.0 * rate for rate in result["A_F"]],
+        }
+    return out
 
 
 def accuracy_vs_lookahead(

@@ -1,0 +1,708 @@
+"""Parallel experiment campaigns with checkpoint/resume.
+
+The paper's evaluation is a *grid* — fault types x applications x
+management schemes x seeds x swept parameters — and every cell is an
+independent simulation.  A :class:`CampaignSpec` declares that grid
+once; the engine expands it into :class:`CampaignJob` records, shards
+them deterministically over a ``spawn``-safe worker pool
+(:mod:`repro.experiments.pool`), and streams each finished job into a
+checkpoint directory so an interrupted campaign resumes where it
+stopped instead of recomputing.
+
+Guarantees the rest of the repo (and `docs/experiments.md`) relies on:
+
+* **Determinism** — every job's parameters, including its RNG seed,
+  are fully contained in the job record; jobs share no state.  A
+  campaign run with ``jobs=8`` therefore produces byte-identical
+  per-job result records to a serial ``jobs=1`` run (proven by
+  ``tests/experiments/test_campaign.py``).  Result records never
+  contain wall-clock quantities — host-time measurements live in the
+  progress log, and telemetry stage latencies are stripped.
+* **Checkpointing** — each completed job appends one canonical-JSON
+  line to ``results.jsonl`` (flushed immediately); ``manifest.json``
+  pins the expanded grid; ``progress.jsonl`` logs per-job wall-time.
+  A truncated trailing line (the signature of a killed run) is
+  dropped on load and the job is simply re-run.
+* **Resume** — ``resume=True`` loads ``results.jsonl``, skips every
+  job whose id already has a record, and runs only the remainder.
+  Resuming a checkpoint produced by a *different* spec is an error.
+
+Job identity is a hash of ``(kind, params)``, so re-ordering axes or
+adding new axis values to a spec invalidates only the jobs it changes.
+
+The executable face of this module is the ``repro campaign`` CLI
+subcommand; :mod:`repro.experiments.sweeps`,
+:mod:`repro.experiments.accuracy` (:func:`accuracy_grid`) and
+:mod:`repro.experiments.scalability` submit their grids through it.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import itertools
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from repro.experiments.pool import iter_job_results
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignJob",
+    "CampaignReport",
+    "CampaignCheckpoint",
+    "JOB_KINDS",
+    "job_kind",
+    "execute_job",
+    "run_campaign",
+    "summarize_campaign",
+    "render_campaign_summary",
+    "read_campaign_records",
+]
+
+#: Stamped into every result record and the manifest.
+SCHEMA_VERSION = 1
+
+MANIFEST_FILE = "manifest.json"
+RESULTS_FILE = "results.jsonl"
+PROGRESS_FILE = "progress.jsonl"
+SUMMARY_FILE = "summary.json"
+
+
+def _canonical(payload) -> str:
+    """Canonical JSON: the byte representation determinism is defined over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _assign(params: Dict, dotted: str, value) -> None:
+    """Assign ``value`` at a dotted path (``controller.filter_k``)."""
+    keys = dotted.split(".")
+    node = params
+    for key in keys[:-1]:
+        node = node.setdefault(key, {})
+        if not isinstance(node, dict):
+            raise ValueError(
+                f"axis {dotted!r} descends through non-mapping key {key!r}"
+            )
+    node[keys[-1]] = value
+
+
+# ---------------------------------------------------------------------------
+# Spec and jobs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One independent unit of work in an expanded campaign."""
+
+    index: int
+    kind: str
+    params: Mapping[str, object]
+
+    @property
+    def job_id(self) -> str:
+        """Stable identity: hash of ``(kind, params)``, order-free."""
+        digest = hashlib.sha256(
+            _canonical({"kind": self.kind, "params": self.params}).encode()
+        )
+        return digest.hexdigest()[:12]
+
+    def payload(self) -> Dict[str, object]:
+        return {"kind": self.kind, "params": self.params}
+
+    def label(self) -> str:
+        """Compact human-readable identity for progress lines."""
+        flat = []
+        for key in sorted(self.params):
+            value = self.params[key]
+            if isinstance(value, Mapping):
+                flat.extend(f"{key}.{k}={v}" for k, v in sorted(value.items()))
+            elif not isinstance(value, (list, tuple)):
+                flat.append(f"{key}={value}")
+        return " ".join(flat)
+
+
+@dataclass
+class CampaignSpec:
+    """Declarative scenario grid.
+
+    ``base`` holds parameters shared by every job; ``axes`` maps an
+    axis name to the values it sweeps.  The grid is the Cartesian
+    product of the axes (in declaration order, first axis outermost).
+    Axis names may be dotted paths into nested parameter mappings
+    (``controller.lookahead_seconds``).  An axis *value* that is
+    itself a mapping assigns several dotted paths at once — the way to
+    sweep parameters jointly (e.g. the k-of-W filter pairs).
+    """
+
+    name: str
+    kind: str = "experiment"
+    base: Dict[str, object] = field(default_factory=dict)
+    axes: Dict[str, Sequence[object]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("campaign spec needs a name")
+        for axis, values in self.axes.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ValueError(
+                    f"axis {axis!r} must be a non-empty list of values"
+                )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "CampaignSpec":
+        unknown = set(payload) - {"name", "kind", "base", "axes"}
+        if unknown:
+            raise ValueError(f"unknown campaign spec keys: {sorted(unknown)}")
+        return cls(
+            name=str(payload.get("name", "")),
+            kind=str(payload.get("kind", "experiment")),
+            base=dict(payload.get("base", {})),
+            axes={k: list(v) for k, v in dict(payload.get("axes", {})).items()},
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "CampaignSpec":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "base": copy.deepcopy(self.base),
+            "axes": {k: list(v) for k, v in self.axes.items()},
+        }
+
+    def expand(self) -> List[CampaignJob]:
+        """Expand the grid into jobs, in deterministic product order."""
+        names = list(self.axes)
+        combos = itertools.product(*(self.axes[n] for n in names))
+        jobs: List[CampaignJob] = []
+        for index, combo in enumerate(combos):
+            params = copy.deepcopy(dict(self.base))
+            for name, value in zip(names, combo):
+                if isinstance(value, Mapping):
+                    for dotted, entry in value.items():
+                        _assign(params, dotted, entry)
+                else:
+                    _assign(params, name, value)
+            jobs.append(CampaignJob(index=index, kind=self.kind, params=params))
+        seen: Dict[str, int] = {}
+        for job in jobs:
+            if job.job_id in seen:
+                raise ValueError(
+                    f"jobs {seen[job.job_id]} and {job.index} expand to "
+                    f"identical parameters — axes overlap or repeat values"
+                )
+            seen[job.job_id] = job.index
+        return jobs
+
+
+# ---------------------------------------------------------------------------
+# Job kinds
+# ---------------------------------------------------------------------------
+
+#: Registry mapping a job kind to its implementation.  Implementations
+#: import lazily so workers only pay for what the campaign uses, and so
+#: experiment modules can themselves submit through this engine without
+#: import cycles.
+JOB_KINDS: Dict[str, Callable[[Mapping[str, object]], Dict[str, object]]] = {}
+
+
+def job_kind(name: str):
+    """Register a job implementation under ``name`` (decorator)."""
+
+    def register(fn):
+        JOB_KINDS[name] = fn
+        return fn
+
+    return register
+
+
+def execute_job(payload: Mapping[str, object]) -> Dict[str, object]:
+    """Run one job payload (worker entry point — must stay module-level
+    and picklable for the spawn-based pool)."""
+    kind = payload["kind"]
+    try:
+        implementation = JOB_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown job kind {kind!r}; known: {sorted(JOB_KINDS)}"
+        ) from None
+    return implementation(payload["params"])
+
+
+@job_kind("experiment")
+def _experiment_job(params: Mapping[str, object]) -> Dict[str, object]:
+    """One Sec. III-B run; params mirror
+    :class:`~repro.experiments.runner.ExperimentConfig` (``fault`` as
+    its string value, ``controller`` as a mapping of
+    :class:`~repro.core.controller.PrepareConfig` overrides)."""
+    from repro.core.controller import PrepareConfig
+    from repro.experiments.runner import ExperimentConfig, run_experiment
+    from repro.faults.base import FaultKind
+
+    kwargs = dict(params)
+    controller = kwargs.pop("controller", None)
+    config = ExperimentConfig(
+        app=kwargs.pop("app"),
+        fault=FaultKind(kwargs.pop("fault")),
+        scheme=kwargs.pop("scheme", "prepare"),
+        controller=PrepareConfig(**controller) if controller else None,
+        **kwargs,
+    )
+    result = run_experiment(config)
+    record: Dict[str, object] = {
+        "violation_time": result.violation_time,
+        "second_injection": result.violation_time_second_injection,
+        "per_injection_violation": list(result.per_injection_violation),
+        "actions": len(result.actions),
+        "proactive_actions": result.proactive_actions,
+        "action_log": [
+            {
+                "t": action.timestamp,
+                "vm": action.vm,
+                "verb": action.verb,
+                "metric": action.metric,
+                "proactive": action.proactive,
+            }
+            for action in result.actions
+        ],
+    }
+    if result.telemetry is not None:
+        telemetry = result.telemetry.to_dict()
+        # Stage latencies are host wall-time: keeping them would break
+        # the byte-identical-records guarantee.  They remain available
+        # through `repro telemetry` for single instrumented runs.
+        telemetry.pop("stage_latency", None)
+        record["telemetry"] = telemetry
+    return record
+
+
+@job_kind("accuracy")
+def _accuracy_job(params: Mapping[str, object]) -> Dict[str, object]:
+    """One trace-driven accuracy cell: collect a without-intervention
+    trace, then sweep the look-ahead horizons (Eq. 3)."""
+    from repro.experiments.accuracy import (
+        DEFAULT_LOOKAHEADS,
+        accuracy_vs_lookahead,
+        collect_trace,
+    )
+    from repro.faults.base import FaultKind
+
+    kwargs = dict(params)
+    dataset = collect_trace(
+        kwargs.pop("app"),
+        FaultKind(kwargs.pop("fault")),
+        seed=kwargs.pop("seed", 1),
+        sampling_interval=kwargs.pop("sampling_interval", 5.0),
+        duration=kwargs.pop("duration", 1500.0),
+        noise_scale=kwargs.pop("noise_scale", 1.0),
+    )
+    lookaheads = tuple(kwargs.pop("lookaheads", DEFAULT_LOOKAHEADS))
+    results = accuracy_vs_lookahead(dataset, lookaheads=lookaheads, **kwargs)
+    return {
+        "lookahead": [r.lookahead for r in results],
+        "A_T": [r.true_positive_rate for r in results],
+        "A_F": [r.false_alarm_rate for r in results],
+        "counts": [
+            {"tp": r.n_tp, "fn": r.n_fn, "fp": r.n_fp, "tn": r.n_tn}
+            for r in results
+        ],
+    }
+
+
+@job_kind("scalability")
+def _scalability_job(params: Mapping[str, object]) -> Dict[str, object]:
+    """One fleet-size cell of the data-path cost sweep.  Timings are
+    wall-clock by nature, so these records are *not* covered by the
+    byte-identical guarantee — campaign them for throughput, not for
+    reproducibility."""
+    from repro.experiments.scalability import scalability_cell
+
+    kwargs = dict(params)
+    return scalability_cell(
+        n_vms=int(kwargs.pop("n_vms")),
+        seed=int(kwargs.pop("seed", 7)),
+        rounds=int(kwargs.pop("rounds", 5)),
+        **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Checkpointing
+# ---------------------------------------------------------------------------
+
+
+class CampaignCheckpoint:
+    """A campaign's on-disk state: manifest, results, progress, summary.
+
+    Layout (all under one directory)::
+
+        manifest.json    the spec + expanded job ids (identity pin)
+        results.jsonl    one canonical-JSON record per completed job
+        progress.jsonl   wall-clock per-job log (never compared)
+        summary.json     aggregate summary, rewritten when a run ends
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.manifest_path = self.root / MANIFEST_FILE
+        self.results_path = self.root / RESULTS_FILE
+        self.progress_path = self.root / PROGRESS_FILE
+        self.summary_path = self.root / SUMMARY_FILE
+
+    def prepare(
+        self, spec: CampaignSpec, jobs: Sequence[CampaignJob], resume: bool
+    ) -> None:
+        """Create or validate the checkpoint for this spec."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "schema_version": SCHEMA_VERSION,
+            "spec": spec.to_dict(),
+            "job_ids": [job.job_id for job in jobs],
+        }
+        if self.manifest_path.exists():
+            existing = json.loads(self.manifest_path.read_text())
+            existing.pop("created_at", None)
+            if existing != manifest:
+                raise ValueError(
+                    f"checkpoint {self.root} belongs to a different campaign "
+                    f"(manifest mismatch); use a fresh directory"
+                )
+            if not resume and self.results_path.exists():
+                raise ValueError(
+                    f"checkpoint {self.root} already has results; pass "
+                    f"resume=True (--resume) to continue it"
+                )
+        else:
+            if self.results_path.exists():
+                raise ValueError(
+                    f"{self.results_path} exists without a manifest — "
+                    f"not a campaign checkpoint"
+                )
+            manifest["created_at"] = time.time()
+            self.manifest_path.write_text(json.dumps(manifest, indent=1))
+
+    def load_records(self) -> Dict[str, Dict[str, object]]:
+        """Completed records by job id.  A malformed *final* line is the
+        signature of a killed run mid-write: it is dropped (that job
+        re-runs).  Malformed interior lines are corruption and raise."""
+        if not self.results_path.exists():
+            return {}
+        records: Dict[str, Dict[str, object]] = {}
+        lines = self.results_path.read_text().splitlines()
+        for lineno, line in enumerate(lines, 1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                job_id = record["job_id"]
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                if lineno == len(lines):
+                    break  # torn tail write from an interrupted run
+                raise ValueError(
+                    f"{self.results_path}:{lineno}: corrupt record: {exc}"
+                ) from exc
+            records[str(job_id)] = record
+        return records
+
+    def append_record(self, record: Mapping[str, object]) -> None:
+        with self.results_path.open("a") as fh:
+            fh.write(_canonical(record) + "\n")
+            fh.flush()
+
+    def log_progress(self, entry: Mapping[str, object]) -> None:
+        with self.progress_path.open("a") as fh:
+            fh.write(json.dumps(dict(entry, at=time.time())) + "\n")
+
+    def write_summary(self, summary: Mapping[str, object]) -> None:
+        self.summary_path.write_text(json.dumps(summary, indent=1, sort_keys=True))
+
+
+def read_campaign_records(
+    checkpoint_dir: Union[str, Path]
+) -> List[Dict[str, object]]:
+    """Load a checkpoint's completed records, ordered by job index."""
+    records = CampaignCheckpoint(checkpoint_dir).load_records()
+    return sorted(records.values(), key=lambda r: r.get("index", 0))
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignReport:
+    """What one :func:`run_campaign` invocation did."""
+
+    spec: CampaignSpec
+    total: int
+    #: Job ids executed by *this* invocation, in completion order.
+    executed: List[str]
+    #: Job ids skipped because the checkpoint already had their record.
+    skipped: List[str]
+    #: Job id -> error string for jobs that raised.
+    failed: Dict[str, str]
+    #: All completed records (including resumed ones), in grid order.
+    records: List[Dict[str, object]]
+    summary: Dict[str, object]
+    checkpoint_dir: Optional[Path] = None
+
+    @property
+    def complete(self) -> bool:
+        return len(self.records) == self.total
+
+
+ProgressCallback = Callable[[int, int, CampaignJob, Optional[str]], None]
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    jobs: int = 1,
+    resume: bool = False,
+    limit: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> CampaignReport:
+    """Expand ``spec`` and run its jobs on ``jobs`` workers.
+
+    With a ``checkpoint_dir``, every completed job is durably recorded
+    before the next result is awaited, and ``resume=True`` skips jobs
+    already on disk.  ``limit`` caps how many *pending* jobs this
+    invocation runs (the clean way to stop early and resume later).
+    ``progress`` is called after every job with
+    ``(done_overall, total, job, error)``.
+    """
+    grid = spec.expand()
+    checkpoint = None
+    completed: Dict[str, Dict[str, object]] = {}
+    if checkpoint_dir is not None:
+        checkpoint = CampaignCheckpoint(checkpoint_dir)
+        checkpoint.prepare(spec, grid, resume=resume)
+        completed = checkpoint.load_records()
+
+    skipped = [job.job_id for job in grid if job.job_id in completed]
+    pending = [job for job in grid if job.job_id not in completed]
+    if limit is not None:
+        pending = pending[: max(0, limit)]
+
+    executed: List[str] = []
+    failed: Dict[str, str] = {}
+    done = len(skipped)
+    started = time.perf_counter()
+    payloads = [job.payload() for job in pending]
+    for position, error, result in iter_job_results(
+        execute_job, payloads, jobs=jobs
+    ):
+        job = pending[position]
+        if error is not None:
+            failed[job.job_id] = error
+            if checkpoint is not None:
+                checkpoint.log_progress({
+                    "job_id": job.job_id, "index": job.index,
+                    "status": "failed", "error": error,
+                    "elapsed_s": time.perf_counter() - started,
+                })
+            if progress is not None:
+                progress(done, len(grid), job, error)
+            continue
+        record = {
+            "schema_version": SCHEMA_VERSION,
+            "job_id": job.job_id,
+            "index": job.index,
+            "kind": job.kind,
+            "params": job.params,
+            "result": result,
+        }
+        completed[job.job_id] = record
+        executed.append(job.job_id)
+        done += 1
+        if checkpoint is not None:
+            checkpoint.append_record(record)
+            checkpoint.log_progress({
+                "job_id": job.job_id, "index": job.index, "status": "ok",
+                "elapsed_s": time.perf_counter() - started,
+            })
+        if progress is not None:
+            progress(done, len(grid), job, None)
+
+    records = [completed[j.job_id] for j in grid if j.job_id in completed]
+    summary = summarize_campaign(records)
+    if checkpoint is not None:
+        checkpoint.write_summary(summary)
+    return CampaignReport(
+        spec=spec,
+        total=len(grid),
+        executed=executed,
+        skipped=skipped,
+        failed=failed,
+        records=records,
+        summary=summary,
+        checkpoint_dir=None if checkpoint is None else checkpoint.root,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    if not ordered:
+        return 0.0
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def _percentile_stats(values: List[float]) -> Dict[str, float]:
+    ordered = sorted(values)
+    return {
+        "count": len(ordered),
+        "p50": _percentile(ordered, 50.0),
+        "p90": _percentile(ordered, 90.0),
+        "p99": _percentile(ordered, 99.0),
+    }
+
+
+def summarize_campaign(
+    records: Sequence[Mapping[str, object]]
+) -> Dict[str, object]:
+    """Campaign-level aggregate of per-job records.
+
+    For ``experiment`` jobs, aggregates group by scheme: violation-time
+    statistics, the action mix, and — when jobs ran with
+    ``telemetry: true`` — the alert funnel and per-injection response
+    percentiles from each job's :class:`~repro.obs.RunTelemetry`.
+    """
+    by_kind: Dict[str, int] = {}
+    schemes: Dict[str, Dict[str, object]] = {}
+    for record in records:
+        kind = str(record.get("kind", "?"))
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        if kind != "experiment":
+            continue
+        params = dict(record.get("params", {}))
+        result = dict(record.get("result", {}))
+        scheme = str(params.get("scheme", "prepare"))
+        cell = schemes.setdefault(scheme, {
+            "jobs": 0,
+            "violation_times": [],
+            "actions": 0,
+            "proactive_actions": 0,
+            "actions_by_verb": {},
+            "alerts": {"raw": 0, "confirmed": 0, "suppressed": 0},
+            "alert_response_s": [],
+            "action_response_s": [],
+            "telemetry_jobs": 0,
+        })
+        cell["jobs"] += 1
+        cell["violation_times"].append(float(result.get("violation_time", 0.0)))
+        cell["actions"] += int(result.get("actions", 0))
+        cell["proactive_actions"] += int(result.get("proactive_actions", 0))
+        for action in result.get("action_log", []):
+            verb = str(action.get("verb", "?"))
+            cell["actions_by_verb"][verb] = (
+                cell["actions_by_verb"].get(verb, 0) + 1
+            )
+        telemetry = result.get("telemetry")
+        if isinstance(telemetry, Mapping):
+            cell["telemetry_jobs"] += 1
+            alerts = dict(telemetry.get("alerts", {}))
+            for key in cell["alerts"]:
+                cell["alerts"][key] += int(alerts.get(key, 0))
+            for response in telemetry.get("responses", []):
+                alert_after = response.get("alert_after_s")
+                action_after = response.get("action_after_s")
+                if alert_after is not None:
+                    cell["alert_response_s"].append(float(alert_after))
+                if action_after is not None:
+                    cell["action_response_s"].append(float(action_after))
+
+    scheme_summary: Dict[str, object] = {}
+    for scheme, cell in sorted(schemes.items()):
+        times = cell.pop("violation_times")
+        entry: Dict[str, object] = {
+            "jobs": cell["jobs"],
+            "violation_time": {
+                "mean": sum(times) / len(times) if times else 0.0,
+                "min": min(times) if times else 0.0,
+                "max": max(times) if times else 0.0,
+            },
+            "actions": cell["actions"],
+            "proactive_actions": cell["proactive_actions"],
+            "actions_by_verb": dict(sorted(cell["actions_by_verb"].items())),
+        }
+        if cell["telemetry_jobs"]:
+            entry["alerts"] = cell["alerts"]
+            entry["alert_response_s"] = _percentile_stats(
+                cell["alert_response_s"]
+            )
+            entry["action_response_s"] = _percentile_stats(
+                cell["action_response_s"]
+            )
+        scheme_summary[scheme] = entry
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "jobs_completed": len(records),
+        "by_kind": dict(sorted(by_kind.items())),
+        "schemes": scheme_summary,
+    }
+
+
+def render_campaign_summary(summary: Mapping[str, object]) -> str:
+    """Human-readable campaign summary for the CLI."""
+    lines: List[str] = []
+    kinds = " ".join(
+        f"{kind}={count}"
+        for kind, count in dict(summary.get("by_kind", {})).items()
+    ) or "none"
+    lines.append(
+        f"campaign: {summary.get('jobs_completed', 0)} jobs completed "
+        f"[{kinds}]"
+    )
+    schemes = dict(summary.get("schemes", {}))
+    if schemes:
+        lines.append(
+            f"{'scheme':<10s} {'jobs':>5s} {'viol mean':>10s} "
+            f"{'min':>8s} {'max':>8s} {'actions':>8s} {'proact':>7s}"
+        )
+        for scheme, cell in schemes.items():
+            viol = dict(cell.get("violation_time", {}))
+            lines.append(
+                f"{scheme:<10s} {cell.get('jobs', 0):>5d} "
+                f"{viol.get('mean', 0.0):>10.1f} {viol.get('min', 0.0):>8.1f} "
+                f"{viol.get('max', 0.0):>8.1f} {cell.get('actions', 0):>8d} "
+                f"{cell.get('proactive_actions', 0):>7d}"
+            )
+        for scheme, cell in schemes.items():
+            if "alerts" not in cell:
+                continue
+            alerts = dict(cell["alerts"])
+            alert_resp = dict(cell.get("alert_response_s", {}))
+            action_resp = dict(cell.get("action_response_s", {}))
+            lines.append(
+                f"{scheme}: alerts raw={alerts.get('raw', 0)} "
+                f"confirmed={alerts.get('confirmed', 0)} "
+                f"suppressed={alerts.get('suppressed', 0)}; "
+                f"response p50 alert +{alert_resp.get('p50', 0.0):.0f}s "
+                f"action +{action_resp.get('p50', 0.0):.0f}s"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Deterministically sharded worker pool for campaign jobs.
+
+The campaign engine (:mod:`repro.experiments.campaign`) expands a
+scenario grid into independent jobs; this module spreads those jobs
+over a ``multiprocessing`` pool.  Three properties matter more than
+raw throughput:
+
+* **deterministic sharding** — job *i* always lands on shard
+  ``i % n_workers`` and each shard executes its slice in order, so a
+  rerun distributes work identically;
+* **spawn safety** — workers are started with the ``spawn`` context
+  (the only context available everywhere and the only one that is safe
+  with threads), which means the worker callable must be an importable
+  module-level function and every payload must be picklable;
+* **isolated failures** — an exception inside one job is captured and
+  reported as that job's outcome; the other jobs keep running.
+
+Results are streamed back to the parent as they complete (possibly
+out of submission order), which is what lets the campaign engine
+checkpoint after every job instead of after every batch.  Because each
+job carries its own RNG seed and shares no state with its neighbours,
+the *records* a job produces are identical no matter how many workers
+run the campaign — only the completion order varies.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+from typing import Any, Callable, Iterator, List, Mapping, Sequence, Tuple
+
+__all__ = ["iter_job_results", "shard_round_robin"]
+
+#: (payload index, error string or None, result or None).
+JobOutcome = Tuple[int, Any, Any]
+
+
+def shard_round_robin(n_items: int, n_shards: int) -> List[List[int]]:
+    """Deterministic round-robin assignment: item ``i`` -> shard ``i % n``."""
+    if n_shards < 1:
+        raise ValueError(f"need at least one shard, got {n_shards}")
+    return [list(range(shard, n_items, n_shards)) for shard in range(n_shards)]
+
+
+def _run_one(worker: Callable[[Mapping], Any], index: int, payload) -> JobOutcome:
+    try:
+        return index, None, worker(payload)
+    except Exception as exc:  # noqa: BLE001 — job isolation boundary
+        return index, f"{type(exc).__name__}: {exc}", None
+
+
+def _shard_main(worker, shard_index, indexed_payloads, out_queue) -> None:
+    """Worker-process entry point: drain one shard, then signal done."""
+    for index, payload in indexed_payloads:
+        out_queue.put(_run_one(worker, index, payload))
+    out_queue.put((None, shard_index, None))
+
+
+def iter_job_results(
+    worker: Callable[[Mapping], Any],
+    payloads: Sequence,
+    jobs: int = 1,
+) -> Iterator[JobOutcome]:
+    """Execute ``worker(payload)`` for every payload, ``jobs`` at a time.
+
+    Yields ``(index, error, result)`` tuples in *completion* order;
+    exactly one of ``error`` / ``result`` is set.  ``jobs <= 1`` (or a
+    single payload) runs everything in-process — the reference serial
+    path that parallel runs must reproduce record-for-record.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    jobs = min(jobs, len(payloads))
+    if jobs <= 1:
+        for index, payload in enumerate(payloads):
+            yield _run_one(worker, index, payload)
+        return
+
+    ctx = multiprocessing.get_context("spawn")
+    out_queue = ctx.Queue()
+    shards = shard_round_robin(len(payloads), jobs)
+    processes = [
+        ctx.Process(
+            target=_shard_main,
+            args=(worker, shard_index,
+                  [(i, payloads[i]) for i in shard], out_queue),
+            daemon=True,
+        )
+        for shard_index, shard in enumerate(shards)
+    ]
+    for process in processes:
+        process.start()
+    # Per-shard job indices we have not yet seen a result for; a shard
+    # leaves the map when its done-sentinel arrives, or when its
+    # process dies without one (its unfinished jobs then fail instead
+    # of hanging the campaign forever).
+    outstanding = {i: list(shard) for i, shard in enumerate(shards)}
+    dead_strikes = {i: 0 for i in outstanding}
+    try:
+        while outstanding:
+            try:
+                index, error, result = out_queue.get(timeout=0.2)
+            except queue_module.Empty:
+                for shard_index in list(outstanding):
+                    process = processes[shard_index]
+                    if process.exitcode is None:
+                        continue
+                    # Two consecutive empty polls after exit: anything
+                    # the process wrote before dying has drained.
+                    dead_strikes[shard_index] += 1
+                    if dead_strikes[shard_index] < 2:
+                        continue
+                    for job_index in outstanding.pop(shard_index):
+                        yield (
+                            job_index,
+                            f"worker process died "
+                            f"(exit code {process.exitcode})",
+                            None,
+                        )
+                continue
+            if index is None:
+                outstanding.pop(error, None)  # error slot = shard index
+                continue
+            shard_index = index % jobs
+            if index in outstanding.get(shard_index, ()):
+                outstanding[shard_index].remove(index)
+            yield index, error, result
+    finally:
+        for process in processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+        out_queue.close()

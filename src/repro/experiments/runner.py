@@ -13,6 +13,16 @@ One run = one application + one fault type + one management scheme:
 * each experiment is repeated (the paper uses 5 repetitions) with
   different seeds, reporting mean and standard deviation of the SLO
   violation time.
+
+Setting :attr:`ExperimentConfig.telemetry` runs the same protocol with
+the :mod:`repro.obs` observability layer attached: the result then
+carries a :class:`~repro.obs.RunTelemetry` summary and the live
+:class:`~repro.obs.Observability` bundle (metrics registry + span
+trace) for export — the ``repro telemetry`` CLI subcommand is the
+one-run face of this flag.  Grids of runs (scenario x scheme x seed
+sweeps) are better submitted through the campaign engine
+(:mod:`repro.experiments.campaign`), which shards them over a worker
+pool and checkpoints per-job results.
 """
 
 from __future__ import annotations
@@ -66,6 +76,9 @@ class ExperimentConfig:
     #: telemetry — see :mod:`repro.obs`).  Off by default: the
     #: instrumented components then use shared no-op handles.
     telemetry: bool = False
+    #: Override the actuator's allocation growth factor (None keeps the
+    #: :class:`~repro.core.actuation.PreventionActuator` default).
+    scale_factor: Optional[float] = None
 
     def injection_windows(self) -> List[Tuple[float, float]]:
         windows = []
@@ -157,6 +170,12 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         testbed, config.scheme, action_mode=config.action_mode,
         config=config.controller, obs=obs,
     )
+    if config.scale_factor is not None and scheme.actuator is not None:
+        if config.scale_factor <= 1.0:
+            raise ValueError(
+                f"scale factor must exceed 1.0, got {config.scale_factor}"
+            )
+        scheme.actuator.scale_factor = config.scale_factor
 
     fault = make_fault(testbed, config.fault)
     for start, _end in windows:

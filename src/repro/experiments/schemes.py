@@ -7,6 +7,15 @@
   cause inference and prevention actuation modules as PREPARE", i.e.
   the identical controller with the predictive path disabled.
 * ``none`` — without intervention: monitoring only.
+
+:func:`deploy_scheme` accepts an optional :class:`repro.obs.Observability`
+bundle (the PR 2 telemetry layer): when given, the controller and the
+hypervisor verbs record metrics and spans, and the runner condenses
+them into a per-run :class:`~repro.obs.RunTelemetry` record — see the
+``telemetry`` flag on
+:class:`~repro.experiments.runner.ExperimentConfig` and the
+``repro telemetry`` CLI subcommand.  Without a bundle every component
+talks to shared no-op handles, so the uninstrumented loop pays nothing.
 """
 
 from __future__ import annotations

@@ -9,26 +9,44 @@ full loop running.  These helpers sweep controller knobs online:
   k-of-W filter setting (the operational face of Fig. 12);
 * :func:`scale_factor_sweep` — violation time vs how aggressively the
   actuator grows allocations.
+
+Every sweep expands to one independent run per setting and submits the
+grid through the campaign engine
+(:mod:`repro.experiments.campaign`), so ``jobs=N`` spreads the runs
+over N worker processes and an optional ``checkpoint_dir`` makes the
+sweep resumable — the per-setting results are identical either way
+(the engine's determinism guarantee).
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
 
-from repro.core.controller import PrepareConfig
 from repro.faults.base import FaultKind
-from repro.experiments.runner import ExperimentConfig, run_experiment
 
 __all__ = ["lookahead_sweep", "filter_sweep", "scale_factor_sweep"]
 
 
-def _run(app: str, fault: FaultKind, seed: int,
-         controller: PrepareConfig, action_mode: str = "scaling"):
-    return run_experiment(ExperimentConfig(
-        app=app, fault=fault, scheme="prepare", action_mode=action_mode,
-        seed=seed, controller=controller,
-    ))
+def _run_grid(
+    name: str,
+    base: Dict[str, object],
+    axes: Dict[str, Sequence[object]],
+    jobs: int,
+    checkpoint_dir: Optional[Union[str, Path]],
+    resume: bool,
+):
+    """Submit one sweep grid through the campaign engine, in grid order."""
+    from repro.experiments.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(name=name, kind="experiment", base=base, axes=axes)
+    report = run_campaign(
+        spec, checkpoint_dir=checkpoint_dir, jobs=jobs, resume=resume
+    )
+    if report.failed:
+        job_id, error = next(iter(report.failed.items()))
+        raise RuntimeError(f"sweep job {job_id} failed: {error}")
+    return [record["result"] for record in report.records]
 
 
 def lookahead_sweep(
@@ -36,17 +54,25 @@ def lookahead_sweep(
     fault: FaultKind,
     lookaheads: Sequence[float] = (10.0, 30.0, 60.0),
     seed: int = 11,
+    jobs: int = 1,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> Dict[float, Dict[str, float]]:
     """Violation time and proactive-action share vs look-ahead window."""
+    results = _run_grid(
+        f"lookahead-sweep-{app}-{fault.value}",
+        base={"app": app, "fault": fault.value, "scheme": "prepare",
+              "seed": seed},
+        axes={"controller.lookahead_seconds": [float(l) for l in lookaheads]},
+        jobs=jobs, checkpoint_dir=checkpoint_dir, resume=resume,
+    )
     out: Dict[float, Dict[str, float]] = {}
-    for lookahead in lookaheads:
-        result = _run(app, fault, seed,
-                      PrepareConfig(lookahead_seconds=lookahead))
+    for lookahead, result in zip(lookaheads, results):
         out[lookahead] = {
-            "violation_time": result.violation_time,
-            "second_injection": result.violation_time_second_injection,
-            "actions": float(len(result.actions)),
-            "proactive_actions": float(result.proactive_actions),
+            "violation_time": result["violation_time"],
+            "second_injection": result["second_injection"],
+            "actions": float(result["actions"]),
+            "proactive_actions": float(result["proactive_actions"]),
         }
     return out
 
@@ -56,22 +82,34 @@ def filter_sweep(
     fault: FaultKind,
     settings: Sequence[Tuple[int, int]] = ((1, 4), (2, 4), (3, 4)),
     seed: int = 11,
+    jobs: int = 1,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> Dict[str, Dict[str, float]]:
     """Violation time and action volume vs the k-of-W filter.
 
     Lower k confirms alerts sooner (more lead) but lets transients
     through (more — possibly spurious — actions); the paper settles on
-    k=3, W=4.
+    k=3, W=4.  The (k, W) pairs sweep *jointly*, which is what a
+    mapping-valued campaign axis expresses.
     """
+    results = _run_grid(
+        f"filter-sweep-{app}-{fault.value}",
+        base={"app": app, "fault": fault.value, "scheme": "prepare",
+              "seed": seed},
+        axes={"filter": [
+            {"controller.filter_k": int(k), "controller.filter_w": int(w)}
+            for k, w in settings
+        ]},
+        jobs=jobs, checkpoint_dir=checkpoint_dir, resume=resume,
+    )
     out: Dict[str, Dict[str, float]] = {}
-    for k, window in settings:
-        result = _run(app, fault, seed,
-                      PrepareConfig(filter_k=k, filter_w=window))
+    for (k, window), result in zip(settings, results):
         out[f"k={k},W={window}"] = {
-            "violation_time": result.violation_time,
-            "second_injection": result.violation_time_second_injection,
-            "actions": float(len(result.actions)),
-            "proactive_actions": float(result.proactive_actions),
+            "violation_time": result["violation_time"],
+            "second_injection": result["second_injection"],
+            "actions": float(result["actions"]),
+            "proactive_actions": float(result["proactive_actions"]),
         }
     return out
 
@@ -81,45 +119,26 @@ def scale_factor_sweep(
     fault: FaultKind,
     factors: Sequence[float] = (1.5, 2.0, 3.0),
     seed: int = 11,
+    jobs: int = 1,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> Dict[float, Dict[str, float]]:
     """Violation time vs the actuator's allocation growth factor.
 
     Too small a factor under-provisions (the anomaly out-runs the
-    grow); larger factors fix faster but waste resources — the swept
-    metric reports both violation time and the final over-allocation.
+    grow); larger factors fix faster but waste resources.
     """
+    results = _run_grid(
+        f"scale-factor-sweep-{app}-{fault.value}",
+        base={"app": app, "fault": fault.value, "scheme": "prepare",
+              "seed": seed},
+        axes={"scale_factor": [float(f) for f in factors]},
+        jobs=jobs, checkpoint_dir=checkpoint_dir, resume=resume,
+    )
     out: Dict[float, Dict[str, float]] = {}
-    for factor in factors:
-        config = ExperimentConfig(
-            app=app, fault=fault, scheme="prepare", seed=seed,
-        )
-        # The actuator factor is not part of PrepareConfig; rebuild the
-        # deploy path manually.
-        from repro.experiments.scenarios import build_testbed, make_fault
-        from repro.experiments.schemes import deploy_scheme
-
-        testbed = build_testbed(app, seed=seed,
-                                duration_hint=config.duration + 60.0)
-        managed = deploy_scheme(testbed, "prepare")
-        managed.actuator.scale_factor = factor
-        fault_obj = make_fault(testbed, fault)
-        for start, _end in config.injection_windows():
-            testbed.injector.inject(fault_obj, start,
-                                    config.injection_duration)
-        for start, end in config.injection_windows():
-            testbed.sim.schedule_at(
-                max(0.0, start - config.pre_injection_reset),
-                managed.reset_allocations,
-            )
-            testbed.sim.schedule_at(end + config.reset_settle,
-                                    managed.reset_allocations)
-        testbed.app.start()
-        testbed.monitor.start(start_at=config.sampling_interval)
-        testbed.sim.run_until(config.duration)
+    for factor, result in zip(factors, results):
         out[factor] = {
-            "violation_time": testbed.app.slo.violation_time(
-                0.0, config.duration
-            ),
-            "actions": float(len(managed.actuator.actions)),
+            "violation_time": result["violation_time"],
+            "actions": float(result["actions"]),
         }
     return out

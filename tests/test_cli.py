@@ -33,6 +33,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["reproduce", "fig99"])
 
+    def test_help_lists_every_subcommand(self):
+        """`prepare-repro --help` must advertise the full command set —
+        the telemetry (PR 2) and campaign (PR 3) subcommands included —
+        so the help text cannot silently lag the CLI again."""
+        text = build_parser().format_help()
+        for command in ("run", "reproduce", "accuracy", "leadtime",
+                        "telemetry", "campaign", "report"):
+            assert command in text, f"--help omits {command!r}"
+        assert "checkpoint/resume" in text
+
+    def test_campaign_help_documents_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["campaign", "spec.json", "--jobs", "4",
+                                  "--resume", "--limit", "2"])
+        assert args.spec == "spec.json"
+        assert args.jobs == 4 and args.resume and args.limit == 2
+
 
 class TestCommands:
     def test_run_prints_outcome(self, capsys):
@@ -66,6 +83,80 @@ class TestCommands:
         assert code == 0
         assert "Table I" in out
         assert "live_migration_512mb" in out
+
+
+class TestCampaignCommand:
+    @staticmethod
+    def write_spec(tmp_path, **overrides):
+        spec = {
+            "name": "cli-demo",
+            "kind": "experiment",
+            "base": {"app": "rubis", "scheme": "none", "seed": 5,
+                     "duration": 700.0, "first_injection_at": 200.0,
+                     "injection_duration": 150.0, "injection_gap": 150.0},
+            "axes": {"fault": ["cpu_hog", "memory_leak"]},
+        }
+        spec.update(overrides)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_expand_prints_grid_without_running(self, capsys, tmp_path):
+        path = self.write_spec(tmp_path)
+        code = main(["campaign", str(path), "--expand"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 jobs" in out
+        assert "fault=cpu_hog" in out and "fault=memory_leak" in out
+
+    def test_runs_spec_with_checkpoint(self, capsys, tmp_path):
+        path = self.write_spec(tmp_path)
+        ckpt = tmp_path / "camp"
+        code = main(["campaign", str(path), "--checkpoint", str(ckpt)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[2/2]" in out
+        assert "2 jobs completed" in out
+        assert (ckpt / "results.jsonl").exists()
+        assert (ckpt / "manifest.json").exists()
+        assert (ckpt / "summary.json").exists()
+        lines = (ckpt / "results.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+
+    def test_limit_then_resume(self, capsys, tmp_path):
+        path = self.write_spec(tmp_path)
+        ckpt = tmp_path / "camp"
+        code = main(["campaign", str(path), "--checkpoint", str(ckpt),
+                     "--limit", "1", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 jobs remaining" in out
+        code = main(["campaign", str(path), "--checkpoint", str(ckpt),
+                     "--resume", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resumed: 1 jobs already complete" in out
+
+    def test_json_summary(self, capsys, tmp_path):
+        path = self.write_spec(tmp_path)
+        code = main(["campaign", str(path), "--quiet", "--json"])
+        stdout = capsys.readouterr().out
+        payload = json.loads(stdout)
+        assert code == 0
+        assert payload["jobs_completed"] == 2
+        assert "none" in payload["schemes"]
+
+    def test_failing_job_sets_exit_code(self, capsys, tmp_path):
+        path = self.write_spec(
+            tmp_path, axes={"duration": [700.0, 100.0]},
+            base={"app": "rubis", "fault": "cpu_hog", "scheme": "none",
+                  "seed": 5, "first_injection_at": 200.0,
+                  "injection_duration": 150.0, "injection_gap": 150.0},
+        )
+        code = main(["campaign", str(path), "--quiet"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAILED" in captured.err
 
 
 class TestTelemetryCommand:
