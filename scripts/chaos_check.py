@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Validate a chaos campaign checkpoint (CI smoke check).
+
+Given a checkpoint directory produced by ``prepare-repro chaos
+--checkpoint DIR``, verifies that the campaign survived its own fault
+injection:
+
+* the manifest exists and every expanded job has a completed record
+  in ``results.jsonl`` (no job died to an unhandled exception);
+* every record is a ``chaos`` job carrying a resilience summary;
+* faults were actually injected (``fault_events_total`` sums > 0) —
+  a chaos smoke that injected nothing proves nothing;
+* degraded metric delivery was repaired somewhere (imputed samples or
+  blackout skips > 0) when any metric-stream policy was enabled.
+
+Exits non-zero with a message on the first failure.
+
+Usage::
+
+    PYTHONPATH=src python -m repro chaos --short --checkpoint chaos_ci
+    PYTHONPATH=src python scripts/chaos_check.py chaos_ci
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.campaign import CampaignCheckpoint
+
+
+def check(directory: Path) -> None:
+    checkpoint = CampaignCheckpoint(directory)
+    if not checkpoint.manifest_path.is_file():
+        raise SystemExit(f"FAIL: {checkpoint.manifest_path} is missing")
+    manifest = json.loads(checkpoint.manifest_path.read_text())
+    job_ids = [str(j) for j in manifest.get("job_ids", [])]
+    if not job_ids:
+        raise SystemExit(f"FAIL: {checkpoint.manifest_path} lists no jobs")
+
+    records = checkpoint.load_records()
+    missing = [job_id for job_id in job_ids if job_id not in records]
+    if missing:
+        raise SystemExit(
+            f"FAIL: {len(missing)}/{len(job_ids)} jobs have no record "
+            f"(first missing: {missing[0]}) — a job raised or was killed"
+        )
+
+    fault_events = 0
+    imputed = 0
+    metric_chaos = False
+    for job_id in job_ids:
+        record = records[job_id]
+        if record.get("kind") != "chaos":
+            raise SystemExit(
+                f"FAIL: job {job_id} has kind {record.get('kind')!r}, "
+                f"expected 'chaos'"
+            )
+        result = record.get("result", {})
+        resilience = result.get("resilience")
+        if not isinstance(resilience, dict):
+            raise SystemExit(
+                f"FAIL: job {job_id} record lacks a resilience summary"
+            )
+        fault_events += int(resilience.get("fault_events_total", 0))
+        imputed += int(resilience.get("imputed_samples", 0))
+        imputed += int(resilience.get("blackout_skips", 0))
+        metric = dict(record.get("params", {}).get("chaos", {})).get(
+            "metric", {}
+        )
+        if any(float(v) > 0.0 for k, v in metric.items()
+               if k.endswith("_rate") and isinstance(v, (int, float))):
+            metric_chaos = True
+
+    if fault_events <= 0:
+        raise SystemExit(
+            "FAIL: fault_events_total sums to 0 — no faults were injected"
+        )
+    if metric_chaos and imputed <= 0:
+        raise SystemExit(
+            "FAIL: metric-stream chaos was enabled but no samples were "
+            "imputed and no blacked-out VMs were skipped"
+        )
+
+    print(
+        f"OK: {len(job_ids)} chaos jobs completed, "
+        f"{fault_events} faults injected, "
+        f"{imputed} samples imputed/skipped"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("directory", type=Path,
+                        help="chaos campaign checkpoint directory")
+    args = parser.parse_args(argv)
+    check(args.directory)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

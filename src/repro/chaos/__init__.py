@@ -1,0 +1,27 @@
+"""Infrastructure chaos layer: seeded fault injection for the plumbing.
+
+Where :mod:`repro.faults` injects *workload* anomalies inside the guest
+(the thing PREPARE must predict), this package injects *infrastructure*
+faults into the machinery PREPARE itself depends on — the metric
+stream, the hypervisor verbs, host capacity — to exercise the control
+plane's resilience features (:mod:`repro.core.resilience`): retries
+with backoff, the per-VM escalating circuit breaker, and last-known-
+good metric imputation.  See ``docs/resilience.md``.
+"""
+
+from repro.chaos.engine import ChaosEngine, ChaosEvent
+from repro.chaos.policies import (
+    ChaosSpec,
+    HostChaosPolicy,
+    MetricChaosPolicy,
+    VerbChaosPolicy,
+)
+
+__all__ = [
+    "ChaosEngine",
+    "ChaosEvent",
+    "ChaosSpec",
+    "HostChaosPolicy",
+    "MetricChaosPolicy",
+    "VerbChaosPolicy",
+]

@@ -1,0 +1,190 @@
+"""Declarative chaos policies: what infrastructure faults to inject.
+
+A :class:`ChaosSpec` is the JSON-friendly description of one run's
+infrastructure misbehaviour, orthogonal to the *workload* faults in
+:mod:`repro.faults` (memory leaks, CPU hogs) — those degrade the
+guest; these degrade the plumbing PREPARE acts through:
+
+* :class:`MetricChaosPolicy` — the monitoring stream: whole batches
+  dropped or delayed, individual attributes corrupted to NaN, and
+  per-VM monitor blackouts;
+* :class:`VerbChaosPolicy` — hypervisor verbs rejected, timing out
+  (completion silently lost), or completing late with inflated
+  latency;
+* :class:`HostChaosPolicy` — transient host capacity flaps that
+  shrink headroom out from under ``can_scale``/migration targets.
+
+The spec also carries the *defensive* configuration
+(:class:`~repro.core.resilience.ResiliencePolicy`: retries + circuit
+breaker) so one mapping fully determines a resilience experiment.
+Every probability is evaluated against a seeded RNG owned by the
+:class:`~repro.chaos.engine.ChaosEngine`; the same spec + seeds
+reproduces the same fault sequence byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, Mapping, Optional, Union
+
+from repro.core.resilience import ResiliencePolicy
+
+__all__ = [
+    "MetricChaosPolicy",
+    "VerbChaosPolicy",
+    "HostChaosPolicy",
+    "ChaosSpec",
+]
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def _check_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+
+
+@dataclass(frozen=True)
+class MetricChaosPolicy:
+    """Degradation of the monitor → controller sample stream."""
+
+    #: Probability an entire round's batch never reaches the listeners.
+    drop_batch_rate: float = 0.0
+    #: Probability a batch is delivered late (by ``delay_seconds``).
+    #: Delayed batches are released in FIFO order, so delivery can lag
+    #: but never reorders — timestamps stay monotone per consumer.
+    delay_rate: float = 0.0
+    delay_seconds: float = 10.0
+    #: Probability an individual sample has attributes corrupted to NaN.
+    corrupt_rate: float = 0.0
+    #: How many attributes (at most) one corrupted sample loses.
+    corrupt_attributes: int = 3
+    #: Per-VM, per-round probability a monitor blackout *starts*; while
+    #: blacked out the VM's samples are removed from delivered batches.
+    blackout_rate: float = 0.0
+    blackout_duration: float = 60.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_batch_rate", "delay_rate", "corrupt_rate",
+                     "blackout_rate"):
+            _check_rate(name, getattr(self, name))
+        _check_positive("delay_seconds", self.delay_seconds)
+        _check_positive("blackout_duration", self.blackout_duration)
+        if self.corrupt_attributes < 1:
+            raise ValueError(
+                f"corrupt_attributes must be >= 1, got {self.corrupt_attributes}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return any((self.drop_batch_rate, self.delay_rate,
+                    self.corrupt_rate, self.blackout_rate))
+
+
+@dataclass(frozen=True)
+class VerbChaosPolicy:
+    """Hypervisor verb failures.  The three rates partition each call's
+    fate (their sum must stay <= 1; the remainder completes normally)."""
+
+    #: Probability a verb is rejected at call time (raises
+    #: :class:`~repro.sim.hypervisor.TransientVerbError`).
+    failure_rate: float = 0.0
+    #: Probability a verb is accepted but its completion is lost.
+    timeout_rate: float = 0.0
+    #: Probability a verb completes late by ``latency_inflation``x.
+    late_rate: float = 0.0
+    latency_inflation: float = 5.0
+
+    def __post_init__(self) -> None:
+        for name in ("failure_rate", "timeout_rate", "late_rate"):
+            _check_rate(name, getattr(self, name))
+        total = self.failure_rate + self.timeout_rate + self.late_rate
+        if total > 1.0 + 1e-12:
+            raise ValueError(
+                f"verb fate rates must sum to <= 1, got {total}"
+            )
+        if self.latency_inflation < 1.0:
+            raise ValueError(
+                f"latency_inflation must be >= 1, got {self.latency_inflation}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return any((self.failure_rate, self.timeout_rate, self.late_rate))
+
+
+@dataclass(frozen=True)
+class HostChaosPolicy:
+    """Transient host capacity flaps (a noisy co-tenant, a dom0 burst):
+    part of a host's free capacity vanishes for ``flap_duration``."""
+
+    #: Per-host probability a flap starts at each check.
+    flap_rate: float = 0.0
+    #: Fraction of the host's total capacity a flap tries to reserve
+    #: (clamped to what is actually free, so placements never break).
+    flap_fraction: float = 0.25
+    flap_duration: float = 45.0
+    check_interval: float = 15.0
+
+    def __post_init__(self) -> None:
+        _check_rate("flap_rate", self.flap_rate)
+        if not 0.0 < self.flap_fraction <= 1.0:
+            raise ValueError(
+                f"flap_fraction must be in (0, 1], got {self.flap_fraction}"
+            )
+        _check_positive("flap_duration", self.flap_duration)
+        _check_positive("check_interval", self.check_interval)
+
+    @property
+    def enabled(self) -> bool:
+        return self.flap_rate > 0.0
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One run's complete infrastructure-chaos configuration.
+
+    ``seed`` feeds the engine's independent RNG streams (metric, verb,
+    host) and, combined with the experiment seed, the actuator's retry
+    jitter — determinism holds per (spec, experiment seed) pair.
+    """
+
+    seed: int = 0
+    metric: MetricChaosPolicy = MetricChaosPolicy()
+    verbs: VerbChaosPolicy = VerbChaosPolicy()
+    hosts: HostChaosPolicy = HostChaosPolicy()
+    resilience: ResiliencePolicy = ResiliencePolicy()
+
+    @property
+    def enabled(self) -> bool:
+        return self.metric.enabled or self.verbs.enabled or self.hosts.enabled
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ChaosSpec":
+        payload = dict(payload or {})
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown chaos spec keys: {sorted(unknown)}")
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            metric=MetricChaosPolicy(**dict(payload.get("metric", {}))),
+            verbs=VerbChaosPolicy(**dict(payload.get("verbs", {}))),
+            hosts=HostChaosPolicy(**dict(payload.get("hosts", {}))),
+            resilience=ResiliencePolicy.from_dict(payload.get("resilience", {})),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def coerce(
+        cls, value: Optional[Union["ChaosSpec", Mapping[str, object]]]
+    ) -> Optional["ChaosSpec"]:
+        """Normalize a config field: None passes through, mappings parse."""
+        if value is None or isinstance(value, ChaosSpec):
+            return value
+        return cls.from_dict(value)

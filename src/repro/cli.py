@@ -10,13 +10,17 @@ Exposes the experiment harness without writing Python::
     prepare-repro telemetry --app rubis --output-dir runs/tele
     prepare-repro campaign spec.json --jobs 4 --checkpoint runs/camp
     prepare-repro campaign spec.json --checkpoint runs/camp --resume
+    prepare-repro chaos --metric-drop 0.1,0.2 --verb-failure 0.25
 
 ``telemetry`` runs one scenario with the full observability layer
 attached and exports metrics (Prometheus text), the span trace and the
 run-telemetry record (JSONL).  ``campaign`` expands a declarative
 scenario grid (see ``docs/experiments.md``) into independent jobs,
 shards them over a worker pool, and checkpoints per-job results so an
-interrupted campaign resumes instead of recomputing.
+interrupted campaign resumes instead of recomputing.  ``chaos`` builds
+and runs such a grid directly from flags: every job is an experiment
+under injected infrastructure faults with the resilient control plane
+armed (see ``docs/resilience.md``).
 
 Also runnable as ``python -m repro ...``.
 """
@@ -128,6 +132,67 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the summary (or grid) as JSON")
     camp.add_argument("--quiet", action="store_true",
                       help="suppress the per-job progress line")
+
+    cha = sub.add_parser(
+        "chaos",
+        help="run a chaos campaign: experiments under injected "
+             "infrastructure faults (metric drops, verb failures, host "
+             "flaps) with the resilient control plane armed",
+    )
+    cha.add_argument("--app", choices=("system-s", "rubis"), default="rubis")
+    cha.add_argument(
+        "--fault", choices=[k.value for k in FaultKind], default="memory_leak"
+    )
+    cha.add_argument(
+        "--scheme", choices=("prepare", "reactive", "none"), default="prepare"
+    )
+    cha.add_argument(
+        "--mode", choices=("scaling", "migration", "auto"), default="auto"
+    )
+    cha.add_argument(
+        "--metric-drop", default="0.1", metavar="R[,R...]",
+        help="metric batch drop rate axis (comma-separated floats)",
+    )
+    cha.add_argument(
+        "--verb-failure", default="0.25", metavar="R[,R...]",
+        help="hypervisor verb failure rate axis (comma-separated floats)",
+    )
+    cha.add_argument("--verb-timeout", type=float, default=0.05,
+                     help="verb completion-loss rate")
+    cha.add_argument("--verb-late", type=float, default=0.05,
+                     help="verb late-completion rate")
+    cha.add_argument("--corrupt", type=float, default=0.05,
+                     help="per-sample NaN corruption rate")
+    cha.add_argument("--delay", type=float, default=0.0,
+                     help="batch delayed-delivery rate")
+    cha.add_argument("--blackout", type=float, default=0.01,
+                     help="per-sample VM blackout-start rate")
+    cha.add_argument("--flap", type=float, default=0.0,
+                     help="per-check host capacity flap rate")
+    cha.add_argument("--chaos-seed", type=int, default=5,
+                     help="chaos spec seed (fault-sequence identity)")
+    cha.add_argument("--seed", type=int, default=11,
+                     help="first experiment seed")
+    cha.add_argument("--seeds", type=int, default=1, metavar="N",
+                     help="seed axis length (seed, seed+101, ...)")
+    cha.add_argument(
+        "--short", action="store_true",
+        help="short protocol (700 s run, 150 s injections) for smokes",
+    )
+    cha.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (results are identical for any N)")
+    cha.add_argument("--checkpoint", default=None, metavar="DIR",
+                     help="stream per-job records + manifest here")
+    cha.add_argument("--resume", action="store_true",
+                     help="skip jobs already completed in the checkpoint")
+    cha.add_argument("--limit", type=int, default=None, metavar="N",
+                     help="run at most N pending jobs, then stop cleanly")
+    cha.add_argument("--expand", action="store_true",
+                     help="print the expanded job grid and exit")
+    cha.add_argument("--json", action="store_true",
+                     help="print the summary (or grid) as JSON")
+    cha.add_argument("--quiet", action="store_true",
+                     help="suppress the per-job progress line")
 
     rep_all = sub.add_parser(
         "report", help="regenerate the whole evaluation into a directory"
@@ -304,14 +369,15 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
+def _drive_campaign(spec, args: argparse.Namespace) -> int:
+    """Shared campaign driver behind ``campaign`` and ``chaos``:
+    expand/run ``spec`` honouring the common flags (--expand, --jobs,
+    --checkpoint, --resume, --limit, --json, --quiet)."""
     from repro.experiments.campaign import (
-        CampaignSpec,
         render_campaign_summary,
         run_campaign,
     )
 
-    spec = CampaignSpec.from_file(args.spec)
     grid = spec.expand()
     if args.expand:
         if args.json:
@@ -357,6 +423,73 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if report.failed else 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import CampaignSpec
+
+    return _drive_campaign(CampaignSpec.from_file(args.spec), args)
+
+
+def _chaos_campaign_spec(args: argparse.Namespace):
+    """Build the chaos campaign grid a ``repro chaos`` invocation asks
+    for: scalar policy rates in the base, drop-rate x failure-rate x
+    seed as axes."""
+    from repro.experiments.campaign import CampaignSpec
+
+    drops = [float(v) for v in str(args.metric_drop).split(",") if v != ""]
+    failures = [float(v) for v in str(args.verb_failure).split(",") if v != ""]
+    if not drops or not failures:
+        raise SystemExit("--metric-drop and --verb-failure need values")
+    if args.seeds < 1:
+        raise SystemExit("--seeds must be >= 1")
+    schedule = (
+        # Short smoke protocol: one fast run that still spans two
+        # injections so the predictive path gets a training window.
+        {"duration": 700.0, "first_injection_at": 200.0,
+         "injection_duration": 150.0, "injection_gap": 150.0}
+        if args.short else
+        # Default: long injections so enough anomalous samples survive
+        # metric-stream degradation for the model to train and act.
+        {"duration": 1200.0, "first_injection_at": 250.0,
+         "injection_duration": 300.0, "injection_gap": 200.0}
+    )
+    base = {
+        "app": args.app,
+        "fault": args.fault,
+        "scheme": args.scheme,
+        "action_mode": args.mode,
+        **schedule,
+        "chaos": {
+            "seed": args.chaos_seed,
+            "metric": {
+                "drop_batch_rate": 0.0,
+                "corrupt_rate": args.corrupt,
+                "delay_rate": args.delay,
+                "blackout_rate": args.blackout,
+            },
+            "verbs": {
+                "failure_rate": 0.0,
+                "timeout_rate": args.verb_timeout,
+                "late_rate": args.verb_late,
+            },
+            "hosts": {"flap_rate": args.flap},
+        },
+    }
+    return CampaignSpec(
+        name=f"chaos-{args.app}-{args.fault}",
+        kind="chaos",
+        base=base,
+        axes={
+            "chaos.metric.drop_batch_rate": drops,
+            "chaos.verbs.failure_rate": failures,
+            "seed": [args.seed + 101 * i for i in range(args.seeds)],
+        },
+    )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    return _drive_campaign(_chaos_campaign_spec(args), args)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import reproduce_all
 
@@ -390,6 +523,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "leadtime": _cmd_leadtime,
         "telemetry": _cmd_telemetry,
         "campaign": _cmd_campaign,
+        "chaos": _cmd_chaos,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

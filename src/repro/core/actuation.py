@@ -19,6 +19,18 @@ verbs:
   after it; an unchanged usage profile with persisting alerts means
   the wrong metric was scaled, and the actuator escalates to the next
   ranked metric.
+
+When a :class:`~repro.core.resilience.ResiliencePolicy` is supplied
+(the chaos-enabled configuration), verbs additionally run under a
+bounded retry loop with jittered exponential backoff and a per-attempt
+completion deadline, and every VM gets an
+:class:`~repro.core.resilience.EscalatingBreaker`: repeated scale
+failures ban scaling (the actuator escalates to migration, even in
+forced ``"scaling"`` mode — under a broken control plane the
+escalation ladder overrides the experiment's verb preference), and
+repeated migrate failures suppress prevention for the VM until a
+cooldown elapses.  With ``resilience=None`` every code path below is
+byte-identical to the pre-resilience actuator.
 """
 
 from __future__ import annotations
@@ -29,9 +41,17 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.core.resilience import EscalatingBreaker, ResiliencePolicy
+from repro.obs import NULL_OBS
 from repro.sim.cluster import Cluster
 from repro.sim.engine import Simulator
-from repro.sim.resources import ResourceError, ResourceKind, ResourceSpec
+from repro.sim.hypervisor import TransientVerbError
+from repro.sim.resources import (
+    RESOURCE_EPSILON,
+    ResourceError,
+    ResourceKind,
+    ResourceSpec,
+)
 from repro.sim.vm import VirtualMachine
 
 __all__ = [
@@ -80,6 +100,12 @@ class PreventionAction:
     #: Whether the indicted metric's usage profile moved between the
     #: look-back and look-ahead windows (diagnostic; set by validation).
     usage_changed: Optional[bool] = None
+    #: Verb dispatch attempts made (0 on the legacy no-resilience path,
+    #: where there is exactly one un-counted attempt).
+    attempts: int = 0
+    #: True once every retry attempt was exhausted without a completion
+    #: — a failed action is dropped by the validator, never judged.
+    failed: bool = False
 
 
 class PreventionActuator:
@@ -100,6 +126,8 @@ class PreventionActuator:
         sim: Simulator,
         mode: str = "auto",
         scale_factor: float = 2.0,
+        resilience: Optional[ResiliencePolicy] = None,
+        obs=None,
     ) -> None:
         if mode not in ("auto", "scaling", "migration"):
             raise ValueError(f"unknown actuation mode {mode!r}")
@@ -109,6 +137,41 @@ class PreventionActuator:
         self._sim = sim
         self.mode = mode
         self.scale_factor = scale_factor
+        self._resilience = resilience
+        self.obs = obs if obs is not None else NULL_OBS
+        #: Per-VM escalating breakers (resilient path only; lazy).
+        self._breakers: Dict[str, EscalatingBreaker] = {}
+        #: Seeded jitter stream for retry backoff: determinism survives
+        #: any number of retries because nothing else draws from it.
+        self._retry_rng = (
+            np.random.default_rng(resilience.seed)
+            if resilience is not None else None
+        )
+        #: Flat resilience counters, merged into run telemetry.
+        self.resilience_stats: Dict[str, int] = {
+            "retries": 0,
+            "verb_failures": 0,
+            "verb_timeouts": 0,
+            "breaker_trips": 0,
+            "suppressed_preventions": 0,
+        }
+        metrics = self.obs.metrics
+        self._m_retries = metrics.counter(
+            "prepare_verb_retries_total",
+            "Hypervisor verb retries scheduled by the actuator", ("verb",))
+        self._m_backoff = metrics.histogram(
+            "prepare_retry_backoff_seconds",
+            "Backoff delays (sim seconds) before verb retries")
+        self._m_breaker_state = metrics.gauge(
+            "prepare_breaker_state",
+            "Per-VM breaker state (0 closed, 1 scale_open, 2 open, "
+            "3 half_open)", ("vm",))
+        self._m_breaker_trips = metrics.counter(
+            "prepare_breaker_trips_total",
+            "Circuit-breaker trips by escalation level", ("vm", "level"))
+        self._m_suppressed = metrics.counter(
+            "prepare_suppressed_preventions_total",
+            "Preventions suppressed by an open breaker", ("vm",))
         #: Per-actuator ID stream: action IDs must depend only on this
         #: actuator's history, not on how many other actuators ran
         #: earlier in the process, or repeated experiments and replayed
@@ -163,6 +226,12 @@ class PreventionActuator:
         vm = self.cluster.vm(vm_name)
         if vm.migrating:
             return None
+        breaker = self._breaker(vm.name) if self._resilience is not None else None
+        if breaker is not None and breaker.suppressed(self._sim.now):
+            self.resilience_stats["suppressed_preventions"] += 1
+            self._m_suppressed.inc(vm=vm.name)
+            self._sync_breaker_gauge(vm.name, breaker)
+            return None
         choice = self.choose_metric(vm_name, ranked_metrics)
         if choice is None:
             return None
@@ -172,7 +241,8 @@ class PreventionActuator:
             self._sim.now - self._last_migration_at.get(vm.name, -1e18)
             < self.migration_cooldown
         )
-        if self.mode in ("auto", "scaling") or recently_migrated:
+        scale_allowed = breaker is None or breaker.allows_scale(self._sim.now)
+        if (self.mode in ("auto", "scaling") or recently_migrated) and scale_allowed:
             action = self._try_scale(vm, resource, metric, proactive)
             if action is not None:
                 return action
@@ -209,6 +279,10 @@ class PreventionActuator:
             detail=f"{resource.value}: {current:g} -> {target:g}",
             proactive=proactive,
         )
+        if self._resilience is not None:
+            self.actions.append(action)
+            self._dispatch_scale(action, vm, resource)
+            return action
 
         def done() -> None:
             action.completed = True
@@ -237,6 +311,10 @@ class PreventionActuator:
             detail=f"-> {destination.name}, then grow {resource.value}",
             proactive=proactive,
         )
+        if self._resilience is not None:
+            self.actions.append(action)
+            self._dispatch_migrate(action, vm, resource, destination)
+            return action
 
         def arrived() -> None:
             action.completed = True
@@ -250,6 +328,149 @@ class PreventionActuator:
         self._last_migration_at[vm.name] = self._sim.now
         self.actions.append(action)
         return action
+
+    # ------------------------------------------------------------------
+    # Resilient verb dispatch (chaos-enabled runs only)
+    # ------------------------------------------------------------------
+    def _breaker(self, vm_name: str) -> EscalatingBreaker:
+        breaker = self._breakers.get(vm_name)
+        if breaker is None:
+            breaker = EscalatingBreaker(self._resilience.breaker)
+            self._breakers[vm_name] = breaker
+        return breaker
+
+    def _sync_breaker_gauge(self, vm_name: str, breaker: EscalatingBreaker) -> None:
+        self._m_breaker_state.set(breaker.state(self._sim.now), vm=vm_name)
+
+    def breaker_state_name(self, vm_name: str) -> str:
+        """The VM's breaker state ("closed" when none exists yet)."""
+        breaker = self._breakers.get(vm_name)
+        return breaker.state_name(self._sim.now) if breaker else "closed"
+
+    def _dispatch_scale(
+        self, action: PreventionAction, vm: VirtualMachine,
+        resource: ResourceKind,
+    ) -> None:
+        """Run one scale attempt under the retry policy.
+
+        The target is recomputed per attempt — a host capacity flap may
+        have shrunk (or restored) headroom since the previous one.  An
+        attempt can end three ways: completion (``on_done`` fires),
+        rejection (:class:`TransientVerbError`/:class:`ResourceError`
+        at call time), or silence — the deadline event scheduled at
+        ``verb_timeout`` declares a still-incomplete attempt lost.
+        """
+        action.attempts += 1
+        attempt = action.attempts
+        target = self._scale_target(vm, resource)
+        current = vm.spec.get(resource)
+        meaningful = 1.0 + 0.4 * (self.scale_factor - 1.0)
+        if target < current * meaningful:
+            # Headroom evaporated under us (capacity flap): count a
+            # failed attempt and let backoff wait the flap out.
+            self._attempt_failed(action, vm, resource, "failed",
+                                 "headroom lost")
+            return
+        action.detail = f"{resource.value}: {current:g} -> {target:g}"
+        state = {"done": False}
+        breaker = self._breaker(vm.name)
+
+        def done() -> None:
+            state["done"] = True
+            action.completed = True
+            breaker.record_success("scale", self._sim.now)
+            self._sync_breaker_gauge(vm.name, breaker)
+
+        try:
+            self.cluster.hypervisor.scale(vm, resource, target, on_done=done)
+        except (TransientVerbError, ResourceError) as exc:
+            self._attempt_failed(action, vm, resource, "failed", str(exc))
+            return
+
+        def deadline_check() -> None:
+            if state["done"] or action.attempts != attempt:
+                return
+            self._attempt_failed(action, vm, resource, "timeout",
+                                 "completion lost")
+
+        self._sim.schedule(
+            self._resilience.retry.verb_timeout, deadline_check,
+            label=f"verb-deadline:scale:{vm.name}",
+        )
+
+    def _dispatch_migrate(
+        self, action: PreventionAction, vm: VirtualMachine,
+        resource: ResourceKind, destination=None,
+    ) -> None:
+        """Run one migrate attempt under the retry policy.
+
+        The destination is re-picked on each retry (the first choice
+        may have flapped away or been taken).  Unlike scale, a migrate
+        never loses its completion silently — the hypervisor maps that
+        fate to a call-time rejection — so no deadline event is needed.
+        """
+        action.attempts += 1
+        if destination is None:
+            desired = vm.spec.with_amount(
+                resource, vm.spec.get(resource) * self.scale_factor
+            )
+            destination = self.cluster.find_migration_target(vm, required=desired)
+            if destination is None:
+                self._attempt_failed(action, vm, resource, "failed",
+                                     "no destination")
+                return
+        action.detail = f"-> {destination.name}, then grow {resource.value}"
+        breaker = self._breaker(vm.name)
+
+        def arrived() -> None:
+            action.completed = True
+            breaker.record_success("migrate", self._sim.now)
+            self._sync_breaker_gauge(vm.name, breaker)
+            target = self._scale_target(vm, resource)
+            if target > vm.spec.get(resource) * 1.05:
+                try:
+                    self.cluster.hypervisor.scale(vm, resource, target)
+                except (TransientVerbError, ResourceError):
+                    # Best-effort post-arrival grow; the next alert
+                    # will retry through the normal prevention path.
+                    self.resilience_stats["verb_failures"] += 1
+
+        try:
+            self.cluster.hypervisor.migrate(vm, destination, on_done=arrived)
+        except (TransientVerbError, ResourceError) as exc:
+            self._attempt_failed(action, vm, resource, "failed", str(exc))
+            return
+        self._last_migration_at[vm.name] = self._sim.now
+
+    def _attempt_failed(
+        self, action: PreventionAction, vm: VirtualMachine,
+        resource: ResourceKind, outcome: str, why: str,
+    ) -> None:
+        """Account one failed verb attempt, then retry or give up."""
+        key = "verb_timeouts" if outcome == "timeout" else "verb_failures"
+        self.resilience_stats[key] += 1
+        breaker = self._breaker(vm.name)
+        trip = breaker.record_failure(action.verb, self._sim.now)
+        if trip is not None:
+            self.resilience_stats["breaker_trips"] += 1
+            self._m_breaker_trips.inc(vm=vm.name, level=trip)
+        self._sync_breaker_gauge(vm.name, breaker)
+        retry = self._resilience.retry
+        if action.attempts >= retry.max_attempts:
+            action.failed = True
+            return
+        delay = retry.delay(action.attempts, self._retry_rng)
+        self.resilience_stats["retries"] += 1
+        self._m_retries.inc(verb=action.verb)
+        self._m_backoff.observe(delay)
+        dispatch = (
+            self._dispatch_scale if action.verb == "scale"
+            else self._dispatch_migrate
+        )
+        self._sim.schedule(
+            delay, lambda: dispatch(action, vm, resource),
+            label=f"retry-{action.verb}:{vm.name}",
+        )
 
     # ------------------------------------------------------------------
     # Escalation bookkeeping
@@ -287,10 +508,10 @@ class PreventionActuator:
             for resource in (ResourceKind.CPU, ResourceKind.MEMORY):
                 current = vm.spec.get(resource)
                 target = baseline.get(resource)
-                if abs(current - target) > 1e-9:
+                if abs(current - target) > RESOURCE_EPSILON:
                     try:
                         self.cluster.hypervisor.scale(vm, resource, target)
-                    except ResourceError:
+                    except (ResourceError, TransientVerbError):
                         continue
         self.clear_exclusions()
 
@@ -380,6 +601,10 @@ class EffectivenessValidator:
         resolved: List[Tuple[PreventionAction, str]] = []
         still_pending: List[_PendingValidation] = []
         for item in self._pending:
+            if item.action.failed:
+                # Every retry was exhausted: there is no "after" state
+                # to judge — drop the validation without an outcome.
+                continue
             if now < item.matured_at or not item.action.completed:
                 still_pending.append(item)
                 continue
@@ -387,14 +612,16 @@ class EffectivenessValidator:
             values = np.asarray(
                 look_ahead_values.get(item.action.action_id, ()), dtype=float
             )
-            after = (
-                float(values[-self.window_samples:].mean()) if values.size else 0.0
-            )
-            scale = max(abs(item.look_back_mean), 1e-6)
-            item.action.usage_changed = bool(
-                abs(after - item.look_back_mean) / scale
-                >= self.min_relative_change
-            )
+            if values.size:
+                after = float(values[-self.window_samples:].mean())
+                scale = max(abs(item.look_back_mean), 1e-6)
+                item.action.usage_changed = bool(
+                    abs(after - item.look_back_mean) / scale
+                    >= self.min_relative_change
+                )
+            # An empty look-ahead window (every post-action sample
+            # dropped) says nothing about usage: the diagnostic stays
+            # None while the alert-driven outcome below still resolves.
             if not alerts_active.get(vm, False):
                 item.action.effective = True
                 resolved.append((item.action, ValidationOutcome.EFFECTIVE))

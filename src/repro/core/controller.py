@@ -134,6 +134,13 @@ class PrepareConfig:
     #: horizon.  Off by default: the paper evaluates a single fixed
     #: look-ahead window.
     horizon_sweep: bool = False
+    #: Staleness bound on last-known-good imputation, seconds.  Missing
+    #: or NaN-corrupted samples are imputed from the VM's last real
+    #: reading to keep the per-VM training buffers aligned, but once a
+    #: VM has had no real contact for longer than this the imputed
+    #: stream is fiction: prediction for that VM is *skipped* (not
+    #: aborted) until the monitor recovers.
+    imputation_max_staleness: float = 30.0
 
 
 @dataclass(frozen=True)
@@ -246,6 +253,25 @@ class PrepareController:
         self._rounds = 0
         self._violated_ticks = 0
         self._attached = False
+        # -- graceful-degradation state (engages only on NaN/missing
+        # samples, so a clean run never touches it) -------------------
+        #: Timestamp of each VM's last *real* (non-imputed) sample.
+        self._last_real: Dict[str, float] = {}
+        #: Last-known-good attribute values / allocations per VM.
+        self._last_values: Dict[str, Dict[str, float]] = {}
+        self._last_alloc: Dict[str, Tuple[float, float]] = {}
+        #: Flat degradation counters, merged into run telemetry.
+        self.resilience_stats: Dict[str, int] = {
+            "imputed_samples": 0,
+            "blackout_skips": 0,
+        }
+        self._m_imputed = metrics.counter(
+            "prepare_imputed_samples_total",
+            "Samples imputed from last-known-good values", ("vm",))
+        self._m_blackout_skips = metrics.counter(
+            "prepare_blackout_skips_total",
+            "Predictions skipped because a VM's data was too stale",
+            ("vm",))
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -275,6 +301,7 @@ class PrepareController:
     # ------------------------------------------------------------------
     def _on_samples(self, batch: List[MetricSample]) -> None:
         now = self._sim.now
+        batch = self._sanitize_batch(batch, now)
         with self.obs.span(STAGE_INGEST) as span:
             for sample in batch:
                 buffer = self.buffers.get(sample.vm)
@@ -318,12 +345,86 @@ class PrepareController:
             )
 
     # ------------------------------------------------------------------
+    # Degraded-input handling (chaos: NaN corruption, monitor blackouts)
+    # ------------------------------------------------------------------
+    def _sanitize_batch(
+        self, batch: List[MetricSample], now: float
+    ) -> List[MetricSample]:
+        """Repair a degraded batch so every VM buffer stays aligned.
+
+        NaN-corrupted attributes are replaced with the VM's last-known-
+        good values; VMs missing from the batch entirely (monitor
+        blackout) get a synthesized sample at the batch's timestamp.
+        Repaired/synthesized rows are flagged ``imputed`` — training
+        excludes them, and the staleness bound
+        (:attr:`PrepareConfig.imputation_max_staleness`) governs when
+        prediction stops trusting the imputed stream.  A VM that has
+        never delivered a real sample cannot be imputed; its buffer
+        simply lags and :meth:`_retrain` leaves it out.
+        """
+        ts = batch[0].timestamp if batch else now
+        out: List[MetricSample] = []
+        seen = set()
+        for sample in batch:
+            if sample.vm in self.buffers:
+                seen.add(sample.vm)
+                if any(not math.isfinite(v) for v in sample.values.values()):
+                    last = self._last_values.get(sample.vm, {})
+                    fixed = {
+                        name: value if math.isfinite(value)
+                        else last.get(name, 0.0)
+                        for name, value in sample.values.items()
+                    }
+                    sample = dataclasses.replace(
+                        sample, values=fixed, imputed=True
+                    )
+                    self.resilience_stats["imputed_samples"] += 1
+                    self._m_imputed.inc(vm=sample.vm)
+                else:
+                    self._last_real[sample.vm] = sample.timestamp
+                self._last_values[sample.vm] = dict(sample.values)
+                self._last_alloc[sample.vm] = (
+                    sample.cpu_allocated, sample.mem_allocated_mb
+                )
+            out.append(sample)
+        for name in self.buffers:
+            if name in seen:
+                continue
+            last = self._last_values.get(name)
+            if last is None:
+                continue  # no real contact yet: nothing to impute from
+            cpu, mem = self._last_alloc[name]
+            out.append(
+                MetricSample(
+                    vm=name, timestamp=ts, values=dict(last),
+                    cpu_allocated=cpu, mem_allocated_mb=mem,
+                    stale=True, imputed=True,
+                )
+            )
+            self.resilience_stats["imputed_samples"] += 1
+            self._m_imputed.inc(vm=name)
+        return out
+
+    def _blacked_out(self, name: str, now: float) -> bool:
+        last_real = self._last_real.get(name)
+        return (
+            last_real is not None
+            and now - last_real > self.config.imputation_max_staleness
+        )
+
+    # ------------------------------------------------------------------
     # Post-operation alert suppression
     # ------------------------------------------------------------------
     def _refresh_suppressions(self, now: float) -> None:
         """Open a grace window on every VM a hypervisor op just touched."""
         ops = self.cluster.hypervisor.operations
         for op in ops[self._ops_seen:]:
+            if op.outcome not in ("ok", "late"):
+                # A rejected or lost verb changed no allocation: there
+                # is nothing to re-equilibrate, so no grace window (and
+                # suppressing here would blind validation to the very
+                # alerts that prove the action never landed).
+                continue
             if op.vm in self.filters:
                 self._suppressed_until[op.vm] = max(
                     self._suppressed_until.get(op.vm, 0.0),
@@ -353,18 +454,25 @@ class PrepareController:
         alert for someone else's fault.
         """
         sizes = {len(buffer) for buffer in self.buffers.values()}
-        if not sizes or min(sizes) < self.config.min_training_samples:
+        if not sizes or max(sizes) < self.config.min_training_samples:
             return
+        # Imputation keeps buffers aligned, but a VM blacked out since
+        # before its first real sample has a shorter buffer — train the
+        # aligned majority and leave the lagging VM out rather than
+        # feeding the localizer misaligned label rows.
+        ref_len = max(sizes)
         per_vm_values: Dict[str, np.ndarray] = {}
         labels = None
         for name, buffer in self.buffers.items():
+            if len(buffer) != ref_len:
+                continue
             X, y, _t = buffer.matrices()
             per_vm_values[name] = X
             labels = y  # identical across VMs (same SLO log + timestamps)
         if labels is None or not labels.any() or labels.all():
             return
         per_vm_allocations = {
-            name: buffer.allocations() for name, buffer in self.buffers.items()
+            name: self.buffers[name].allocations() for name in per_vm_values
         }
         per_vm_labels = self.localizer.localize(
             per_vm_values, labels, per_vm_allocations=per_vm_allocations
@@ -401,6 +509,10 @@ class PrepareController:
                     <= 0.02 * max(mem_alloc[start], 1e-9)
                 )
                 mask[start:end] = same_as_start
+            # Imputed rows are synthesized repeats, not measurements:
+            # letting them into the CPTs teaches the model that frozen
+            # metrics are a real regime.
+            mask &= ~buffer.imputed_mask()
             rows = np.flatnonzero(mask)
             if rows.size < self.config.min_training_samples:
                 continue
@@ -425,6 +537,14 @@ class PrepareController:
         confirmed: List[Tuple[str, PredictionResult]] = []
         for name, predictor in self.predictors.items():
             if not predictor.trained:
+                continue
+            if self._blacked_out(name, now):
+                # The VM's recent history is pure imputation: a forecast
+                # from frozen inputs is noise.  Skip this VM (the rest
+                # of the cluster keeps predicting) until real samples
+                # resume.
+                self.resilience_stats["blackout_skips"] += 1
+                self._m_blackout_skips.inc(vm=name)
                 continue
             buffer = self.buffers[name]
             history = buffer.recent_values(predictor.history_needed)

@@ -113,6 +113,13 @@ class TrainingBuffer:
             mask[i] = cpu_ok and mem_ok
         return mask
 
+    def imputed_mask(self) -> np.ndarray:
+        """Boolean mask of samples synthesized by downstream imputation
+        (controller last-known-good repair) rather than measured —
+        training must exclude them, or frozen repeats of one reading
+        masquerade as a stable regime."""
+        return np.array([s.imputed for s in self._samples], dtype=bool)
+
     def has_both_classes(self) -> bool:
         """True once the buffer holds normal *and* abnormal samples —
         the precondition for training the supervised classifier."""

@@ -324,6 +324,40 @@ def _accuracy_job(params: Mapping[str, object]) -> Dict[str, object]:
     }
 
 
+@job_kind("chaos")
+def _chaos_job(params: Mapping[str, object]) -> Dict[str, object]:
+    """One Sec. III-B run under infrastructure chaos: same protocol as
+    ``experiment`` jobs, plus a ``chaos`` parameter mapping (a
+    :class:`~repro.chaos.ChaosSpec` dict).  The record carries the
+    injected-fault counts and the control plane's resilience totals
+    (retries, breaker trips, imputed samples) — all sim-deterministic,
+    so the byte-identical-records guarantee holds for chaos campaigns
+    too."""
+    from repro.core.controller import PrepareConfig
+    from repro.experiments.runner import ExperimentConfig, run_experiment
+    from repro.faults.base import FaultKind
+
+    kwargs = dict(params)
+    controller = kwargs.pop("controller", None)
+    config = ExperimentConfig(
+        app=kwargs.pop("app"),
+        fault=FaultKind(kwargs.pop("fault")),
+        scheme=kwargs.pop("scheme", "prepare"),
+        controller=PrepareConfig(**controller) if controller else None,
+        chaos=kwargs.pop("chaos", None),
+        **kwargs,
+    )
+    result = run_experiment(config)
+    return {
+        "violation_time": result.violation_time,
+        "second_injection": result.violation_time_second_injection,
+        "actions": len(result.actions),
+        "proactive_actions": result.proactive_actions,
+        "failed_actions": sum(1 for a in result.actions if a.failed),
+        "resilience": dict(result.resilience or {}),
+    }
+
+
 @job_kind("scalability")
 def _scalability_job(params: Mapping[str, object]) -> Dict[str, object]:
     """One fleet-size cell of the data-path cost sweep.  Timings are
@@ -590,12 +624,51 @@ def summarize_campaign(
     statistics, the action mix, and — when jobs ran with
     ``telemetry: true`` — the alert funnel and per-injection response
     percentiles from each job's :class:`~repro.obs.RunTelemetry`.
+    For ``chaos`` jobs, aggregates group by injected-fault intensity
+    (metric drop rate x verb failure rate): violation time plus the
+    resilience totals (fault events, retries, breaker trips, imputed
+    samples).
     """
     by_kind: Dict[str, int] = {}
     schemes: Dict[str, Dict[str, object]] = {}
+    chaos_cells: Dict[str, Dict[str, object]] = {}
     for record in records:
         kind = str(record.get("kind", "?"))
         by_kind[kind] = by_kind.get(kind, 0) + 1
+        if kind == "chaos":
+            params = dict(record.get("params", {}))
+            result = dict(record.get("result", {}))
+            chaos = dict(params.get("chaos", {}))
+            metric = dict(chaos.get("metric", {}))
+            verbs = dict(chaos.get("verbs", {}))
+            label = (
+                f"drop={float(metric.get('drop_batch_rate', 0.0)):g} "
+                f"fail={float(verbs.get('failure_rate', 0.0)):g}"
+            )
+            cell = chaos_cells.setdefault(label, {
+                "jobs": 0,
+                "violation_times": [],
+                "actions": 0,
+                "failed_actions": 0,
+                "fault_events": 0,
+                "retries": 0,
+                "breaker_trips": 0,
+                "imputed_samples": 0,
+            })
+            resilience = dict(result.get("resilience", {}))
+            cell["jobs"] += 1
+            cell["violation_times"].append(
+                float(result.get("violation_time", 0.0))
+            )
+            cell["actions"] += int(result.get("actions", 0))
+            cell["failed_actions"] += int(result.get("failed_actions", 0))
+            cell["fault_events"] += int(resilience.get("fault_events_total", 0))
+            cell["retries"] += int(resilience.get("retries", 0))
+            cell["breaker_trips"] += int(resilience.get("breaker_trips", 0))
+            cell["imputed_samples"] += int(
+                resilience.get("imputed_samples", 0)
+            )
+            continue
         if kind != "experiment":
             continue
         params = dict(record.get("params", {}))
@@ -659,12 +732,33 @@ def summarize_campaign(
             )
         scheme_summary[scheme] = entry
 
-    return {
+    chaos_summary: Dict[str, object] = {}
+    for label, cell in sorted(chaos_cells.items()):
+        times = cell.pop("violation_times")
+        chaos_summary[label] = {
+            "jobs": cell["jobs"],
+            "violation_time": {
+                "mean": sum(times) / len(times) if times else 0.0,
+                "min": min(times) if times else 0.0,
+                "max": max(times) if times else 0.0,
+            },
+            "actions": cell["actions"],
+            "failed_actions": cell["failed_actions"],
+            "fault_events": cell["fault_events"],
+            "retries": cell["retries"],
+            "breaker_trips": cell["breaker_trips"],
+            "imputed_samples": cell["imputed_samples"],
+        }
+
+    summary: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
         "jobs_completed": len(records),
         "by_kind": dict(sorted(by_kind.items())),
         "schemes": scheme_summary,
     }
+    if chaos_summary:
+        summary["chaos"] = chaos_summary
+    return summary
 
 
 def render_campaign_summary(summary: Mapping[str, object]) -> str:
@@ -704,5 +798,21 @@ def render_campaign_summary(summary: Mapping[str, object]) -> str:
                 f"suppressed={alerts.get('suppressed', 0)}; "
                 f"response p50 alert +{alert_resp.get('p50', 0.0):.0f}s "
                 f"action +{action_resp.get('p50', 0.0):.0f}s"
+            )
+    chaos = dict(summary.get("chaos", {}))
+    if chaos:
+        lines.append(
+            f"{'chaos cell':<24s} {'jobs':>5s} {'viol mean':>10s} "
+            f"{'faults':>7s} {'retries':>8s} {'trips':>6s} {'imputed':>8s}"
+        )
+        for label, cell in chaos.items():
+            viol = dict(cell.get("violation_time", {}))
+            lines.append(
+                f"{label:<24s} {cell.get('jobs', 0):>5d} "
+                f"{viol.get('mean', 0.0):>10.1f} "
+                f"{cell.get('fault_events', 0):>7d} "
+                f"{cell.get('retries', 0):>8d} "
+                f"{cell.get('breaker_trips', 0):>6d} "
+                f"{cell.get('imputed_samples', 0):>8d}"
             )
     return "\n".join(lines)

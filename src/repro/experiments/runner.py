@@ -27,11 +27,13 @@ pool and checkpoints per-job results.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.chaos import ChaosEngine, ChaosSpec
 from repro.core.actuation import PreventionAction
 from repro.core.controller import PrepareConfig
 from repro.obs import Observability, RunTelemetry, build_run_telemetry
@@ -79,6 +81,13 @@ class ExperimentConfig:
     #: Override the actuator's allocation growth factor (None keeps the
     #: :class:`~repro.core.actuation.PreventionActuator` default).
     scale_factor: Optional[float] = None
+    #: Infrastructure chaos: a :class:`repro.chaos.ChaosSpec` (or the
+    #: equivalent mapping, or ``None``).  When any policy is enabled the
+    #: run gets a :class:`~repro.chaos.ChaosEngine` injecting faults
+    #: and the actuator runs under the spec's resilience policy
+    #: (retries + breakers).  ``None``/all-zero rates leave every code
+    #: path byte-identical to a chaos-free run.
+    chaos: Optional[object] = None
 
     def injection_windows(self) -> List[Tuple[float, float]]:
         windows = []
@@ -117,6 +126,9 @@ class ExperimentResult:
     #: The live observability bundle behind the summary — exposes the
     #: metrics registry and span trace for export (None when disabled).
     observability: Optional[Observability] = None
+    #: Resilience summary (chaos runs only): injected-fault counts plus
+    #: retry / breaker / imputation totals.  None on clean runs.
+    resilience: Optional[Dict[str, object]] = None
 
     @property
     def violation_time_second_injection(self) -> float:
@@ -166,10 +178,27 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         Observability(clock=lambda: testbed.sim.now)
         if config.telemetry else None
     )
+    chaos_spec = ChaosSpec.coerce(config.chaos)
+    if chaos_spec is not None and not chaos_spec.enabled:
+        chaos_spec = None
+    resilience = None
+    if chaos_spec is not None:
+        # Per-run jitter stream: same chaos spec, different experiment
+        # seeds must not share backoff draws.
+        base = chaos_spec.resilience
+        resilience = dataclasses.replace(
+            base, seed=base.seed + 1000003 * config.seed + chaos_spec.seed
+        )
     scheme = deploy_scheme(
         testbed, config.scheme, action_mode=config.action_mode,
-        config=config.controller, obs=obs,
+        config=config.controller, obs=obs, resilience=resilience,
     )
+    chaos_engine = None
+    if chaos_spec is not None:
+        chaos_engine = ChaosEngine(
+            chaos_spec, testbed.sim, run_seed=config.seed, obs=obs,
+        )
+        chaos_engine.attach(testbed.monitor, testbed.cluster)
     if config.scale_factor is not None and scheme.actuator is not None:
         if config.scale_factor <= 1.0:
             raise ValueError(
@@ -211,6 +240,17 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     proactive = sum(1 for a in actions if a.proactive)
     any_trace = next(iter(testbed.monitor.traces.values()), [])
     sample_labels = [int(slo.violated_at(s.timestamp)) for s in any_trace]
+    resilience_summary: Optional[Dict[str, object]] = None
+    if chaos_engine is not None:
+        fault_events = chaos_engine.event_counts()
+        resilience_summary = {
+            "fault_events": fault_events,
+            "fault_events_total": int(sum(fault_events.values())),
+        }
+        if scheme.actuator is not None:
+            resilience_summary.update(scheme.actuator.resilience_stats)
+        if scheme.controller is not None:
+            resilience_summary.update(scheme.controller.resilience_stats)
     telemetry = None
     if obs is not None:
         telemetry = build_run_telemetry(
@@ -226,6 +266,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                 "duration_s": config.duration,
             },
             injections=windows,
+            resilience=resilience_summary,
         )
     return ExperimentResult(
         config=config,
@@ -241,6 +282,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         slo_metric_name=testbed.app.slo_metric_name(),
         telemetry=telemetry,
         observability=obs,
+        resilience=resilience_summary,
     )
 
 

@@ -57,6 +57,7 @@ def deploy_scheme(
     action_mode: str = "scaling",
     config: Optional[PrepareConfig] = None,
     obs=None,
+    resilience=None,
 ) -> ManagedScheme:
     """Instantiate and attach a management scheme to a testbed.
 
@@ -65,6 +66,10 @@ def deploy_scheme(
     for the deployed scale-first policy.  ``obs`` (an
     :class:`repro.obs.Observability` bundle) enables metrics + span
     tracing across the controller and the hypervisor verbs.
+    ``resilience`` (a :class:`repro.core.resilience.ResiliencePolicy`)
+    arms the actuator's retry loop and per-VM circuit breakers — the
+    chaos-enabled configuration; ``None`` keeps the verbs' legacy
+    fire-and-forget dispatch byte-identical.
     """
     if scheme not in SCHEME_NAMES:
         raise ValueError(f"unknown scheme {scheme!r}; pick from {SCHEME_NAMES}")
@@ -77,7 +82,8 @@ def deploy_scheme(
     if scheme == REACTIVE_SCHEME:
         base = dataclasses.replace(base, prediction_enabled=False)
     actuator = PreventionActuator(
-        testbed.cluster, testbed.sim, mode=action_mode
+        testbed.cluster, testbed.sim, mode=action_mode,
+        resilience=resilience, obs=obs,
     )
     controller = PrepareController(
         sim=testbed.sim,

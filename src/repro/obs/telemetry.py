@@ -67,10 +67,15 @@ class RunTelemetry:
     stage_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: Trace bookkeeping (span count, dropped spans, event count).
     trace: Dict[str, int] = field(default_factory=dict)
+    #: Resilience summary (chaos runs only: fault-event counts, retry /
+    #: breaker / imputation totals).  Empty — and absent from the
+    #: serialized record — on a clean run, so pre-chaos files and
+    #: chaos-disabled runs stay byte-identical.
+    resilience: Dict[str, object] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "schema_version": self.schema_version,
             "meta": dict(self.meta),
             "alerts": dict(self.alerts),
@@ -83,6 +88,9 @@ class RunTelemetry:
             },
             "trace": dict(self.trace),
         }
+        if self.resilience:
+            payload["resilience"] = dict(self.resilience)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "RunTelemetry":
@@ -106,6 +114,7 @@ class RunTelemetry:
                 for name, stats in dict(payload.get("stage_latency", {})).items()
             },
             trace=dict(payload.get("trace", {})),
+            resilience=dict(payload.get("resilience", {})),
             schema_version=version,
         )
 
@@ -119,6 +128,7 @@ def build_run_telemetry(
     tracer: Optional[Tracer] = None,
     meta: Optional[Mapping[str, object]] = None,
     injections: Sequence[Tuple[float, float]] = (),
+    resilience: Optional[Mapping[str, object]] = None,
 ) -> RunTelemetry:
     """Condense one run's observability state into a summary record.
 
@@ -223,6 +233,7 @@ def build_run_telemetry(
             "spans_dropped": dropped,
             "events": len(event_list),
         },
+        resilience=dict(resilience or {}),
     )
 
 
@@ -272,6 +283,17 @@ def render_telemetry(telemetry: RunTelemetry) -> str:
                 f"{stats['p50_ms']:>9.3f} {stats['p90_ms']:>9.3f} "
                 f"{stats['p99_ms']:>9.3f} {stats['total_ms']:>10.2f}"
             )
+    res = telemetry.resilience
+    if res:
+        lines.append(
+            f"resilience: fault_events={res.get('fault_events_total', 0)} "
+            f"retries={res.get('retries', 0)} "
+            f"verb_failures={res.get('verb_failures', 0)} "
+            f"verb_timeouts={res.get('verb_timeouts', 0)} "
+            f"breaker_trips={res.get('breaker_trips', 0)} "
+            f"imputed={res.get('imputed_samples', 0)} "
+            f"blackout_skips={res.get('blackout_skips', 0)}"
+        )
     trace = telemetry.trace
     lines.append(
         f"trace: {trace.get('spans', 0)} spans "

@@ -17,6 +17,7 @@ from repro.sim.hypervisor import (
     MIGRATION_SECONDS_PER_512MB,
     Hypervisor,
     OperationRecord,
+    TransientVerbError,
 )
 from repro.sim.monitor import (
     ATTRIBUTES,
@@ -24,7 +25,12 @@ from repro.sim.monitor import (
     MetricSample,
     VMMonitor,
 )
-from repro.sim.resources import ResourceError, ResourceKind, ResourceSpec
+from repro.sim.resources import (
+    RESOURCE_EPSILON,
+    ResourceError,
+    ResourceKind,
+    ResourceSpec,
+)
 from repro.sim.vm import VirtualMachine, VMActivity
 
 __all__ = [
@@ -40,11 +46,13 @@ __all__ = [
     "MetricSample",
     "OperationRecord",
     "PeriodicTask",
+    "RESOURCE_EPSILON",
     "ResourceError",
     "ResourceKind",
     "ResourceSpec",
     "SimulationError",
     "Simulator",
+    "TransientVerbError",
     "VCL_HOST_SPEC",
     "VMActivity",
     "VMMonitor",

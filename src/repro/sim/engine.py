@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -111,16 +112,37 @@ class Simulator:
         return self._now
 
     def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
-        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Raises :class:`SimulationError` for a negative or non-finite
+        delay.  The NaN case matters: ``NaN < 0`` is False, so without
+        the explicit finiteness check a NaN delay (e.g. from a buggy
+        latency-inflation factor) would slip past the guard and silently
+        disorder the event heap — every later comparison against the
+        poisoned entry is False, which corrupts pop order for unrelated
+        events.
+        """
+        if not math.isfinite(delay):
+            raise SimulationError(
+                f"delay must be finite, got {delay} (now t={self._now})"
+            )
         if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+            raise SimulationError(
+                f"cannot schedule into the past: delay={delay} "
+                f"at current time t={self._now}"
+            )
         return self.schedule_at(self._now + delay, callback, label=label)
 
     def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule ``callback`` at an absolute simulated time."""
+        if not math.isfinite(time):
+            raise SimulationError(
+                f"event time must be finite, got {time} (now t={self._now})"
+            )
         if time < self._now:
             raise SimulationError(
-                f"cannot schedule at t={time} before current time t={self._now}"
+                f"cannot schedule into the past: t={time} is before "
+                f"current time t={self._now}"
             )
         event = Event(time=time, seq=next(self._seq), callback=callback, label=label)
         heapq.heappush(self._queue, event)

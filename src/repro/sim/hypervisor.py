@@ -21,11 +21,12 @@ from typing import Callable, List, Optional
 from repro.obs import NULL_OBS, SPAN_MIGRATE, SPAN_SCALE
 from repro.sim.engine import Simulator
 from repro.sim.host import Host
-from repro.sim.resources import ResourceError, ResourceKind
+from repro.sim.resources import RESOURCE_EPSILON, ResourceError, ResourceKind
 from repro.sim.vm import VirtualMachine
 
-__all__ = ["Hypervisor", "OperationRecord", "CPU_SCALING_LATENCY",
-           "MEMORY_SCALING_LATENCY", "MIGRATION_SECONDS_PER_512MB"]
+__all__ = ["Hypervisor", "OperationRecord", "TransientVerbError",
+           "CPU_SCALING_LATENCY", "MEMORY_SCALING_LATENCY",
+           "MIGRATION_SECONDS_PER_512MB"]
 
 #: Latency of a CPU-cap change (Table I: 107.0 ms).
 CPU_SCALING_LATENCY = 0.107
@@ -35,15 +36,38 @@ MEMORY_SCALING_LATENCY = 0.116
 MIGRATION_SECONDS_PER_512MB = 8.56
 
 
+class TransientVerbError(RuntimeError):
+    """A hypervisor verb failed for a *transient* control-plane reason
+    (toolstack rejection, timed-out negotiation) rather than a real
+    capacity shortfall.  Raised only under injected verb chaos — the
+    signal the actuator's retry policy (:mod:`repro.core.resilience`)
+    reacts to with backoff instead of an immediate migrate fallback."""
+
+
 @dataclass
 class OperationRecord:
-    """Audit-log entry for one hypervisor operation."""
+    """Audit-log entry for one hypervisor operation.
+
+    ``outcome`` distinguishes how the verb ended:
+
+    * ``"ok"``      — completed normally (the only outcome on a chaos-free
+      run, so pre-existing consumers see unchanged records);
+    * ``"late"``    — completed, but with chaos-inflated latency;
+    * ``"failed"``  — rejected at call time (:class:`TransientVerbError`);
+    * ``"timeout"`` — accepted but its completion was lost; no state
+      changed and no callback ever fires.
+
+    Consumers that react to operations (e.g. the controller's
+    post-action alert suppression) must only honour ``"ok"``/``"late"``:
+    a failed verb changed nothing worth suppressing alerts over.
+    """
 
     op: str
     vm: str
     started_at: float
     finished_at: float
     detail: str = ""
+    outcome: str = "ok"
 
 
 class Hypervisor:
@@ -52,6 +76,9 @@ class Hypervisor:
     def __init__(self, sim: Simulator, obs=None) -> None:
         self._sim = sim
         self.operations: List[OperationRecord] = []
+        #: Verb-fate oracle installed by the chaos engine
+        #: (:meth:`set_verb_chaos`); ``None`` keeps the clean fast path.
+        self._verb_chaos = None
         self.set_observability(obs if obs is not None else NULL_OBS)
 
     def set_observability(self, obs) -> None:
@@ -62,6 +89,31 @@ class Hypervisor:
         self._m_ops = obs.metrics.counter(
             "prepare_hypervisor_ops_total",
             "Completed hypervisor operations", ("op",))
+        self._m_verb_failures = obs.metrics.counter(
+            "prepare_hypervisor_verb_failures_total",
+            "Hypervisor verbs that failed or lost their completion",
+            ("op", "outcome"))
+
+    def set_verb_chaos(self, verb_chaos) -> None:
+        """Install a verb-fate oracle (``fate(verb) -> (outcome,
+        inflation)``) — see :class:`repro.chaos.ChaosEngine`.  Pass
+        ``None`` to restore perfect verbs."""
+        self._verb_chaos = verb_chaos
+
+    def _verb_fate(self, verb: str):
+        if self._verb_chaos is None:
+            return "ok", 1.0
+        return self._verb_chaos.fate(verb)
+
+    def _record_verb_failure(self, op: str, vm: str, outcome: str,
+                             detail: str) -> None:
+        self.operations.append(
+            OperationRecord(
+                op=op, vm=vm, started_at=self._sim.now,
+                finished_at=self._sim.now, detail=detail, outcome=outcome,
+            )
+        )
+        self._m_verb_failures.inc(op=op, outcome=outcome)
 
     # ------------------------------------------------------------------
     # Elastic resource scaling
@@ -73,7 +125,7 @@ class Hypervisor:
         current = vm.spec.get(kind)
         if new_amount <= current:
             return new_amount > 0
-        return (new_amount - current) <= vm.host.headroom(kind) + 1e-9
+        return (new_amount - current) <= vm.host.headroom(kind) + RESOURCE_EPSILON
 
     def scale(
         self,
@@ -95,9 +147,31 @@ class Hypervisor:
                 f"host {vm.host.name} lacks {kind} headroom to scale "
                 f"{vm.name} to {new_amount}"
             )
+        op = f"scale-{kind.value}"
+        fate, inflation = self._verb_fate("scale")
+        if fate == "failed":
+            self._record_verb_failure(
+                op, vm.name, "failed", f"-> {new_amount:g} (rejected)"
+            )
+            raise TransientVerbError(
+                f"scale {vm.name} {kind.value} -> {new_amount:g} rejected "
+                f"by the toolstack (injected verb failure)"
+            )
+        if fate == "timeout":
+            # Accepted, but the completion is lost: no allocation change,
+            # no callback.  Only the caller's per-verb deadline (see
+            # repro.core.resilience.RetryPolicy) can notice.
+            self._record_verb_failure(
+                op, vm.name, "timeout", f"-> {new_amount:g} (completion lost)"
+            )
+            return
         latency = (
             CPU_SCALING_LATENCY if kind is ResourceKind.CPU else MEMORY_SCALING_LATENCY
         )
+        outcome = "ok"
+        if fate == "late":
+            latency *= inflation
+            outcome = "late"
         started = self._sim.now
         span = self.obs.tracer.start(
             SPAN_SCALE, vm=vm.name, resource=kind.value, target=new_amount
@@ -107,15 +181,16 @@ class Hypervisor:
             vm.set_allocation(kind, new_amount)
             self.operations.append(
                 OperationRecord(
-                    op=f"scale-{kind.value}",
+                    op=op,
                     vm=vm.name,
                     started_at=started,
                     finished_at=self._sim.now,
                     detail=f"-> {new_amount:g}",
+                    outcome=outcome,
                 )
             )
             self.obs.tracer.finish(span)
-            self._m_ops.inc(op=f"scale-{kind.value}")
+            self._m_ops.inc(op=op)
             if on_done is not None:
                 on_done()
 
@@ -151,7 +226,25 @@ class Hypervisor:
                 f"destination {destination.name} cannot fit {vm.name} "
                 f"(free={destination.free()}, needed={vm.spec})"
             )
+        fate, inflation = self._verb_fate("migrate")
+        if fate in ("failed", "timeout"):
+            # A migration whose completion was lost would leak the
+            # destination reservation and strand vm.migrating forever,
+            # so both chaos fates model the realistic Xen behaviour: the
+            # pre-copy negotiation fails before any state changes.
+            self._record_verb_failure(
+                "migrate", vm.name, fate,
+                f"-> {destination.name} (pre-copy negotiation failed)",
+            )
+            raise TransientVerbError(
+                f"migrate {vm.name} -> {destination.name} failed to start "
+                f"(injected verb {fate})"
+            )
         duration = self.migration_duration(vm)
+        outcome = "ok"
+        if fate == "late":
+            duration *= inflation
+            outcome = "late"
         source = vm.host
         started = self._sim.now
         span = self.obs.tracer.start(
@@ -176,6 +269,7 @@ class Hypervisor:
                     started_at=started,
                     finished_at=self._sim.now,
                     detail=f"{source.name} -> {destination.name}",
+                    outcome=outcome,
                 )
             )
             self.obs.tracer.finish(span)

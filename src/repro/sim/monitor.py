@@ -92,6 +92,12 @@ class MetricSample:
     #: True when this sample is a forward-filled repeat of the previous
     #: reading (the real collection failed — a dropped libxenstat read).
     stale: bool = False
+    #: True when this sample was *synthesized* downstream (controller
+    #: last-known-good imputation during a monitor blackout or NaN
+    #: corruption) rather than measured.  Distinct from ``stale``: the
+    #: monitor's own forward-fills carry real allocation state and stay
+    #: usable for training, imputed rows do not.
+    imputed: bool = False
 
     def vector(self, attributes: Sequence[str] = ATTRIBUTES) -> np.ndarray:
         """The sample as a float vector in the given attribute order."""
@@ -152,6 +158,9 @@ class VMMonitor:
         self.traces: Dict[str, List[MetricSample]] = {vm.name: [] for vm in self._vms}
         self._listeners: List[Callable[[List[MetricSample]], None]] = []
         self._task: Optional[PeriodicTask] = None
+        self._interceptor: Optional[
+            Callable[[List[MetricSample], Callable[[List[MetricSample]], None]], None]
+        ] = None
 
     @property
     def vm_names(self) -> List[str]:
@@ -160,6 +169,23 @@ class VMMonitor:
     def add_listener(self, listener: Callable[[List[MetricSample]], None]) -> None:
         """Register a callback invoked with each round of samples."""
         self._listeners.append(listener)
+
+    def set_delivery_interceptor(
+        self,
+        interceptor: Optional[
+            Callable[[List[MetricSample], Callable[[List[MetricSample]], None]], None]
+        ],
+    ) -> None:
+        """Install a hook between collection and listener delivery.
+
+        ``interceptor(batch, dispatch)`` decides what the listeners see:
+        call ``dispatch`` immediately (possibly with a modified batch),
+        schedule it for later, or not at all — the seam the chaos engine
+        uses to drop, delay, corrupt and black out the metric stream.
+        The monitor's own ``traces`` always record what was *measured*;
+        interception degrades only delivery.  Pass ``None`` to remove.
+        """
+        self._interceptor = interceptor
 
     def start(self, start_at: Optional[float] = None) -> None:
         """Begin periodic sampling."""
@@ -242,5 +268,11 @@ class VMMonitor:
                 sample = self.sample_vm(vm, now)
             trace.append(sample)
             batch.append(sample)
+        if self._interceptor is None:
+            self._dispatch(batch)
+        else:
+            self._interceptor(batch, self._dispatch)
+
+    def _dispatch(self, batch: List[MetricSample]) -> None:
         for listener in self._listeners:
             listener(batch)

@@ -11,7 +11,14 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-__all__ = ["ResourceKind", "ResourceSpec", "ResourceError"]
+__all__ = ["ResourceKind", "ResourceSpec", "ResourceError", "RESOURCE_EPSILON"]
+
+#: Shared float tolerance for every resource comparison (headroom
+#: checks, underflow guards, allocation-reset equality).  All boundary
+#: comparisons must use this one constant: a check (``can_scale``) and
+#: the later apply step disagreeing by even one ULP turns a
+#: chaos-induced boundary allocation into a spurious ResourceError.
+RESOURCE_EPSILON = 1e-9
 
 
 class ResourceError(ValueError):
@@ -50,15 +57,15 @@ class ResourceSpec:
     def __sub__(self, other: "ResourceSpec") -> "ResourceSpec":
         cpu = self.cpu_cores - other.cpu_cores
         mem = self.memory_mb - other.memory_mb
-        if cpu < -1e-9 or mem < -1e-9:
+        if cpu < -RESOURCE_EPSILON or mem < -RESOURCE_EPSILON:
             raise ResourceError(f"resource underflow: {self} - {other}")
         return ResourceSpec(max(cpu, 0.0), max(mem, 0.0))
 
     def fits_within(self, other: "ResourceSpec") -> bool:
         """True if this spec fits inside ``other`` (component-wise)."""
         return (
-            self.cpu_cores <= other.cpu_cores + 1e-9
-            and self.memory_mb <= other.memory_mb + 1e-9
+            self.cpu_cores <= other.cpu_cores + RESOURCE_EPSILON
+            and self.memory_mb <= other.memory_mb + RESOURCE_EPSILON
         )
 
     def get(self, kind: ResourceKind) -> float:

@@ -1,0 +1,106 @@
+"""Tests for the declarative chaos policies."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosSpec,
+    HostChaosPolicy,
+    MetricChaosPolicy,
+    VerbChaosPolicy,
+)
+
+
+class TestMetricChaosPolicy:
+    def test_defaults_disabled(self):
+        assert MetricChaosPolicy().enabled is False
+
+    def test_any_rate_enables(self):
+        assert MetricChaosPolicy(drop_batch_rate=0.1).enabled
+        assert MetricChaosPolicy(delay_rate=0.1).enabled
+        assert MetricChaosPolicy(corrupt_rate=0.1).enabled
+        assert MetricChaosPolicy(blackout_rate=0.1).enabled
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            MetricChaosPolicy(drop_batch_rate=1.5)
+        with pytest.raises(ValueError):
+            MetricChaosPolicy(corrupt_rate=-0.1)
+
+    def test_positive_durations(self):
+        with pytest.raises(ValueError):
+            MetricChaosPolicy(delay_seconds=0.0)
+        with pytest.raises(ValueError):
+            MetricChaosPolicy(blackout_duration=-1.0)
+        with pytest.raises(ValueError):
+            MetricChaosPolicy(corrupt_attributes=0)
+
+
+class TestVerbChaosPolicy:
+    def test_fate_rates_partition(self):
+        VerbChaosPolicy(failure_rate=0.5, timeout_rate=0.3, late_rate=0.2)
+        with pytest.raises(ValueError):
+            VerbChaosPolicy(failure_rate=0.6, timeout_rate=0.3, late_rate=0.2)
+
+    def test_inflation_bound(self):
+        with pytest.raises(ValueError):
+            VerbChaosPolicy(late_rate=0.1, latency_inflation=0.5)
+
+    def test_enabled(self):
+        assert VerbChaosPolicy().enabled is False
+        assert VerbChaosPolicy(timeout_rate=0.1).enabled
+
+
+class TestHostChaosPolicy:
+    def test_enabled(self):
+        assert HostChaosPolicy().enabled is False
+        assert HostChaosPolicy(flap_rate=0.2).enabled
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            HostChaosPolicy(flap_fraction=0.0)
+        with pytest.raises(ValueError):
+            HostChaosPolicy(flap_fraction=1.5)
+
+
+class TestChaosSpec:
+    def test_default_disabled(self):
+        assert ChaosSpec().enabled is False
+
+    def test_from_dict_round_trip(self):
+        payload = {
+            "seed": 7,
+            "metric": {"drop_batch_rate": 0.1, "corrupt_rate": 0.05},
+            "verbs": {"failure_rate": 0.25},
+            "hosts": {"flap_rate": 0.1},
+        }
+        spec = ChaosSpec.from_dict(payload)
+        assert spec.seed == 7
+        assert spec.metric.drop_batch_rate == 0.1
+        assert spec.verbs.failure_rate == 0.25
+        assert spec.hosts.flap_rate == 0.1
+        assert spec.enabled
+        again = ChaosSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosSpec.from_dict({"metrics": {}})
+        with pytest.raises(TypeError):
+            ChaosSpec.from_dict({"metric": {"drop_rate": 0.1}})
+
+    def test_resilience_parsed(self):
+        spec = ChaosSpec.from_dict({
+            "resilience": {"retry": {"max_attempts": 5}, "seed": 3},
+        })
+        assert spec.resilience.retry.max_attempts == 5
+        assert spec.resilience.seed == 3
+        with pytest.raises(ValueError):
+            ChaosSpec.from_dict({"resilience": {"retries": {}}})
+
+    def test_coerce(self):
+        assert ChaosSpec.coerce(None) is None
+        spec = ChaosSpec()
+        assert ChaosSpec.coerce(spec) is spec
+        coerced = ChaosSpec.coerce({"verbs": {"failure_rate": 0.2}})
+        assert isinstance(coerced, ChaosSpec)
+        assert coerced.verbs.failure_rate == 0.2

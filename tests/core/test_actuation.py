@@ -216,3 +216,56 @@ class TestEffectivenessValidator:
     def test_validator_bounds(self):
         with pytest.raises(ValueError):
             EffectivenessValidator(window_samples=0)
+
+
+class TestValidatorUnderDegradedMonitoring:
+    """Chaos leaves validation windows gapped or empty — the validator
+    must keep resolving, never raise."""
+
+    def _action(self, world):
+        sim, cluster = world
+        actuator = PreventionActuator(cluster, sim, mode="scaling")
+        action = actuator.prevent("vm1", [("swap_used", 2.0)])
+        sim.run_until(1.0)
+        return sim, action
+
+    def test_empty_look_back_window(self, world):
+        sim, action = self._action(world)
+        validator = EffectivenessValidator(settle_seconds=20.0)
+        validator.watch(action, np.array([]), now=sim.now)   # gap: no history
+        resolved = validator.check(
+            sim.now + 25.0, {action.action_id: np.array([3.0])}, {"vm1": False}
+        )
+        assert resolved == [(action, ValidationOutcome.EFFECTIVE)]
+
+    def test_empty_look_ahead_window(self, world):
+        sim, action = self._action(world)
+        validator = EffectivenessValidator(settle_seconds=20.0)
+        validator.watch(action, np.array([5.0, 6.0]), now=sim.now)
+        # Every post-action sample was dropped: the metric column is
+        # missing entirely.  Alert-driven decision still resolves.
+        resolved = validator.check(sim.now + 25.0, {}, {"vm1": True})
+        assert resolved == [(action, ValidationOutcome.INEFFECTIVE)]
+        # No post-action data: the usage diagnostic stays unknown
+        # instead of comparing against a fabricated zero mean.
+        assert action.usage_changed is None
+
+    def test_both_windows_empty(self, world):
+        sim, action = self._action(world)
+        validator = EffectivenessValidator(settle_seconds=20.0)
+        validator.watch(action, np.array([]), now=sim.now)
+        resolved = validator.check(sim.now + 25.0, {}, {})
+        assert resolved == [(action, ValidationOutcome.EFFECTIVE)]
+        assert validator.pending_count == 0
+
+    def test_failed_action_dropped_without_outcome(self, world):
+        sim, action = self._action(world)
+        validator = EffectivenessValidator(settle_seconds=20.0)
+        validator.watch(action, np.array([5.0]), now=sim.now)
+        action.failed = True      # every retry exhausted
+        resolved = validator.check(
+            sim.now + 25.0, {action.action_id: np.array([5.0])}, {"vm1": True}
+        )
+        assert resolved == []
+        assert validator.pending_count == 0
+        assert action.effective is None

@@ -1,0 +1,159 @@
+"""Tests for the retry/backoff policy and the escalating breaker."""
+
+import numpy as np
+import pytest
+
+from repro.core.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BREAKER_SCALE_OPEN,
+    BreakerPolicy,
+    EscalatingBreaker,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff_capped(self):
+        retry = RetryPolicy(base_delay=2.0, multiplier=2.0, max_delay=20.0,
+                            jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert [retry.delay(a, rng) for a in (1, 2, 3, 4, 5)] == [
+            2.0, 4.0, 8.0, 16.0, 20.0
+        ]
+
+    def test_jitter_bounded_and_seeded(self):
+        retry = RetryPolicy(base_delay=2.0, jitter=0.5)
+        delays = [
+            retry.delay(1, np.random.default_rng(s)) for s in range(50)
+        ]
+        assert all(1.0 <= d <= 3.0 for d in delays)
+        assert len(set(delays)) > 1   # jitter actually spreads
+        again = [
+            retry.delay(1, np.random.default_rng(s)) for s in range(50)
+        ]
+        assert delays == again        # same seeds, same delays
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=5.0, max_delay=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(verb_timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0, np.random.default_rng(0))
+
+
+class TestResiliencePolicy:
+    def test_from_dict(self):
+        policy = ResiliencePolicy.from_dict({
+            "retry": {"max_attempts": 5, "jitter": 0.0},
+            "breaker": {"failure_threshold": 2},
+            "seed": 9,
+        })
+        assert policy.retry.max_attempts == 5
+        assert policy.breaker.failure_threshold == 2
+        assert policy.seed == 9
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy.from_dict({"retries": {}})
+
+    def test_breaker_policy_validation(self):
+        with pytest.raises(ValueError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(cooldown=0.0)
+
+
+class TestEscalatingBreaker:
+    def _breaker(self, threshold=3, cooldown=120.0):
+        return EscalatingBreaker(
+            BreakerPolicy(failure_threshold=threshold, cooldown=cooldown)
+        )
+
+    def test_initially_closed(self):
+        b = self._breaker()
+        assert b.state(0.0) == BREAKER_CLOSED
+        assert b.allows_scale(0.0)
+        assert not b.suppressed(0.0)
+
+    def test_scale_failures_ban_scaling(self):
+        b = self._breaker(threshold=3)
+        assert b.record_failure("scale", 1.0) is None
+        assert b.record_failure("scale", 2.0) is None
+        assert b.record_failure("scale", 3.0) == "scale"
+        assert b.state(3.0) == BREAKER_SCALE_OPEN
+        assert not b.allows_scale(3.0)
+        assert not b.suppressed(3.0)   # migration still allowed
+        assert b.trips == {"scale": 1, "open": 0}
+
+    def test_success_resets_consecutive_count(self):
+        b = self._breaker(threshold=3)
+        b.record_failure("scale", 1.0)
+        b.record_failure("scale", 2.0)
+        b.record_success("scale", 3.0)
+        # The streak broke: two more failures still do not trip.
+        assert b.record_failure("scale", 4.0) is None
+        assert b.record_failure("scale", 5.0) is None
+        assert b.record_failure("scale", 6.0) == "scale"
+
+    def test_migrate_failures_open_fully(self):
+        b = self._breaker(threshold=2, cooldown=100.0)
+        b.record_failure("scale", 0.0)
+        b.record_failure("scale", 1.0)
+        assert b.record_failure("migrate", 2.0) is None
+        assert b.record_failure("migrate", 3.0) == "open"
+        assert b.state(3.0) == BREAKER_OPEN
+        assert b.suppressed(50.0)
+
+    def test_cooldown_flips_half_open(self):
+        b = self._breaker(threshold=1, cooldown=100.0)
+        b.record_failure("migrate", 0.0)
+        assert b.suppressed(99.0)
+        assert not b.suppressed(100.0)    # probe allowed
+        assert b.state(100.0) == BREAKER_HALF_OPEN
+
+    def test_half_open_probe_success_fully_closes(self):
+        b = self._breaker(threshold=1, cooldown=100.0)
+        b.record_failure("scale", 0.0)    # scale ban
+        b.record_failure("migrate", 1.0)  # full open
+        b.suppressed(101.0)               # -> half-open
+        b.record_success("migrate", 102.0)
+        assert b.state(102.0) == BREAKER_CLOSED
+        assert b.allows_scale(102.0)      # scale ban cleared too
+
+    def test_half_open_probe_failure_reopens(self):
+        b = self._breaker(threshold=1, cooldown=100.0)
+        b.record_failure("migrate", 0.0)
+        b.suppressed(101.0)               # -> half-open
+        assert b.record_failure("scale", 102.0) == "open"
+        assert b.suppressed(150.0)
+        assert not b.suppressed(202.0)    # second cooldown also expires
+        assert b.trips["open"] == 2
+
+    def test_scale_success_unbans_scaling(self):
+        b = self._breaker(threshold=1)
+        b.record_failure("scale", 0.0)
+        assert not b.allows_scale(1.0)
+        b.record_success("scale", 2.0)
+        assert b.allows_scale(2.0)
+        assert b.state(2.0) == BREAKER_CLOSED
+
+    def test_state_names(self):
+        b = self._breaker(threshold=1, cooldown=10.0)
+        assert b.state_name(0.0) == "closed"
+        b.record_failure("scale", 0.0)
+        assert b.state_name(0.0) == "scale_open"
+        b.record_failure("migrate", 1.0)
+        assert b.state_name(2.0) == "open"
+        assert b.state_name(11.0) == "half_open"

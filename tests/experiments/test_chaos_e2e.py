@@ -1,0 +1,196 @@
+"""End-to-end chaos runs: the control loop under infrastructure faults.
+
+The acceptance bar for the chaos layer: a run with >=10% metric drops
+and heavy verb failures completes every job with zero unhandled
+exceptions, the resilience machinery demonstrably engages (retries,
+breaker trips, imputed samples all > 0), and a chaos-disabled run
+stays identical to one that never imported the chaos layer at all.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.campaign import CampaignSpec, run_campaign
+from repro.faults import FaultKind
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Short two-injection schedule (ends at 650 s) — fast smoke runs.
+FAST = {
+    "duration": 700.0,
+    "first_injection_at": 200.0,
+    "injection_duration": 150.0,
+    "injection_gap": 150.0,
+}
+
+#: Long injections + heavy verb chaos: enough anomalous samples survive
+#: the degraded metric stream for the model to train and act, and verb
+#: failures are frequent enough to exhaust retries and trip breakers.
+ACCEPTANCE = {
+    "duration": 1200.0,
+    "first_injection_at": 250.0,
+    "injection_duration": 300.0,
+    "injection_gap": 200.0,
+}
+
+ACCEPTANCE_CHAOS = {
+    "seed": 5,
+    "metric": {"drop_batch_rate": 0.1, "corrupt_rate": 0.05,
+               "blackout_rate": 0.01},
+    "verbs": {"failure_rate": 0.5, "timeout_rate": 0.1, "late_rate": 0.1},
+}
+
+
+def _load_script(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestChaosAcceptance:
+    def test_heavy_chaos_run_completes_and_resilience_engages(self):
+        result = run_experiment(ExperimentConfig(
+            app="rubis", fault=FaultKind.MEMORY_LEAK, scheme="prepare",
+            action_mode="auto", seed=11, telemetry=True,
+            chaos=ACCEPTANCE_CHAOS, **ACCEPTANCE,
+        ))
+        stats = result.resilience
+        assert stats is not None
+        assert stats["fault_events_total"] > 0
+        assert stats["retries"] > 0
+        assert stats["verb_failures"] > 0
+        assert stats["imputed_samples"] > 0
+        assert stats["blackout_skips"] > 0
+        assert len(result.actions) > 0
+        # The summary rides along in the run telemetry too.
+        assert result.telemetry.resilience == stats
+        assert "resilience" in result.telemetry.to_dict()
+
+    def test_acceptance_campaign_trips_every_defence(self):
+        """The ISSUE acceptance bar: a campaign at >=10% metric drops
+        and heavy verb failures completes every job, and in aggregate
+        the retries, breaker trips and imputed-sample counters are all
+        demonstrably > 0."""
+        spec = CampaignSpec(
+            name="chaos-acceptance",
+            kind="chaos",
+            base={
+                "app": "rubis", "fault": "memory_leak", "scheme": "prepare",
+                "action_mode": "auto", **ACCEPTANCE,
+                "chaos": ACCEPTANCE_CHAOS,
+            },
+            axes={"seed": [11, 2]},
+        )
+        report = run_campaign(spec, jobs=2)
+        assert report.complete and not report.failed
+        (cell,) = report.summary["chaos"].values()
+        assert cell["jobs"] == 2
+        assert cell["fault_events"] > 0
+        assert cell["retries"] > 0
+        assert cell["breaker_trips"] > 0
+        assert cell["imputed_samples"] > 0
+        assert cell["actions"] > 0
+
+    def test_chaos_events_cover_metric_and_verb_kinds(self):
+        result = run_experiment(ExperimentConfig(
+            app="rubis", fault=FaultKind.MEMORY_LEAK, scheme="prepare",
+            action_mode="auto", seed=11, chaos=ACCEPTANCE_CHAOS,
+            **ACCEPTANCE,
+        ))
+        kinds = set(result.resilience["fault_events"])
+        assert "batch_dropped" in kinds
+        assert kinds & {"verb_failed", "verb_timeout", "verb_late"}
+
+
+class TestChaosDisabledIsClean:
+    def test_all_zero_spec_identical_to_none(self):
+        def run(chaos):
+            result = run_experiment(ExperimentConfig(
+                app="rubis", fault=FaultKind.MEMORY_LEAK, scheme="prepare",
+                action_mode="auto", seed=7, chaos=chaos, **FAST,
+            ))
+            return (
+                result.violation_time,
+                result.trace_values,
+                [(a.timestamp, a.vm, a.verb, a.attempts) for a in result.actions],
+                result.resilience,
+            )
+
+        clean = run(None)
+        zeroed = run({"seed": 99})   # spec present, every rate zero
+        assert clean == zeroed
+        assert clean[3] is None      # no resilience summary either way
+
+    def test_clean_run_telemetry_has_no_resilience_key(self):
+        result = run_experiment(ExperimentConfig(
+            app="rubis", fault=FaultKind.MEMORY_LEAK, scheme="prepare",
+            seed=7, telemetry=True, **FAST,
+        ))
+        assert "resilience" not in result.telemetry.to_dict()
+
+
+class TestChaosCampaignDeterminism:
+    def _spec(self):
+        return CampaignSpec(
+            name="chaos-determinism",
+            kind="chaos",
+            base={
+                "app": "rubis", "fault": "memory_leak", "scheme": "prepare",
+                "action_mode": "auto", **FAST,
+                "chaos": {
+                    "seed": 5,
+                    "metric": {"drop_batch_rate": 0.1, "corrupt_rate": 0.05},
+                    "verbs": {"failure_rate": 0.25, "timeout_rate": 0.05},
+                },
+            },
+            axes={"seed": [3, 104]},
+        )
+
+    def test_results_byte_identical_across_worker_counts(self, tmp_path):
+        run_campaign(self._spec(), checkpoint_dir=tmp_path / "serial", jobs=1)
+        run_campaign(self._spec(), checkpoint_dir=tmp_path / "parallel", jobs=2)
+        serial = (tmp_path / "serial" / "results.jsonl").read_bytes()
+        parallel = (tmp_path / "parallel" / "results.jsonl").read_bytes()
+        assert sorted(serial.splitlines()) == sorted(parallel.splitlines())
+
+    def test_chaos_summary_section(self, tmp_path):
+        report = run_campaign(self._spec(), jobs=2)
+        assert not report.failed
+        chaos = report.summary["chaos"]
+        (cell,) = chaos.values()
+        assert cell["jobs"] == 2
+        assert cell["fault_events"] > 0
+        assert cell["imputed_samples"] > 0
+
+
+class TestChaosCli:
+    def test_cli_campaign_passes_check_script(self, tmp_path, capsys):
+        checkpoint = tmp_path / "chaos_ci"
+        code = cli_main([
+            "chaos", "--short", "--quiet",
+            "--metric-drop", "0.1", "--verb-failure", "0.25",
+            "--seeds", "2", "--jobs", "1",
+            "--checkpoint", str(checkpoint),
+        ])
+        assert code == 0
+        checker = _load_script(REPO_ROOT / "scripts" / "chaos_check.py")
+        checker.check(checkpoint)
+        out = capsys.readouterr().out
+        assert "chaos cell" in out     # summary table rendered
+        assert "OK:" in out            # checker verdict
+
+    def test_cli_expand_lists_grid(self, capsys):
+        code = cli_main([
+            "chaos", "--expand", "--metric-drop", "0.1,0.2",
+            "--verb-failure", "0.3", "--seeds", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "8 jobs" not in out     # 2 drops x 1 failure x 2 seeds = 4
+        assert "4 jobs" in out

@@ -50,6 +50,24 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             sim.schedule_at(5.0, lambda: None)
 
+    def test_non_finite_delay_rejected(self):
+        # NaN < 0 is False, so without an explicit finiteness guard a
+        # NaN delay would poison the event heap's ordering.
+        sim = Simulator()
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(SimulationError, match="finite"):
+                sim.schedule(bad, lambda: None)
+            with pytest.raises(SimulationError, match="finite"):
+                sim.schedule_at(bad, lambda: None)
+
+    def test_scheduling_errors_carry_sim_time(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError, match="t=10"):
+            sim.schedule_at(5.0, lambda: None)
+        with pytest.raises(SimulationError, match="t=10"):
+            sim.schedule(float("nan"), lambda: None)
+
     def test_event_can_schedule_followup(self):
         sim = Simulator()
         fired = []

@@ -133,3 +133,36 @@ class TestSemantics:
                             noise_scale=0.0)
         sample = monitor.sample_vm(vms[0], 0.0)
         assert sample.values["cpu_usage"] == pytest.approx(50.0)
+
+
+class TestSamplingDuringMigration:
+    def test_mid_migration_sampling_does_not_raise(self):
+        """A monitoring round that lands during a live migration must
+        produce a normal sample — the guest keeps running on the source
+        until stop-and-copy, and the control loop keeps observing it."""
+        sim = Simulator()
+        cluster = Cluster(sim)
+        vms = cluster.place_one_vm_per_host(
+            ["vm1"], ResourceSpec(1.0, 1024.0), spares=1
+        )
+        monitor = VMMonitor(sim, vms, interval=5.0,
+                            rng=np.random.default_rng(0))
+        batches = []
+        monitor.add_listener(batches.append)
+        monitor.start(start_at=5.0)
+        target = cluster.idle_hosts()[0]
+        duration = cluster.hypervisor.migrate(vms[0], target)
+        assert duration > 10.0          # several rounds land in flight
+        sim.run_until(duration / 2.0)
+        assert vms[0].migrating
+        in_flight = [s for batch in batches for s in batch]
+        assert in_flight, "no samples collected during the migration"
+        for sample in in_flight:
+            assert set(sample.values) == set(ATTRIBUTES)
+            assert all(np.isfinite(v) for v in sample.values.values())
+        sim.run_until(duration + 6.0)
+        assert not vms[0].migrating
+        assert vms[0].host is target
+        # Sampling continues seamlessly after the host switch.
+        post = monitor.traces["vm1"][-1]
+        assert post.timestamp > duration
