@@ -8,13 +8,16 @@ Usage::
 
 Exits 1 when any benchmark present in both files is more than
 ``--threshold`` (default 20%) slower in the candidate, printing each
-offending benchmark.  Files are produced by
-``benchmarks/perf_prediction.py`` (see ``docs/performance.md``).
+offending benchmark, and 2 (with a one-line error, never a traceback)
+when either file is missing or malformed.  Files are produced by
+``benchmarks/perf_prediction.py`` and ``benchmarks/perf_serving.py``
+(see ``docs/performance.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -38,8 +41,23 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = read_results(args.baseline)
-    candidate = read_results(args.candidate)
+    loaded = {}
+    for role, path in (("baseline", args.baseline),
+                       ("candidate", args.candidate)):
+        try:
+            loaded[role] = read_results(path)
+        except FileNotFoundError:
+            print(f"error: {role} file {path} does not exist",
+                  file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: {role} file {path} is not valid JSON: {exc}",
+                  file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"error: {role} file is malformed: {exc}", file=sys.stderr)
+            return 2
+    baseline, candidate = loaded["baseline"], loaded["candidate"]
     regressions = compare_results(
         baseline, candidate, threshold=args.threshold
     )

@@ -11,6 +11,9 @@ Exposes the experiment harness without writing Python::
     prepare-repro campaign spec.json --jobs 4 --checkpoint runs/camp
     prepare-repro campaign spec.json --checkpoint runs/camp --resume
     prepare-repro chaos --metric-drop 0.1,0.2 --verb-failure 0.25
+    prepare-repro serve --registry runs/registry --name prod --socket /tmp/s
+    prepare-repro replay trace.npz --socket /tmp/s --rate 500
+    prepare-repro models --registry runs/registry
 
 ``telemetry`` runs one scenario with the full observability layer
 attached and exports metrics (Prometheus text), the span trace and the
@@ -20,7 +23,10 @@ shards them over a worker pool, and checkpoints per-job results so an
 interrupted campaign resumes instead of recomputing.  ``chaos`` builds
 and runs such a grid directly from flags: every job is an experiment
 under injected infrastructure faults with the resilient control plane
-armed (see ``docs/resilience.md``).
+armed (see ``docs/resilience.md``).  ``serve`` / ``replay`` / ``models``
+drive the online serving layer: start a streaming scorer from a model
+registry snapshot, load-test it with a recorded trace, and list the
+stored snapshots (see ``docs/serving.md``).
 
 Also runnable as ``python -m repro ...``.
 """
@@ -201,6 +207,63 @@ def build_parser() -> argparse.ArgumentParser:
     rep_all.add_argument("--repeats", type=int, default=2)
     rep_all.add_argument("--quick", action="store_true",
                          help="trim replicates and skip the slowest artifacts")
+
+    srv = sub.add_parser(
+        "serve",
+        help="start the streaming prediction service from a registry "
+             "snapshot (newline-JSON over TCP or a unix socket)",
+    )
+    srv.add_argument("--registry", required=True, metavar="DIR",
+                     help="model registry root (see docs/serving.md)")
+    srv.add_argument("--name", required=True,
+                     help="snapshot name to serve")
+    srv.add_argument("--version", type=int, default=None,
+                     help="snapshot version (default: latest)")
+    srv.add_argument("--socket", default=None, metavar="PATH",
+                     help="listen on a unix socket instead of TCP")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=7171)
+    srv.add_argument("--steps", type=int, default=4,
+                     help="default look-ahead steps per sample")
+    srv.add_argument("--batch-window", type=float, default=0.002,
+                     help="micro-batch accumulation window (seconds)")
+    srv.add_argument("--max-batch", type=int, default=128,
+                     help="samples per dispatcher flush")
+    srv.add_argument("--max-pending", type=int, default=1024,
+                     help="queued samples before shedding")
+
+    rpl = sub.add_parser(
+        "replay",
+        help="stream a saved trace dataset against a running service "
+             "and report throughput, tail latency, and alert parity",
+    )
+    rpl.add_argument("dataset", help="trace dataset .npz "
+                     "(see experiments/persistence.py)")
+    rpl.add_argument("--socket", default=None, metavar="PATH",
+                     help="connect to a unix socket instead of TCP")
+    rpl.add_argument("--host", default="127.0.0.1")
+    rpl.add_argument("--port", type=int, default=7171)
+    rpl.add_argument("--steps", type=int, default=4)
+    rpl.add_argument("--rate", type=float, default=0.0,
+                     help="target samples/second (0 = as fast as possible)")
+    rpl.add_argument("--repeat", type=int, default=1,
+                     help="stream the trace this many times")
+    rpl.add_argument("--registry", default=None, metavar="DIR",
+                     help="with --name: verify alert parity against the "
+                          "snapshot's offline decisions")
+    rpl.add_argument("--name", default=None,
+                     help="registry snapshot for the parity check")
+    rpl.add_argument("--version", type=int, default=None)
+    rpl.add_argument("--json", action="store_true",
+                     help="print the replay report as JSON")
+
+    mdl = sub.add_parser(
+        "models", help="list model-registry snapshots"
+    )
+    mdl.add_argument("--registry", required=True, metavar="DIR",
+                     help="model registry root")
+    mdl.add_argument("--json", action="store_true",
+                     help="print the snapshot list as JSON")
     return parser
 
 
@@ -500,6 +563,152 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs import Observability
+    from repro.serve.registry import ModelRegistry, RegistryError
+    from repro.serve.service import PredictionService, ServiceConfig
+
+    try:
+        predictors = ModelRegistry(args.registry).load(
+            args.name, args.version
+        )
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        steps=args.steps,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+    )
+
+    async def run() -> None:
+        service = PredictionService(predictors, config, obs=Observability())
+        if args.socket is not None:
+            await service.start(path=args.socket)
+            where = args.socket
+        else:
+            await service.start(host=args.host, port=args.port)
+            where = f"{args.host}:{args.port}"
+        print(f"serving {len(predictors)} VM pipelines on {where} "
+              f"(ctrl-c to stop)", flush=True)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.experiments.persistence import (
+        PersistenceError,
+        load_trace_dataset,
+    )
+    from repro.serve.replay import replay_dataset
+    from repro.serve.registry import ModelRegistry, RegistryError
+
+    try:
+        dataset = load_trace_dataset(args.dataset)
+    except PersistenceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    predictors = None
+    if args.name is not None:
+        if args.registry is None:
+            print("error: --name needs --registry", file=sys.stderr)
+            return 2
+        try:
+            predictors = ModelRegistry(args.registry).load(
+                args.name, args.version
+            )
+        except RegistryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    per_vm_values = dataset.per_vm_values
+    if predictors is not None:
+        # A snapshot only covers the VMs that were trainable; replay
+        # just those so every sample can be scored and parity-checked.
+        skipped = sorted(set(per_vm_values) - set(predictors))
+        per_vm_values = {
+            vm: per_vm_values[vm] for vm in per_vm_values if vm in predictors
+        }
+        if not per_vm_values:
+            print("error: snapshot covers none of the dataset's VMs",
+                  file=sys.stderr)
+            return 2
+        if skipped:
+            print(f"note: skipping {len(skipped)} VM(s) not in the "
+                  f"snapshot: {', '.join(skipped)}")
+    report = asyncio.run(replay_dataset(
+        per_vm_values,
+        host=None if args.socket else args.host,
+        port=None if args.socket else args.port,
+        path=args.socket,
+        steps=args.steps,
+        rate=args.rate,
+        repeat=args.repeat,
+        predictors=predictors,
+    ))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(f"sent {report.sent} samples in {report.wall_seconds:.2f} s "
+              f"({report.throughput:.0f} scores/s sustained)")
+        print(f"replies: {report.scores} score / {report.warmups} warmup / "
+              f"{report.sheds} shed / {report.errors} error; "
+              f"{report.alerts} alerts")
+        print(f"latency ms: p50={report.p50_ms:.2f} p95={report.p95_ms:.2f} "
+              f"p99={report.p99_ms:.2f}")
+        if predictors is not None:
+            verdict = "OK" if report.parity_ok else "MISMATCH"
+            print(f"alert parity vs offline controller: "
+                  f"{report.parity_checked - report.parity_mismatches}"
+                  f"/{report.parity_checked} {verdict}")
+    return 0 if (predictors is None or report.parity_ok) else 1
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.serve.registry import ModelRegistry, RegistryError
+
+    registry = ModelRegistry(args.registry)
+    try:
+        infos = registry.list()
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps([
+            {
+                "name": info.name,
+                "version": info.version,
+                "created_at": info.created_at,
+                "sha256": info.sha256,
+                "n_vms": info.n_vms,
+                "vms": list(info.vms),
+            }
+            for info in infos
+        ], indent=1))
+        return 0
+    if not infos:
+        print(f"no snapshots under {args.registry}")
+        return 0
+    print(f"{'name':20s} {'version':>7s} {'vms':>4s} "
+          f"{'created-at':25s} sha256")
+    for info in infos:
+        print(f"{info.name:20s} {info.version_label:>7s} {info.n_vms:>4d} "
+              f"{info.created_at:25s} {info.sha256[:12]}")
+    return 0
+
+
 def _cmd_leadtime(_args: argparse.Namespace) -> int:
     from repro.experiments.leadtime import lead_time_summary
 
@@ -525,6 +734,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "chaos": _cmd_chaos,
         "report": _cmd_report,
+        "serve": _cmd_serve,
+        "replay": _cmd_replay,
+        "models": _cmd_models,
     }
     return handlers[args.command](args)
 

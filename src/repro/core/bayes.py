@@ -11,7 +11,7 @@ Classes are binary: 0 = normal, 1 = abnormal.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -424,3 +424,68 @@ class NaiveBayesClassifier:
         return float(
             sum(self.expected_strengths_reference(distributions)) + prior
         )
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (model registry hooks)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serializable snapshot of the fitted classifier.
+
+        The log-CPTs, support masks and attribute mask are the full
+        fitted state; the scoring tensors are deterministic functions
+        of them, so :meth:`from_dict` rebuilds a classifier that scores
+        bitwise-identically.
+        """
+        self._require_trained()
+        return {
+            "kind": "naive",
+            "n_bins": self.n_bins,
+            "smoothing": self.smoothing,
+            "class_prior": self.class_prior,
+            "robust": self.robust,
+            "n_attributes": self.n_attributes,
+            "log_prior": self._log_prior.tolist(),
+            "log_cpt": self._log_cpt.tolist(),
+            "support": self._support.tolist(),
+            "attribute_mask": self.attribute_mask.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "NaiveBayesClassifier":
+        """Rebuild a classifier saved by :meth:`to_dict`."""
+        if payload.get("kind") != "naive":
+            raise ValueError(
+                f"not a naive-Bayes snapshot: kind={payload.get('kind')!r}"
+            )
+        clf = cls(
+            n_bins=int(payload["n_bins"]),
+            smoothing=float(payload["smoothing"]),
+            class_prior=str(payload["class_prior"]),
+            robust=bool(payload["robust"]),
+        )
+        n_attrs = int(payload["n_attributes"])
+        log_cpt = np.asarray(payload["log_cpt"], dtype=float)
+        support = np.asarray(payload["support"], dtype=bool)
+        mask = np.asarray(payload["attribute_mask"], dtype=bool)
+        log_prior = np.asarray(payload["log_prior"], dtype=float)
+        if log_cpt.shape != (n_attrs, 2, clf.n_bins):
+            raise ValueError(
+                f"log_cpt shape {log_cpt.shape} does not match "
+                f"({n_attrs}, 2, {clf.n_bins})"
+            )
+        if support.shape != (n_attrs, clf.n_bins):
+            raise ValueError(f"support shape {support.shape} is invalid")
+        if mask.shape != (n_attrs,) or log_prior.shape != (2,):
+            raise ValueError("attribute_mask / log_prior shape is invalid")
+        clf.n_attributes = n_attrs
+        clf._log_prior = log_prior
+        clf._log_cpt = log_cpt
+        clf._support = support
+        # Rebuild the scoring tensors exactly as fit() derives them.
+        diff = log_cpt[:, ABNORMAL, :] - log_cpt[:, NORMAL, :]
+        clf._diff_hard = np.where(support, diff, 0.0)
+        clf._diff_soft = np.where(
+            support, np.clip(diff, -STRENGTH_CLIP, STRENGTH_CLIP), 0.0
+        )
+        clf.attribute_mask = mask
+        return clf

@@ -14,7 +14,7 @@ bin indices and back to representative bin centers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -126,3 +126,52 @@ class Discretizer:
             raise RuntimeError("discretizer is not fitted")
         centers = self._bins[attribute_index].centers
         return float(centers[int(np.clip(bin_index, 0, self.n_bins - 1))])
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (model registry hooks)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serializable snapshot of the learned binning.
+
+        Floats survive the JSON round-trip exactly (shortest-repr), so
+        :meth:`from_dict` rebuilds a discretizer whose transforms are
+        bitwise-identical to this one's.
+        """
+        return {
+            "kind": "discretizer",
+            "n_bins": self.n_bins,
+            "strategy": self.strategy,
+            "bins": None if self._bins is None else [
+                {"edges": b.edges.tolist(), "centers": b.centers.tolist()}
+                for b in self._bins
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Discretizer":
+        """Rebuild a discretizer saved by :meth:`to_dict`."""
+        if payload.get("kind") != "discretizer":
+            raise ValueError(
+                f"not a discretizer snapshot: kind={payload.get('kind')!r}"
+            )
+        disc = cls(n_bins=int(payload["n_bins"]),
+                   strategy=str(payload["strategy"]))
+        raw = payload.get("bins")
+        if raw is not None:
+            bins: List[_AttributeBins] = []
+            for i, entry in enumerate(raw):
+                edges = np.asarray(entry["edges"], dtype=float)
+                centers = np.asarray(entry["centers"], dtype=float)
+                if edges.shape != (disc.n_bins - 1,):
+                    raise ValueError(
+                        f"attribute {i}: expected {disc.n_bins - 1} edges, "
+                        f"got {edges.shape}"
+                    )
+                if centers.shape != (disc.n_bins,):
+                    raise ValueError(
+                        f"attribute {i}: expected {disc.n_bins} centers, "
+                        f"got {centers.shape}"
+                    )
+                bins.append(_AttributeBins(edges=edges, centers=centers))
+            disc._bins = bins
+        return disc

@@ -33,7 +33,7 @@ the ground truth for the equivalence tests and the baseline for the
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -228,6 +228,49 @@ class MarkovModel:
         """
         return expected_bin(self.predict_distribution(history, steps))
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (model registry hooks)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serializable snapshot of the trained chain.
+
+        Only the raw transition counts are persisted — the smoothed
+        matrix and every prediction are deterministic functions of
+        them, so a chain restored by :meth:`from_dict` predicts
+        bitwise-identically to this one.
+        """
+        return {
+            "kind": _MARKOV_KIND[type(self)],
+            "n_states": self.n_states,
+            "smoothing": self.smoothing,
+            "persistence": self.persistence,
+            "trained": self._trained,
+            "counts": self._counts.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "MarkovModel":
+        """Rebuild a chain saved by :meth:`to_dict` (either variant)."""
+        kind = payload.get("kind")
+        model_cls = _MARKOV_CLASS.get(kind)
+        if model_cls is None:
+            raise ValueError(f"not a Markov-chain snapshot: kind={kind!r}")
+        model = model_cls(
+            int(payload["n_states"]),
+            smoothing=float(payload["smoothing"]),
+            persistence=float(payload["persistence"]),
+        )
+        counts = np.asarray(payload["counts"], dtype=float)
+        if counts.shape != model._counts.shape:
+            raise ValueError(
+                f"counts shape {counts.shape} does not match "
+                f"{model._counts.shape} for a {kind!r} chain with "
+                f"{model.n_states} states"
+            )
+        model._counts = counts
+        model._trained = bool(payload["trained"])
+        return model
+
 
 class SimpleMarkovModel(MarkovModel):
     """First-order chain: ``P(next | current)``."""
@@ -339,3 +382,8 @@ class TwoDependentMarkovModel(MarkovModel):
                 next_combined[cur * n: (cur + 1) * n] += next_given
             combined = next_combined
         return single
+
+
+#: Snapshot tags for the two chain variants (see ``to_dict``).
+_MARKOV_KIND = {SimpleMarkovModel: "simple", TwoDependentMarkovModel: "2dep"}
+_MARKOV_CLASS = {kind: cls for cls, kind in _MARKOV_KIND.items()}

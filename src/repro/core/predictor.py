@@ -29,7 +29,7 @@ used (mixed chain kinds, externally mutated models).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -171,6 +171,50 @@ class BatchedAttributeChains:
             dist[attrs, histories[-1]] = 1.0
             for k in range(steps):
                 dist = np.einsum("ac,acx->ax", dist, self._tensor)
+                out[k] = dist
+        return out
+
+    def predict_subset(
+        self, histories: np.ndarray, attrs_idx: np.ndarray, steps: int
+    ) -> np.ndarray:
+        """Distributions for a *subset* of the stacked attributes.
+
+        Identical to :meth:`predict_all` restricted to the attribute
+        indices in ``attrs_idx`` — the einsum reductions are
+        independent along the attribute axis, so slice ``[k, i]``
+        equals ``predict_all(full_histories, steps)[k, attrs_idx[i]]``
+        bitwise.  Lets a fleet-wide operator score only the VMs with
+        pending samples.
+        """
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        attrs_idx = np.asarray(attrs_idx, dtype=np.intp)
+        histories = np.asarray(histories, dtype=np.intp)
+        if histories.ndim != 2 or histories.shape[1] != attrs_idx.shape[0]:
+            raise ValueError(
+                f"expected (n, {attrs_idx.shape[0]}) histories, "
+                f"got {histories.shape}"
+            )
+        if histories.shape[0] < self.history_needed:
+            raise ValueError(
+                f"need {self.history_needed} trailing states, "
+                f"got {histories.shape[0]}"
+            )
+        a, n = attrs_idx.shape[0], self.n_states
+        tensor = self._tensor[attrs_idx]
+        out = np.empty((steps, a, n))
+        attrs = np.arange(a)
+        if self.two_dependent:
+            combined = np.zeros((a, n, n))
+            combined[attrs, histories[-2], histories[-1]] = 1.0
+            for k in range(steps):
+                combined = np.einsum("apc,apcx->acx", combined, tensor)
+                out[k] = combined.sum(axis=1)
+        else:
+            dist = np.zeros((a, n))
+            dist[attrs, histories[-1]] = 1.0
+            for k in range(steps):
+                dist = np.einsum("ac,acx->ax", dist, tensor)
                 out[k] = dist
         return out
 
@@ -480,6 +524,89 @@ class AnomalyPredictor:
             attributes=self.attributes,
             steps=steps,
         )
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (model registry hooks)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serializable snapshot of the full per-VM pipeline.
+
+        Bundles the discretizer bins, every per-attribute chain's raw
+        transition counts and the classifier's fitted tables.  All
+        derived scoring state (stacked chain operator, classifier diff
+        tensors, transition-matrix caches) is rebuilt deterministically
+        by :meth:`from_dict`, so the restored predictor's
+        :meth:`predict` output is bitwise-identical to this one's.
+        """
+        return {
+            "kind": "predictor",
+            "attributes": list(self.attributes),
+            "n_bins": self.n_bins,
+            "markov": self.markov_kind,
+            "classifier": self.classifier_kind,
+            "smoothing": self.smoothing,
+            "class_prior": self.classifier.class_prior,
+            "prediction_mode": self.prediction_mode,
+            "robust": self.robust,
+            "trained": self._trained,
+            "discretizer": self.discretizer.to_dict(),
+            "value_models": [m.to_dict() for m in self.value_models],
+            "classifier_model": (
+                self.classifier.to_dict() if self._trained else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "AnomalyPredictor":
+        """Rebuild a predictor saved by :meth:`to_dict`."""
+        if payload.get("kind") != "predictor":
+            raise ValueError(
+                f"not a predictor snapshot: kind={payload.get('kind')!r}"
+            )
+        predictor = cls(
+            attributes=[str(a) for a in payload["attributes"]],
+            n_bins=int(payload["n_bins"]),
+            markov=str(payload["markov"]),
+            classifier=str(payload["classifier"]),
+            smoothing=float(payload["smoothing"]),
+            class_prior=str(payload["class_prior"]),
+            prediction_mode=str(payload["prediction_mode"]),
+            robust=bool(payload["robust"]),
+        )
+        predictor.discretizer = Discretizer.from_dict(payload["discretizer"])
+        models = [MarkovModel.from_dict(m) for m in payload["value_models"]]
+        expected_chain = (
+            TwoDependentMarkovModel
+            if predictor.markov_kind == "2dep"
+            else SimpleMarkovModel
+        )
+        for model in models:
+            if not isinstance(model, expected_chain):
+                raise ValueError(
+                    f"chain variant does not match markov={predictor.markov_kind!r}"
+                )
+        trained = bool(payload["trained"])
+        if trained:
+            if len(models) != len(predictor.attributes):
+                raise ValueError(
+                    f"expected {len(predictor.attributes)} chains, "
+                    f"got {len(models)}"
+                )
+            clf_payload = payload["classifier_model"]
+            if clf_payload is None:
+                raise ValueError("trained snapshot is missing its classifier")
+            if predictor.classifier_kind == "tan":
+                predictor.classifier = TANClassifier.from_dict(clf_payload)
+            else:
+                predictor.classifier = NaiveBayesClassifier.from_dict(
+                    clf_payload
+                )
+            predictor.value_models = models
+            predictor._batched = BatchedAttributeChains(models)
+            predictor._trained = True
+        else:
+            predictor.value_models = models
+        return predictor
 
     # ------------------------------------------------------------------
     # Monolithic-model helper

@@ -39,7 +39,7 @@ and benchmark baselines.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -547,6 +547,86 @@ class TANClassifier:
         return float(
             sum(self.expected_strengths_reference(distributions)) + prior
         )
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (model registry hooks)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serializable snapshot of the fitted classifier.
+
+        Persists the tree structure, per-attribute log-CPTs, support
+        masks, prior and attribute mask; the flattened scoring tensors
+        are rebuilt deterministically on restore, so a classifier from
+        :meth:`from_dict` scores bitwise-identically to this one.
+        """
+        self._require_trained()
+        return {
+            "kind": "tan",
+            "n_bins": self.n_bins,
+            "smoothing": self.smoothing,
+            "class_prior": self.class_prior,
+            "robust": self.robust,
+            "n_attributes": self.n_attributes,
+            "parents": self.parents.tolist(),
+            "log_prior": self._log_prior.tolist(),
+            "log_cpt": [table.tolist() for table in self._log_cpt],
+            "support": [mask.tolist() for mask in self._support],
+            "attribute_mask": self.attribute_mask.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "TANClassifier":
+        """Rebuild a classifier saved by :meth:`to_dict`."""
+        if payload.get("kind") != "tan":
+            raise ValueError(
+                f"not a TAN snapshot: kind={payload.get('kind')!r}"
+            )
+        clf = cls(
+            n_bins=int(payload["n_bins"]),
+            smoothing=float(payload["smoothing"]),
+            class_prior=str(payload["class_prior"]),
+            robust=bool(payload["robust"]),
+        )
+        n_attrs = int(payload["n_attributes"])
+        b = clf.n_bins
+        parents = np.asarray(payload["parents"], dtype=np.intp)
+        log_prior = np.asarray(payload["log_prior"], dtype=float)
+        mask = np.asarray(payload["attribute_mask"], dtype=bool)
+        tables = payload["log_cpt"]
+        supports = payload["support"]
+        if parents.shape != (n_attrs,) or log_prior.shape != (2,):
+            raise ValueError("parents / log_prior shape is invalid")
+        if mask.shape != (n_attrs,):
+            raise ValueError("attribute_mask shape is invalid")
+        if len(tables) != n_attrs or len(supports) != n_attrs:
+            raise ValueError(
+                f"expected {n_attrs} CPTs/supports, got "
+                f"{len(tables)}/{len(supports)}"
+            )
+        cpts: List[np.ndarray] = []
+        masks: List[np.ndarray] = []
+        for i in range(n_attrs):
+            table = np.asarray(tables[i], dtype=float)
+            support = np.asarray(supports[i], dtype=bool)
+            want_table = (2, b) if parents[i] < 0 else (2, b, b)
+            want_support = (b,) if parents[i] < 0 else (b, b)
+            if table.shape != want_table or support.shape != want_support:
+                raise ValueError(
+                    f"attribute {i}: CPT shape {table.shape} / support "
+                    f"shape {support.shape} do not match parent "
+                    f"{int(parents[i])}"
+                )
+            cpts.append(table)
+            masks.append(support)
+        clf.n_attributes = n_attrs
+        clf.parents = parents
+        clf._log_prior = log_prior
+        clf._log_cpt = cpts
+        clf._support = masks
+        parent_or_self = np.where(parents >= 0, parents, np.arange(n_attrs))
+        clf._build_scoring_tensors(parent_or_self)
+        clf.attribute_mask = mask
+        return clf
 
     def rank_attributes(
         self, x: Sequence[int], names: Optional[Sequence[str]] = None

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import zipfile
 from pathlib import Path
 from typing import Dict, Union
 
@@ -29,6 +30,7 @@ from repro.experiments.accuracy import TraceDataset
 from repro.experiments.runner import ExperimentConfig, ExperimentResult
 
 __all__ = [
+    "PersistenceError",
     "save_result",
     "load_result_summary",
     "save_trace_dataset",
@@ -36,6 +38,19 @@ __all__ = [
 ]
 
 _PathLike = Union[str, Path]
+
+
+class PersistenceError(RuntimeError):
+    """An artifact file is missing, truncated, or not the expected kind.
+
+    ``path`` carries the offending file so callers (CLI, campaign
+    resume) can report it without string-parsing the message.
+    """
+
+    def __init__(self, path: Path, reason: str) -> None:
+        super().__init__(f"{path}: {reason}")
+        self.path = Path(path)
+        self.reason = reason
 
 
 def _config_payload(config: ExperimentConfig) -> Dict:
@@ -100,12 +115,26 @@ def load_result_summary(path: _PathLike) -> Dict:
 
     Returns the JSON dictionary with an extra ``"samples"`` entry
     mapping VM name to its (n, 13) value matrix when the sibling
-    ``.npz`` exists.
+    ``.npz`` exists.  Raises :class:`PersistenceError` (with the
+    offending path attached) when the summary is missing or not a
+    saved run.
     """
     json_path = Path(path).with_suffix(".json")
-    summary = json.loads(json_path.read_text())
-    npz_path = json_path.with_name(summary.get("samples_file", ""))
-    if npz_path.exists():
+    if not json_path.exists():
+        raise PersistenceError(json_path, "no such file")
+    try:
+        summary = json.loads(json_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PersistenceError(
+            json_path, f"not a readable run summary ({exc})"
+        ) from None
+    if not isinstance(summary, dict) or "violation_time" not in summary:
+        raise PersistenceError(
+            json_path, "not a run summary (no 'violation_time')"
+        )
+    samples_file = summary.get("samples_file")
+    npz_path = json_path.with_name(samples_file) if samples_file else None
+    if npz_path is not None and npz_path.exists():
         with np.load(npz_path) as data:
             summary["samples"] = {
                 key.split("::", 1)[1]: data[key]
@@ -134,21 +163,51 @@ def save_trace_dataset(dataset: TraceDataset, path: _PathLike) -> Path:
 
 
 def load_trace_dataset(path: _PathLike) -> TraceDataset:
-    """Rebuild a :class:`TraceDataset` saved by :func:`save_trace_dataset`."""
+    """Rebuild a :class:`TraceDataset` saved by :func:`save_trace_dataset`.
+
+    Raises :class:`PersistenceError` (with the offending path attached)
+    when the file is missing, truncated, or not a trace-dataset
+    archive — never a bare ``zipfile``/``KeyError`` traceback.
+    """
     npz_path = Path(path).with_suffix(".npz")
-    with np.load(npz_path, allow_pickle=False) as data:
-        app, fault, interval, train_end = (str(x) for x in data["meta"])
-        per_vm = {
-            key.split("::", 1)[1]: data[key]
-            for key in data.files if key.startswith("values::")
-        }
-        return TraceDataset(
-            app=app,
-            fault=FaultKind(fault),
-            sampling_interval=float(interval),
-            per_vm_values=per_vm,
-            labels=data["labels"],
-            timestamps=data["timestamps"],
-            train_end=float(train_end),
-            attributes=tuple(str(a) for a in data["attributes"]),
-        )
+    if not npz_path.exists():
+        raise PersistenceError(npz_path, "no such file")
+    try:
+        archive = np.load(npz_path, allow_pickle=False)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise PersistenceError(
+            npz_path, f"not a readable .npz archive ({exc})"
+        ) from None
+    with archive as data:
+        try:
+            meta = data["meta"]
+            if meta.shape != (4,):
+                raise PersistenceError(
+                    npz_path, f"meta must have 4 entries, got {meta.shape}"
+                )
+            app, fault, interval, train_end = (str(x) for x in meta)
+            per_vm = {
+                key.split("::", 1)[1]: data[key]
+                for key in data.files if key.startswith("values::")
+            }
+            if not per_vm:
+                raise PersistenceError(
+                    npz_path, "no per-VM value matrices (values::<vm>)"
+                )
+            return TraceDataset(
+                app=app,
+                fault=FaultKind(fault),
+                sampling_interval=float(interval),
+                per_vm_values=per_vm,
+                labels=data["labels"],
+                timestamps=data["timestamps"],
+                train_end=float(train_end),
+                attributes=tuple(str(a) for a in data["attributes"]),
+            )
+        except KeyError as exc:
+            raise PersistenceError(
+                npz_path, f"missing array {exc.args[0]!r}"
+            ) from None
+        except (ValueError, zipfile.BadZipFile) as exc:
+            # Truncated member data or a non-dataset archive.
+            raise PersistenceError(npz_path, str(exc)) from None

@@ -1,0 +1,52 @@
+"""Online serving layer: model registry + streaming prediction service.
+
+Turns trained per-VM prediction pipelines into a deployable online
+scorer, the operational counterpart of the paper's batch simulations:
+
+* :mod:`repro.serve.registry` — versioned, content-hashed snapshot
+  store; a controller warm-starts from disk and a snapshot → restore →
+  predict round-trip is byte-identical to the in-memory model;
+* :mod:`repro.serve.protocol` — the newline-JSON wire protocol
+  (requests, replies, encode/decode helpers);
+* :mod:`repro.serve.service` — asyncio TCP / unix-socket server with a
+  micro-batching dispatcher that coalesces pending samples across VMs
+  into single calls to the vectorized batch predictor;
+* :mod:`repro.serve.replay` — load harness replaying recorded trace
+  datasets against a service and checking alert parity vs the offline
+  controller.
+
+See ``docs/serving.md`` for the end-to-end tour.
+"""
+
+from __future__ import annotations
+
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode_message,
+)
+from repro.serve.registry import (
+    ModelRegistry,
+    RegistryError,
+    SnapshotInfo,
+    SnapshotIntegrityError,
+)
+from repro.serve.replay import ReplayReport, replay_dataset
+from repro.serve.service import FleetScorer, PredictionService, ServiceConfig
+
+__all__ = [
+    "FleetScorer",
+    "ModelRegistry",
+    "PredictionService",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RegistryError",
+    "ReplayReport",
+    "ServiceConfig",
+    "SnapshotInfo",
+    "SnapshotIntegrityError",
+    "decode_line",
+    "encode_message",
+    "replay_dataset",
+]

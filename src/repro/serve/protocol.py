@@ -1,0 +1,97 @@
+"""Newline-JSON wire protocol for the streaming prediction service.
+
+One JSON object per line, UTF-8, ``\\n``-terminated, in both
+directions.  Requests carry an ``op``:
+
+``sample``
+    ``{"op": "sample", "vm": "web-0", "values": [...], "id": 7,
+    "steps": 4}`` — one metric vector for one VM.  ``id`` (optional)
+    is echoed in the reply so clients can correlate out-of-band;
+    ``steps`` (optional) overrides the service's look-ahead.
+``ping`` / ``stats`` / ``drain``
+    Control ops: liveness, service counters, and a barrier that
+    flushes every queued sample before replying.
+
+Replies carry ``ok`` and a ``kind``: ``score`` (the prediction),
+``warmup`` (not enough history for this VM yet), ``shed`` (queue full,
+sample dropped from scoring), ``pong`` / ``stats`` / ``drained``, or
+``error``.  Replies to ``sample`` ops arrive in arrival order per
+connection.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Union
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_line",
+    "encode_message",
+]
+
+#: Bumped on incompatible wire-format changes.
+PROTOCOL_VERSION = 1
+
+#: Requests the service understands.
+REQUEST_OPS = frozenset({"sample", "ping", "stats", "drain"})
+
+
+class ProtocolError(ValueError):
+    """A line is not a valid protocol message."""
+
+
+def encode_message(message: Dict) -> bytes:
+    """Serialize one message to a newline-terminated JSON line."""
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_line(line: Union[str, bytes]) -> Dict:
+    """Parse and validate one request line.
+
+    Raises :class:`ProtocolError` on malformed JSON, unknown ops, and
+    ``sample`` requests with missing/non-finite fields.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"line is not UTF-8: {exc}") from None
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"line is not valid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"expected a JSON object, got {type(message).__name__}"
+        )
+    op = message.get("op")
+    if op not in REQUEST_OPS:
+        raise ProtocolError(f"unknown op {op!r} (want one of {sorted(REQUEST_OPS)})")
+    if op == "sample":
+        _validate_sample(message)
+    return message
+
+
+def _validate_sample(message: Dict) -> None:
+    vm = message.get("vm")
+    if not isinstance(vm, str) or not vm:
+        raise ProtocolError("sample needs a non-empty string 'vm'")
+    values = message.get("values")
+    if not isinstance(values, list) or not values:
+        raise ProtocolError("sample needs a non-empty 'values' array")
+    floats: List[float] = []
+    for v in values:
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            raise ProtocolError(f"sample value {v!r} is not a number")
+        f = float(v)
+        if not math.isfinite(f):
+            raise ProtocolError(f"sample value {v!r} is not finite")
+        floats.append(f)
+    message["values"] = floats
+    steps = message.get("steps")
+    if steps is not None:
+        if isinstance(steps, bool) or not isinstance(steps, int) or steps < 1:
+            raise ProtocolError(f"'steps' must be a positive integer, got {steps!r}")

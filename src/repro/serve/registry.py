@@ -1,0 +1,272 @@
+"""Versioned on-disk model registry.
+
+A *snapshot* bundles the trained per-VM pipelines of one controller —
+discretizer bins, per-attribute Markov transition counts, TAN/naive
+structure + CPTs — into a single canonical-JSON document plus a
+manifest carrying its SHA-256 content hash.  Snapshots are immutable:
+saving under an existing name allocates the next version directory
+(``<root>/<name>/v0001``, ``v0002``, ...), and :meth:`ModelRegistry.load`
+refuses any snapshot whose bytes no longer match the recorded hash.
+
+Canonical JSON (sorted keys, no whitespace) makes the hash a pure
+function of model content, and because JSON round-trips floats exactly
+(shortest repr), restore → re-snapshot reproduces the original bytes:
+``serve_check.py`` asserts this end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.predictor import AnomalyPredictor
+
+__all__ = [
+    "ModelRegistry",
+    "RegistryError",
+    "SnapshotIntegrityError",
+    "SnapshotInfo",
+    "SCHEMA_VERSION",
+]
+
+#: Bumped whenever the snapshot document layout changes.
+SCHEMA_VERSION = 1
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+_SNAPSHOT_FILE = "snapshot.json"
+_MANIFEST_FILE = "manifest.json"
+
+_MANIFEST_KEYS = frozenset(
+    {"schema", "name", "version", "created_at", "sha256", "n_vms", "vms"}
+)
+
+
+class RegistryError(RuntimeError):
+    """A snapshot could not be saved, found, or parsed."""
+
+
+class SnapshotIntegrityError(RegistryError):
+    """Snapshot bytes do not match the manifest's content hash."""
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """Manifest summary of one stored snapshot version."""
+
+    name: str
+    version: int
+    created_at: str
+    sha256: str
+    n_vms: int
+    vms: tuple
+    path: Path
+
+    @property
+    def version_label(self) -> str:
+        return f"v{self.version:04d}"
+
+
+def canonical_json(payload: Dict) -> str:
+    """Canonical serialization: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(document: str) -> str:
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()
+
+
+class ModelRegistry:
+    """Versioned, schema-checked store of per-VM pipeline snapshots."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Save
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        name: str,
+        predictors: Dict[str, AnomalyPredictor],
+        created_at: Optional[str] = None,
+    ) -> SnapshotInfo:
+        """Store ``predictors`` as the next version under ``name``.
+
+        ``created_at`` defaults to the current UTC time; pass an
+        explicit ISO timestamp for reproducible snapshots.
+        """
+        if not _NAME_RE.match(name):
+            raise RegistryError(
+                f"invalid snapshot name {name!r} (want [A-Za-z0-9._-])"
+            )
+        if not predictors:
+            raise RegistryError("refusing to save an empty snapshot")
+        for vm, predictor in predictors.items():
+            if not predictor.trained:
+                raise RegistryError(f"predictor for VM {vm!r} is not trained")
+        if created_at is None:
+            created_at = datetime.now(timezone.utc).isoformat()
+        version = (self.versions(name)[-1] + 1) if self.versions(name) else 1
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "name": name,
+            "version": version,
+            "created_at": created_at,
+            "vms": {
+                vm: predictors[vm].to_dict() for vm in sorted(predictors)
+            },
+        }
+        document = canonical_json(payload)
+        manifest = {
+            "schema": SCHEMA_VERSION,
+            "name": name,
+            "version": version,
+            "created_at": created_at,
+            "sha256": content_hash(document),
+            "n_vms": len(predictors),
+            "vms": sorted(predictors),
+        }
+        vdir = self.root / name / f"v{version:04d}"
+        vdir.mkdir(parents=True, exist_ok=False)
+        (vdir / _SNAPSHOT_FILE).write_text(document, encoding="utf-8")
+        (vdir / _MANIFEST_FILE).write_text(
+            json.dumps(manifest, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        return self._info_from_manifest(manifest, vdir)
+
+    # ------------------------------------------------------------------
+    # Load
+    # ------------------------------------------------------------------
+    def load(
+        self, name: str, version: Optional[int] = None
+    ) -> Dict[str, AnomalyPredictor]:
+        """Restore the pipelines of ``name`` (latest version by default).
+
+        Verifies the content hash before parsing; raises
+        :class:`SnapshotIntegrityError` on any mismatch and
+        :class:`RegistryError` on missing/malformed snapshots.
+        """
+        info = self.info(name, version)
+        document = self._read_document(info)
+        try:
+            payload = json.loads(document)
+        except json.JSONDecodeError as exc:
+            raise RegistryError(
+                f"snapshot {info.path / _SNAPSHOT_FILE} is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+            raise RegistryError(
+                f"snapshot {info.path / _SNAPSHOT_FILE}: unsupported schema "
+                f"{payload.get('schema') if isinstance(payload, dict) else payload!r} "
+                f"(want {SCHEMA_VERSION})"
+            )
+        vms = payload.get("vms")
+        if not isinstance(vms, dict) or sorted(vms) != list(info.vms):
+            raise SnapshotIntegrityError(
+                f"snapshot {info.path / _SNAPSHOT_FILE}: VM list does not "
+                f"match the manifest"
+            )
+        out: Dict[str, AnomalyPredictor] = {}
+        for vm, blob in vms.items():
+            try:
+                out[vm] = AnomalyPredictor.from_dict(blob)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise RegistryError(
+                    f"snapshot {info.path / _SNAPSHOT_FILE}: VM {vm!r} "
+                    f"does not restore: {exc}"
+                ) from None
+        return out
+
+    def _read_document(self, info: SnapshotInfo) -> str:
+        snap_path = info.path / _SNAPSHOT_FILE
+        try:
+            document = snap_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise RegistryError(f"cannot read {snap_path}: {exc}") from None
+        digest = content_hash(document)
+        if digest != info.sha256:
+            raise SnapshotIntegrityError(
+                f"snapshot {snap_path} is corrupt: sha256 {digest} != "
+                f"manifest {info.sha256}"
+            )
+        return document
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if p.is_dir() and self.versions(p.name)
+        )
+
+    def versions(self, name: str) -> List[int]:
+        """Stored version numbers for ``name``, ascending."""
+        base = self.root / name
+        if not base.is_dir():
+            return []
+        out = []
+        for p in base.iterdir():
+            m = re.match(r"^v(\d{4,})$", p.name)
+            if m and (p / _MANIFEST_FILE).is_file():
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    def info(self, name: str, version: Optional[int] = None) -> SnapshotInfo:
+        """Manifest summary of one version (latest by default)."""
+        versions = self.versions(name)
+        if not versions:
+            raise RegistryError(f"no snapshots under {self.root / name}")
+        if version is None:
+            version = versions[-1]
+        if version not in versions:
+            raise RegistryError(
+                f"snapshot {name!r} has no version {version} "
+                f"(stored: {versions})"
+            )
+        vdir = self.root / name / f"v{version:04d}"
+        manifest_path = vdir / _MANIFEST_FILE
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RegistryError(
+                f"cannot read manifest {manifest_path}: {exc}"
+            ) from None
+        if (
+            not isinstance(manifest, dict)
+            or not _MANIFEST_KEYS.issubset(manifest)
+        ):
+            raise RegistryError(
+                f"manifest {manifest_path} is missing required keys "
+                f"{sorted(_MANIFEST_KEYS - set(manifest or ()))}"
+            )
+        return self._info_from_manifest(manifest, vdir)
+
+    def list(self) -> List[SnapshotInfo]:
+        """Every stored snapshot, ordered by (name, version)."""
+        out: List[SnapshotInfo] = []
+        for name in self.names():
+            for version in self.versions(name):
+                out.append(self.info(name, version))
+        return out
+
+    @staticmethod
+    def _info_from_manifest(manifest: Dict, vdir: Path) -> SnapshotInfo:
+        return SnapshotInfo(
+            name=str(manifest["name"]),
+            version=int(manifest["version"]),
+            created_at=str(manifest["created_at"]),
+            sha256=str(manifest["sha256"]),
+            n_vms=int(manifest["n_vms"]),
+            vms=tuple(str(vm) for vm in manifest["vms"]),
+            path=vdir,
+        )

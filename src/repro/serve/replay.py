@@ -1,0 +1,247 @@
+"""Replay load harness for the streaming prediction service.
+
+Streams recorded per-VM metric traces at a target rate against a
+running :class:`~repro.serve.service.PredictionService`, with bounded
+pipelining, and reports sustained throughput, client-observed tail
+latencies, and — when given the trained predictors — **alert parity**:
+the service's abnormal/normal decision for every scored sample must
+equal the offline controller's decision for the same sample, computed
+by driving the same per-VM trailing-history rule through
+:meth:`AnomalyPredictor.predict` directly.
+
+Samples are interleaved across VMs in timestamp order (row ``t`` of
+every VM before row ``t + 1`` of any), which is exactly the order the
+monitoring plane would deliver them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.predictor import AnomalyPredictor
+from repro.serve.protocol import encode_message
+
+__all__ = ["ReplayReport", "expected_decisions", "iter_samples", "replay_dataset"]
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of one replay run."""
+
+    sent: int
+    scores: int
+    warmups: int
+    sheds: int
+    errors: int
+    alerts: int
+    wall_seconds: float
+    #: score replies per wall-clock second
+    throughput: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    #: score replies compared against the offline controller (0 when
+    #: no predictors were given)
+    parity_checked: int
+    parity_mismatches: int
+
+    @property
+    def parity_ok(self) -> bool:
+        return self.parity_mismatches == 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "sent": self.sent,
+            "scores": self.scores,
+            "warmups": self.warmups,
+            "sheds": self.sheds,
+            "errors": self.errors,
+            "alerts": self.alerts,
+            "wall_seconds": self.wall_seconds,
+            "throughput": self.throughput,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "parity_checked": self.parity_checked,
+            "parity_mismatches": self.parity_mismatches,
+        }
+
+
+def iter_samples(
+    per_vm_values: Dict[str, np.ndarray], repeat: int = 1
+) -> List[Tuple[str, List[float]]]:
+    """Flatten per-VM traces into one timestamp-ordered sample stream."""
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    vms = sorted(per_vm_values)
+    matrices = {vm: np.asarray(per_vm_values[vm], dtype=float) for vm in vms}
+    rows = {m.shape[0] for m in matrices.values()}
+    if len(rows) != 1:
+        raise ValueError(f"per-VM traces disagree on rows: {sorted(rows)}")
+    n = rows.pop()
+    out: List[Tuple[str, List[float]]] = []
+    for _ in range(repeat):
+        for t in range(n):
+            for vm in vms:
+                out.append((vm, matrices[vm][t].tolist()))
+    return out
+
+
+def expected_decisions(
+    predictors: Dict[str, AnomalyPredictor],
+    samples: Sequence[Tuple[str, List[float]]],
+    steps: int,
+) -> List[Optional[bool]]:
+    """Offline-controller decision per sample, aligned with ``samples``.
+
+    Applies the service's exact history rule: each sample extends its
+    VM's trailing window; ``None`` while the window is still shorter
+    than ``history_needed``, else the :meth:`AnomalyPredictor.predict`
+    abnormal flag.
+    """
+    unknown = sorted({vm for vm, _ in samples} - set(predictors))
+    if unknown:
+        raise ValueError(
+            f"samples reference VMs with no predictor: {', '.join(unknown)}"
+        )
+    histories: Dict[str, deque] = {
+        vm: deque(maxlen=p.history_needed) for vm, p in predictors.items()
+    }
+    out: List[Optional[bool]] = []
+    for vm, values in samples:
+        predictor = predictors[vm]
+        history = histories[vm]
+        history.append(values)
+        if len(history) < predictor.history_needed:
+            out.append(None)
+        else:
+            recent = np.asarray(history, dtype=float)
+            out.append(bool(predictor.predict(recent, steps).abnormal))
+    return out
+
+
+async def replay_dataset(
+    per_vm_values: Dict[str, np.ndarray],
+    *,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    path: Optional[str] = None,
+    steps: int = 4,
+    rate: float = 0.0,
+    repeat: int = 1,
+    max_inflight: int = 256,
+    predictors: Optional[Dict[str, AnomalyPredictor]] = None,
+) -> ReplayReport:
+    """Stream the traces against a running service and measure it.
+
+    ``rate`` is the target send rate in samples/second (0 = as fast
+    as the ``max_inflight`` pipelining bound allows).  Pass the
+    trained ``predictors`` to also verify alert parity against the
+    offline controller.
+    """
+    if (path is None) == (host is None):
+        raise ValueError("pass either host+port or a unix-socket path")
+    if path is not None:
+        reader, writer = await asyncio.open_unix_connection(path)
+    else:
+        reader, writer = await asyncio.open_connection(host, port)
+
+    samples = iter_samples(per_vm_values, repeat=repeat)
+    expected: Optional[List[Optional[bool]]] = None
+    if predictors is not None:
+        expected = expected_decisions(predictors, samples, steps)
+
+    counts = {"score": 0, "warmup": 0, "shed": 0, "error": 0}
+    alerts = 0
+    parity_checked = 0
+    parity_mismatches = 0
+    latencies: List[float] = []
+    send_ts: Dict[int, float] = {}
+    window = asyncio.Semaphore(max_inflight)
+    n_replies = 0
+
+    async def read_replies() -> None:
+        nonlocal alerts, parity_checked, parity_mismatches, n_replies
+        while n_replies < len(samples):
+            line = await reader.readline()
+            if not line:
+                raise ConnectionError("service closed the connection early")
+            reply = json.loads(line)
+            kind = reply.get("kind", "error")
+            counts[kind] = counts.get(kind, 0) + 1
+            msg_id = reply.get("id")
+            if msg_id in send_ts:
+                latencies.append(time.perf_counter() - send_ts.pop(msg_id))
+            if kind == "score":
+                if reply["abnormal"]:
+                    alerts += 1
+                if expected is not None and isinstance(msg_id, int):
+                    want = expected[msg_id]
+                    parity_checked += 1
+                    if want is None or bool(reply["abnormal"]) != want:
+                        parity_mismatches += 1
+            n_replies += 1
+            window.release()
+
+    reader_task = asyncio.create_task(read_replies())
+    t0 = time.perf_counter()
+    interval = (1.0 / rate) if rate > 0 else 0.0
+    try:
+        for i, (vm, values) in enumerate(samples):
+            await window.acquire()
+            if interval:
+                due = t0 + i * interval
+                delay = due - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            send_ts[i] = time.perf_counter()
+            writer.write(encode_message({
+                "op": "sample", "id": i, "vm": vm, "values": values,
+                "steps": steps,
+            }))
+            await writer.drain()
+        await reader_task
+        wall = time.perf_counter() - t0
+        writer.write(encode_message({"op": "drain"}))
+        await writer.drain()
+        drained = json.loads(await reader.readline())
+        if drained.get("kind") != "drained":
+            raise ConnectionError(f"unexpected drain reply: {drained}")
+    finally:
+        if not reader_task.done():
+            reader_task.cancel()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    lat_ms = sorted(1e3 * v for v in latencies)
+
+    def pct(q: float) -> float:
+        if not lat_ms:
+            return 0.0
+        return lat_ms[min(len(lat_ms) - 1, int(q * len(lat_ms)))]
+
+    return ReplayReport(
+        sent=len(samples),
+        scores=counts.get("score", 0),
+        warmups=counts.get("warmup", 0),
+        sheds=counts.get("shed", 0),
+        errors=counts.get("error", 0),
+        alerts=alerts,
+        wall_seconds=wall,
+        throughput=(counts.get("score", 0) / wall) if wall > 0 else 0.0,
+        p50_ms=pct(0.50),
+        p95_ms=pct(0.95),
+        p99_ms=pct(0.99),
+        parity_checked=parity_checked,
+        parity_mismatches=parity_mismatches,
+    )

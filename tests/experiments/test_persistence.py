@@ -1,5 +1,7 @@
 """Tests for experiment-artifact persistence."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -9,6 +11,7 @@ from repro.experiments.accuracy import (
     prediction_accuracy,
 )
 from repro.experiments.persistence import (
+    PersistenceError,
     load_result_summary,
     load_trace_dataset,
     save_result,
@@ -97,3 +100,61 @@ class TestTraceDatasetRoundtrip:
         reloaded = prediction_accuracy(loaded, 15.0)
         assert original.true_positive_rate == reloaded.true_positive_rate
         assert original.false_alarm_rate == reloaded.false_alarm_rate
+
+
+class TestTypedErrors:
+    """Every load failure is a PersistenceError carrying the path."""
+
+    def test_trace_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError) as err:
+            load_trace_dataset(tmp_path / "nope")
+        assert err.value.path == tmp_path / "nope.npz"
+        assert err.value.reason == "no such file"
+
+    def test_trace_not_an_archive(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        bogus.write_bytes(b"this is not a zip archive")
+        with pytest.raises(PersistenceError) as err:
+            load_trace_dataset(bogus)
+        assert err.value.path == bogus
+
+    def test_trace_truncated_archive(self, tmp_path):
+        dataset = collect_trace(RUBIS, FaultKind.CPU_HOG, seed=5)
+        path = save_trace_dataset(dataset, tmp_path / "trace")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(PersistenceError) as err:
+            load_trace_dataset(path)
+        assert err.value.path == path
+
+    def test_trace_wrong_archive_kind(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez_compressed(path, unrelated=np.arange(3))
+        with pytest.raises(PersistenceError) as err:
+            load_trace_dataset(path)
+        assert err.value.path == path
+        assert "meta" in str(err.value)
+
+    def test_summary_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError) as err:
+            load_result_summary(tmp_path / "gone")
+        assert err.value.path == tmp_path / "gone.json"
+        assert err.value.reason == "no such file"
+
+    def test_summary_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(PersistenceError) as err:
+            load_result_summary(path)
+        assert err.value.path == path
+
+    def test_summary_wrong_document(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"some": "thing"}))
+        with pytest.raises(PersistenceError) as err:
+            load_result_summary(path)
+        assert "violation_time" in err.value.reason
+
+    def test_message_carries_path(self, tmp_path):
+        with pytest.raises(PersistenceError, match="nope.npz"):
+            load_trace_dataset(tmp_path / "nope")

@@ -1,0 +1,228 @@
+"""Tests for the versioned model registry and snapshot exactness."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import AnomalyPredictor
+from repro.serve.registry import (
+    ModelRegistry,
+    RegistryError,
+    SnapshotIntegrityError,
+    canonical_json,
+    content_hash,
+)
+
+N_ATTRS = 7
+ALL_SCHEMES = [
+    (markov, classifier, mode)
+    for markov in ("2dep", "simple")
+    for classifier in ("tan", "naive")
+    for mode in ("soft", "hard")
+]
+
+
+def train_predictor(seed=0, markov="2dep", classifier="tan", mode="soft"):
+    rng = np.random.default_rng(seed)
+    predictor = AnomalyPredictor(
+        [f"m{i}" for i in range(N_ATTRS)], n_bins=6, markov=markov,
+        classifier=classifier, prediction_mode=mode,
+    )
+    values = np.cumsum(rng.normal(size=(250, N_ATTRS)), axis=0)
+    labels = (rng.random(250) < 0.3).astype(int)
+    return predictor.train(values, labels), values
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestSnapshotExactness:
+    @pytest.mark.parametrize("markov,classifier,mode", ALL_SCHEMES)
+    def test_restore_predicts_bitwise_identically(
+        self, registry, markov, classifier, mode
+    ):
+        """Save → load → predict must equal in-memory predict exactly,
+        for every (markov, classifier, mode) scheme configuration."""
+        predictor, values = train_predictor(
+            seed=3, markov=markov, classifier=classifier, mode=mode
+        )
+        registry.save("fleet", {"vm1": predictor})
+        restored = registry.load("fleet")["vm1"]
+        recent = values[50:50 + predictor.history_needed + 1]
+        for steps in (1, 4):
+            a = predictor.predict(recent, steps)
+            b = restored.predict(recent, steps)
+            assert a.abnormal == b.abnormal
+            assert a.score == b.score            # bitwise, not approx
+            assert a.probability == b.probability
+            assert a.bins == b.bins
+            assert a.strengths == b.strengths
+
+    @pytest.mark.parametrize("markov,classifier,mode", ALL_SCHEMES)
+    def test_reserialization_is_byte_identical(
+        self, registry, markov, classifier, mode
+    ):
+        predictor, _ = train_predictor(
+            seed=5, markov=markov, classifier=classifier, mode=mode
+        )
+        original = canonical_json(predictor.to_dict())
+        restored = AnomalyPredictor.from_dict(json.loads(original))
+        assert canonical_json(restored.to_dict()) == original
+
+    def test_saved_document_round_trips_bytes(self, registry):
+        predictor, _ = train_predictor(seed=9)
+        info = registry.save(
+            "fleet", {"vm1": predictor}, created_at="2026-01-01T00:00:00+00:00"
+        )
+        document = (info.path / "snapshot.json").read_text(encoding="utf-8")
+        assert content_hash(document) == info.sha256
+        restored = registry.load("fleet")
+        payload = json.loads(document)
+        payload["vms"] = {
+            vm: restored[vm].to_dict() for vm in sorted(restored)
+        }
+        assert canonical_json(payload) == document
+
+
+class TestVersioning:
+    def test_versions_auto_increment(self, registry):
+        predictor, _ = train_predictor()
+        first = registry.save("fleet", {"vm1": predictor})
+        second = registry.save("fleet", {"vm1": predictor})
+        assert (first.version, second.version) == (1, 2)
+        assert registry.versions("fleet") == [1, 2]
+        assert second.version_label == "v0002"
+
+    def test_load_defaults_to_latest(self, registry):
+        p1, _ = train_predictor(seed=1)
+        p2, _ = train_predictor(seed=2)
+        registry.save("fleet", {"vm1": p1})
+        registry.save("fleet", {"vm1": p2})
+        latest = registry.load("fleet")["vm1"]
+        pinned = registry.load("fleet", version=1)["vm1"]
+        assert latest.predict(
+            np.zeros((2, N_ATTRS)), 1
+        ).score == p2.predict(np.zeros((2, N_ATTRS)), 1).score
+        assert pinned.predict(
+            np.zeros((2, N_ATTRS)), 1
+        ).score == p1.predict(np.zeros((2, N_ATTRS)), 1).score
+
+    def test_list_and_names(self, registry):
+        predictor, _ = train_predictor()
+        registry.save("alpha", {"vm1": predictor})
+        registry.save("alpha", {"vm1": predictor})
+        registry.save("beta", {"vm1": predictor})
+        assert registry.names() == ["alpha", "beta"]
+        entries = registry.list()
+        assert [(e.name, e.version) for e in entries] == [
+            ("alpha", 1), ("alpha", 2), ("beta", 1)
+        ]
+        assert all(e.n_vms == 1 and e.vms == ("vm1",) for e in entries)
+
+    def test_missing_name_and_version(self, registry):
+        predictor, _ = train_predictor()
+        registry.save("fleet", {"vm1": predictor})
+        with pytest.raises(RegistryError, match="no snapshots"):
+            registry.load("ghost")
+        with pytest.raises(RegistryError, match="no version 9"):
+            registry.load("fleet", version=9)
+
+
+class TestSaveValidation:
+    def test_rejects_bad_names(self, registry):
+        predictor, _ = train_predictor()
+        for name in ("", "../evil", "a b", ".hidden", "x/y"):
+            with pytest.raises(RegistryError, match="invalid snapshot name"):
+                registry.save(name, {"vm1": predictor})
+
+    def test_rejects_empty_and_untrained(self, registry):
+        with pytest.raises(RegistryError, match="empty"):
+            registry.save("fleet", {})
+        fresh = AnomalyPredictor([f"m{i}" for i in range(N_ATTRS)])
+        with pytest.raises(RegistryError, match="not trained"):
+            registry.save("fleet", {"vm1": fresh})
+
+
+class TestCorruptionRejection:
+    def test_flipped_byte_is_rejected(self, registry):
+        predictor, _ = train_predictor()
+        info = registry.save("fleet", {"vm1": predictor})
+        snap = info.path / "snapshot.json"
+        document = snap.read_text(encoding="utf-8")
+        corrupted = document.replace('"schema":1', '"schema":1 ', 1)
+        snap.write_text(corrupted, encoding="utf-8")
+        with pytest.raises(SnapshotIntegrityError, match="sha256"):
+            registry.load("fleet")
+
+    def test_manifest_hash_mismatch_is_rejected(self, registry):
+        predictor, _ = train_predictor()
+        info = registry.save("fleet", {"vm1": predictor})
+        manifest_path = info.path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["sha256"] = "0" * 64
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(SnapshotIntegrityError):
+            registry.load("fleet")
+
+    def test_vm_list_mismatch_is_rejected(self, registry):
+        predictor, _ = train_predictor()
+        info = registry.save("fleet", {"vm1": predictor})
+        manifest_path = info.path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["vms"] = ["vm1", "phantom"]
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        # Rewriting the manifest alone cannot fool the loader: either
+        # the hash check or the VM cross-check must fire.
+        with pytest.raises(SnapshotIntegrityError):
+            registry.load("fleet")
+
+    def test_unsupported_schema_is_rejected(self, registry):
+        predictor, _ = train_predictor()
+        info = registry.save("fleet", {"vm1": predictor})
+        snap = info.path / "snapshot.json"
+        payload = json.loads(snap.read_text(encoding="utf-8"))
+        payload["schema"] = 99
+        document = canonical_json(payload)
+        snap.write_text(document, encoding="utf-8")
+        manifest_path = info.path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["sha256"] = content_hash(document)
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(RegistryError, match="unsupported schema"):
+            registry.load("fleet")
+
+    def test_truncated_snapshot_is_rejected(self, registry):
+        predictor, _ = train_predictor()
+        info = registry.save("fleet", {"vm1": predictor})
+        snap = info.path / "snapshot.json"
+        snap.write_text(
+            snap.read_text(encoding="utf-8")[:100], encoding="utf-8"
+        )
+        with pytest.raises(SnapshotIntegrityError):
+            registry.load("fleet")
+
+
+class TestModelHooksValidation:
+    def test_predictor_from_dict_rejects_wrong_kind(self):
+        predictor, _ = train_predictor()
+        blob = predictor.to_dict()
+        blob["kind"] = "something-else"
+        with pytest.raises(ValueError, match="kind"):
+            AnomalyPredictor.from_dict(blob)
+
+    def test_predictor_from_dict_rejects_wrong_chain_count(self):
+        predictor, _ = train_predictor()
+        blob = predictor.to_dict()
+        blob["value_models"] = blob["value_models"][:-1]
+        with pytest.raises(ValueError):
+            AnomalyPredictor.from_dict(blob)
+
+    def test_predictor_from_dict_rejects_bad_shapes(self):
+        predictor, _ = train_predictor()
+        blob = predictor.to_dict()
+        blob["discretizer"]["bins"][0]["edges"] = [0.0, 1.0]
+        with pytest.raises(ValueError):
+            AnomalyPredictor.from_dict(blob)

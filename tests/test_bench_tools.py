@@ -135,3 +135,61 @@ class TestPerfPredictionHarness:
         assert "fleet5/predict_reference" in payload["results"]
         speedup = payload["meta"]["speedup_vs_reference"]["fleet5"]["predict"]
         assert speedup > 0
+
+
+class TestCompareScriptErrorExits:
+    """Missing or malformed inputs exit 2 with a message, no traceback."""
+
+    @pytest.fixture(scope="class")
+    def script(self):
+        return _load_script(REPO_ROOT / "scripts" / "bench_compare.py")
+
+    @pytest.fixture()
+    def good(self, tmp_path):
+        path = tmp_path / "good.json"
+        write_results(
+            path,
+            {"a": {"median_s": 1.0, "min_s": 1.0, "mean_s": 1.0,
+                   "repeats": 1.0}},
+            meta={},
+        )
+        return path
+
+    def test_missing_baseline(self, script, good, tmp_path, capsys):
+        assert script.main([str(tmp_path / "absent.json"), str(good)]) == 2
+        err = capsys.readouterr().err
+        assert "baseline" in err and "does not exist" in err
+
+    def test_missing_candidate(self, script, good, tmp_path, capsys):
+        assert script.main([str(good), str(tmp_path / "absent.json")]) == 2
+        assert "candidate" in capsys.readouterr().err
+
+    def test_invalid_json(self, script, good, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{truncated")
+        assert script.main([str(bad), str(good)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_wrong_document_shape(self, script, good, tmp_path, capsys):
+        bad = tmp_path / "shape.json"
+        bad.write_text(json.dumps({"unrelated": True}))
+        assert script.main([str(good), str(bad)]) == 2
+        assert "malformed" in capsys.readouterr().err
+
+
+class TestPerfServingHarness:
+    def test_quick_run_emits_valid_snapshot(self, tmp_path):
+        script = _load_script(REPO_ROOT / "benchmarks" / "perf_serving.py")
+        out = tmp_path / "BENCH_serving.json"
+        assert script.main(
+            ["--quick", "--repeats", "1", "--output", str(out)]
+        ) == 0
+        payload = read_results(out)
+        assert payload["meta"]["quick"] is True
+        assert payload["meta"]["decisions_equal"] is True
+        assert "engine10/batched" in payload["results"]
+        assert "engine10/single" in payload["results"]
+        assert "service10/replay" in payload["results"]
+        speedup = payload["meta"]["batched_speedup_vs_single"]["engine10"]
+        assert speedup > 1.0
+        assert payload["meta"]["service_throughput_per_s"] > 0

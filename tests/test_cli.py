@@ -39,7 +39,8 @@ class TestParser:
         so the help text cannot silently lag the CLI again."""
         text = build_parser().format_help()
         for command in ("run", "reproduce", "accuracy", "leadtime",
-                        "telemetry", "campaign", "report"):
+                        "telemetry", "campaign", "report", "serve",
+                        "replay", "models"):
             assert command in text, f"--help omits {command!r}"
         assert "checkpoint/resume" in text
 
@@ -220,3 +221,79 @@ class TestTelemetryCommand:
         payload = json.loads(capsys.readouterr().out)
         assert code == 0
         assert payload["schema_version"] == 1
+
+
+class TestServingCommands:
+    @staticmethod
+    def _snapshot(tmp_path):
+        import numpy as np
+
+        from repro.core.predictor import AnomalyPredictor
+        from repro.serve.registry import ModelRegistry
+
+        rng = np.random.default_rng(4)
+        predictor = AnomalyPredictor([f"m{i}" for i in range(5)], n_bins=6)
+        values = np.cumsum(rng.normal(size=(200, 5)), axis=0)
+        labels = (rng.random(200) < 0.3).astype(int)
+        predictor.train(values, labels)
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.save("fleet", {"vm1": predictor},
+                      created_at="2026-08-01T00:00:00+00:00")
+        return tmp_path / "registry"
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--registry", "r", "--name", "fleet"]
+        )
+        assert args.port == 7171
+        assert args.steps == 4
+        assert args.max_batch == 128
+
+    def test_serve_requires_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--registry", "r"])
+
+    def test_models_table(self, capsys, tmp_path):
+        registry = self._snapshot(tmp_path)
+        assert main(["models", "--registry", str(registry)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet" in out and "v0001" in out
+        assert "2026-08-01T00:00:00+00:00" in out
+
+    def test_models_json(self, capsys, tmp_path):
+        registry = self._snapshot(tmp_path)
+        assert main(["models", "--registry", str(registry), "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert len(entries) == 1
+        assert entries[0]["name"] == "fleet"
+        assert entries[0]["version"] == 1
+        assert entries[0]["n_vms"] == 1
+        assert len(entries[0]["sha256"]) == 64
+
+    def test_models_empty_registry(self, capsys, tmp_path):
+        assert main(["models", "--registry", str(tmp_path / "none")]) == 0
+        assert "no snapshots" in capsys.readouterr().out
+
+    def test_serve_missing_snapshot_exits_2(self, capsys, tmp_path):
+        assert main(["serve", "--registry", str(tmp_path / "none"),
+                     "--name", "ghost", "--socket",
+                     str(tmp_path / "s.sock")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_replay_missing_dataset_exits_2(self, capsys, tmp_path):
+        assert main(["replay", str(tmp_path / "absent.npz"),
+                     "--socket", str(tmp_path / "s.sock")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_replay_name_without_registry_exits_2(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.experiments.accuracy import collect_trace
+        from repro.experiments.persistence import save_trace_dataset
+        from repro.faults import FaultKind
+
+        dataset = collect_trace("rubis", FaultKind.CPU_HOG, seed=5)
+        path = save_trace_dataset(dataset, tmp_path / "trace")
+        assert main(["replay", str(path), "--socket",
+                     str(tmp_path / "s.sock"), "--name", "fleet"]) == 2
+        assert "--registry" in capsys.readouterr().err
