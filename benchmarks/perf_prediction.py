@@ -136,6 +136,12 @@ def main(argv=None) -> int:
     parser.add_argument("--steps", type=int, default=DEFAULT_STEPS)
     parser.add_argument("--repeats", type=int, default=None)
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--min-classify-speedup", type=float, default=1.0,
+        help="fail unless the largest fleet's classify speedup over the "
+             "reference implementation reaches this factor "
+             "(default %(default)s; 0 disables)",
+    )
     args = parser.parse_args(argv)
 
     fleets = (5,) if args.quick else DEFAULT_FLEETS
@@ -183,6 +189,20 @@ def main(argv=None) -> int:
             f"classify {s['classify']:.1f}x vs reference"
         )
     print(f"\nwrote {args.output}")
+
+    # The gate targets the campaign-scale fleet; quick runs (fleet5
+    # only, single repeats) are too noisy to assert speedups on.
+    if args.min_classify_speedup > 0 and "fleet50" in speedups:
+        gate = speedups["fleet50"]["classify"]
+        if gate < args.min_classify_speedup:
+            print(
+                f"error: fleet50 classify speedup {gate:.2f}x is "
+                f"below the required {args.min_classify_speedup:.2f}x "
+                "— the batch TAN scorer must never lose to the scalar "
+                "reference",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -1,16 +1,20 @@
 #!/usr/bin/env python
-"""Diff two benchmark result files; fail on median-time regressions.
+"""Diff benchmark result files; fail on median-time regressions.
 
 Usage::
 
     python scripts/bench_compare.py BASELINE.json CANDIDATE.json
+    python scripts/bench_compare.py BASELINE.json CAND_A.json CAND_B.json
     python scripts/bench_compare.py --threshold 0.10 old.json new.json
 
-Exits 1 when any benchmark present in both files is more than
-``--threshold`` (default 20%) slower in the candidate, printing each
-offending benchmark, and 2 (with a one-line error, never a traceback)
-when either file is missing or malformed.  Files are produced by
-``benchmarks/perf_prediction.py`` and ``benchmarks/perf_serving.py``
+The first file is the baseline; every further file is compared against
+it.  For each candidate a per-key delta table is printed (baseline
+median, candidate median, delta) with regressions flagged.  Exits 1
+when any benchmark present in the baseline and a candidate is more
+than ``--threshold`` (default 20%) slower in that candidate, and 2
+(with a one-line error, never a traceback) when any file is missing or
+malformed.  Files are produced by ``benchmarks/perf_prediction.py``,
+``benchmarks/perf_serving.py`` and ``benchmarks/perf_campaign.py``
 (see ``docs/performance.md``).
 """
 
@@ -20,6 +24,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import Any, Dict, List, Mapping
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
@@ -30,10 +35,37 @@ from repro.bench import (
 )
 
 
+def _delta_table(
+    baseline: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    threshold: float,
+) -> List[str]:
+    """Per-key rows: baseline median, candidate median, delta, flag."""
+    base, cand = baseline["results"], candidate["results"]
+    rows = []
+    for name in sorted(set(base) & set(cand)):
+        b, c = base[name]["median_s"], cand[name]["median_s"]
+        if b > 0:
+            delta = (c / b - 1.0) * 100.0
+            flag = "  REGRESSION" if c / b > 1.0 + threshold else ""
+            delta_text = f"{delta:+7.1f}%"
+        else:
+            delta_text = "    n/a"
+            flag = ""
+        rows.append(
+            f"  {name:<40s} {b * 1e3:10.3f} ms {c * 1e3:10.3f} ms "
+            f"{delta_text}{flag}"
+        )
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path)
-    parser.add_argument("candidate", type=Path)
+    parser.add_argument(
+        "candidates", type=Path, nargs="+", metavar="candidate",
+        help="one or more result files to compare against the baseline",
+    )
     parser.add_argument(
         "--threshold", type=float, default=DEFAULT_REGRESSION_THRESHOLD,
         help="fractional slowdown tolerated before failing "
@@ -41,11 +73,12 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    loaded = {}
-    for role, path in (("baseline", args.baseline),
-                       ("candidate", args.candidate)):
+    loaded: Dict[Path, Dict[str, Any]] = {}
+    for role, path in [("baseline", args.baseline)] + [
+        ("candidate", path) for path in args.candidates
+    ]:
         try:
-            loaded[role] = read_results(path)
+            loaded[path] = read_results(path)
         except FileNotFoundError:
             print(f"error: {role} file {path} does not exist",
                   file=sys.stderr)
@@ -57,32 +90,38 @@ def main(argv=None) -> int:
         except ValueError as exc:
             print(f"error: {role} file is malformed: {exc}", file=sys.stderr)
             return 2
-    baseline, candidate = loaded["baseline"], loaded["candidate"]
-    regressions = compare_results(
-        baseline, candidate, threshold=args.threshold
-    )
 
-    shared = sorted(
-        set(baseline["results"]) & set(candidate["results"])
-    )
-    print(
-        f"compared {len(shared)} shared benchmarks "
-        f"({args.baseline} -> {args.candidate})"
-    )
-    only_base = set(baseline["results"]) - set(candidate["results"])
-    only_cand = set(candidate["results"]) - set(baseline["results"])
-    if only_base:
-        print(f"only in baseline: {', '.join(sorted(only_base))}")
-    if only_cand:
-        print(f"only in candidate: {', '.join(sorted(only_cand))}")
-
-    if regressions:
-        print(f"\n{len(regressions)} regression(s):")
-        for message in regressions:
-            print(f"  REGRESSION {message}")
-        return 1
-    print("no regressions")
-    return 0
+    baseline = loaded[args.baseline]
+    failed = False
+    for path in args.candidates:
+        candidate = loaded[path]
+        regressions = compare_results(
+            baseline, candidate, threshold=args.threshold
+        )
+        shared = sorted(set(baseline["results"]) & set(candidate["results"]))
+        print(
+            f"compared {len(shared)} shared benchmarks "
+            f"({args.baseline} -> {path})"
+        )
+        only_base = set(baseline["results"]) - set(candidate["results"])
+        only_cand = set(candidate["results"]) - set(baseline["results"])
+        if only_base:
+            print(f"only in baseline: {', '.join(sorted(only_base))}")
+        if only_cand:
+            print(f"only in candidate: {', '.join(sorted(only_cand))}")
+        print(
+            f"  {'benchmark':<40s} {'baseline':>10s}    {'candidate':>10s} "
+            f"{'delta':>8s}"
+        )
+        for row in _delta_table(baseline, candidate, args.threshold):
+            print(row)
+        if regressions:
+            print(f"{len(regressions)} regression(s) in {path}")
+            failed = True
+        else:
+            print("no regressions")
+        print()
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

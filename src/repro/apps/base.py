@@ -18,7 +18,7 @@ paper's black-box assumption.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.apps.slo import SLOTracker
 from repro.apps.workload import Workload
@@ -69,12 +69,17 @@ class DistributedApplication:
     #: How often the performance model advances, seconds.
     STEP_INTERVAL = 1.0
 
+    #: Subclasses whose :meth:`advance` ticks each VM itself (fused
+    #: into their per-node loop) set this to skip the generic pass.
+    _ticks_in_advance = False
+
     def __init__(self, sim: Simulator, workload: Workload, slo: SLOTracker) -> None:
         self._sim = sim
         self.workload = workload
         self.slo = slo
         self._components: Dict[str, AppComponent] = {}
         self._task: Optional[PeriodicTask] = None
+        self._vms_cache: Optional[Tuple[VirtualMachine, ...]] = None
 
     # ------------------------------------------------------------------
     # Components
@@ -83,6 +88,7 @@ class DistributedApplication:
         if component.name in self._components:
             raise ValueError(f"duplicate component {component.name}")
         self._components[component.name] = component
+        self._vms_cache = None
         return component
 
     @property
@@ -115,8 +121,16 @@ class DistributedApplication:
             self._task.stop()
 
     def _step(self, now: float) -> None:
-        for vm in self.vms:
-            vm.tick(self.STEP_INTERVAL)
+        if not self._ticks_in_advance:
+            # The VM set is fixed between add_component calls; cache
+            # the tuple so the per-second step skips rebuilding lists.
+            vms = self._vms_cache
+            if vms is None:
+                vms = self._vms_cache = tuple(
+                    c.vm for c in self._components.values()
+                )
+            for vm in vms:
+                vm.tick(self.STEP_INTERVAL)
         metric, violated = self.advance(now, self.STEP_INTERVAL)
         self.slo.observe(now, metric, violated=violated)
 

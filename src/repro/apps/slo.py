@@ -16,6 +16,8 @@ import bisect
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 __all__ = ["SLORecord", "SLOTracker", "ViolationInterval"]
 
 
@@ -53,6 +55,10 @@ class SLOTracker:
         self._predicate = predicate
         self.records: List[SLORecord] = []
         self._times: List[float] = []
+        # Array views over the (append-only) log for vectorized label
+        # lookups; rebuilt lazily whenever the log has grown.
+        self._times_arr: Optional[np.ndarray] = None
+        self._violated_arr: Optional[np.ndarray] = None
 
     def observe(
         self, timestamp: float, metric: float, violated: Optional[bool] = None
@@ -87,6 +93,31 @@ class SLOTracker:
         if index < 0:
             return False
         return self.records[index].violated
+
+    def _label_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._times_arr is None or self._times_arr.size != len(self._times):
+            self._times_arr = np.asarray(self._times, dtype=float)
+            self._violated_arr = np.fromiter(
+                (r.violated for r in self.records),
+                dtype=bool,
+                count=len(self.records),
+            )
+        return self._times_arr, self._violated_arr
+
+    def violated_at_many(self, timestamps: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`violated_at` over an array of timestamps.
+
+        ``searchsorted(side="right")`` is the array form of the same
+        ``bisect_right`` lookup, so each element matches
+        ``violated_at(t)`` exactly.  This is the labeling hot path: a
+        retrain resolves one label per buffered sample per VM.
+        """
+        times, violated = self._label_arrays()
+        t = np.asarray(timestamps, dtype=float)
+        if times.size == 0:
+            return np.zeros(t.shape, dtype=bool)
+        index = np.searchsorted(times, t, side="right") - 1
+        return np.where(index >= 0, violated[np.maximum(index, 0)], False)
 
     def violation_intervals(
         self, start: Optional[float] = None, end: Optional[float] = None

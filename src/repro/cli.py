@@ -264,6 +264,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="model registry root")
     mdl.add_argument("--json", action="store_true",
                      help="print the snapshot list as JSON")
+
+    prof = sub.add_parser(
+        "profile",
+        help="cProfile one campaign cell and report where time goes",
+    )
+    prof.add_argument("--app", default="fleet50",
+                      help="scenario app (default %(default)s)")
+    prof.add_argument(
+        "--fault", choices=[k.value for k in FaultKind],
+        default="memory_leak",
+    )
+    prof.add_argument(
+        "--scheme", choices=("prepare", "reactive", "none"),
+        default="prepare",
+    )
+    prof.add_argument("--seed", type=int, default=7)
+    prof.add_argument("--duration", type=float, default=3600.0)
+    prof.add_argument("--injections", type=int, default=3,
+                      help="fault injections over the run")
+    prof.add_argument("--top", type=int, default=25,
+                      help="functions shown in the cumulative table")
+    prof.add_argument(
+        "--per-vm-loop", action="store_true",
+        help="profile the reference per-VM controller loop instead of "
+             "the fleet-batched hot path",
+    )
+    prof.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="also dump raw pstats data for snakeviz/pstats",
+    )
     return parser
 
 
@@ -723,6 +753,70 @@ def _cmd_leadtime(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+    from pathlib import Path
+
+    from repro.core.controller import PrepareConfig
+    from repro.experiments import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig(
+        app=args.app,
+        fault=FaultKind(args.fault),
+        scheme=args.scheme,
+        seed=args.seed,
+        duration=args.duration,
+        injection_count=args.injections,
+        controller=PrepareConfig(fleet_batching=not args.per_vm_loop),
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_experiment(config)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    total = sum(row[2] for row in stats.stats.values())
+
+    # Per-module rollup: attribute each function's own time (tottime)
+    # to its source module so the table answers "which subsystem is
+    # hot", not "which tiny helper was called most".
+    src_root = str(Path(__file__).resolve().parent)
+    by_module: dict = {}
+    for (filename, _lineno, _func), row in stats.stats.items():
+        if filename.startswith(src_root):
+            rel = Path(filename).resolve().relative_to(src_root)
+            module = "repro." + ".".join(rel.with_suffix("").parts)
+        elif "numpy" in filename:
+            module = "<numpy>"
+        elif filename.startswith("<") or filename.startswith("~"):
+            module = "<builtins>"
+        else:
+            module = "<stdlib/other>"
+        by_module[module] = by_module.get(module, 0.0) + row[2]
+
+    mode = "per-VM loop" if args.per_vm_loop else "fleet-batched"
+    print(
+        f"profiled {args.app}/{args.fault} seed={args.seed} "
+        f"duration={args.duration:.0f}s ({mode}): {total:.2f}s total"
+    )
+    print(f"\n{'module':<40s} {'tottime':>9s} {'share':>7s}")
+    for module, seconds in sorted(by_module.items(), key=lambda kv: -kv[1]):
+        share = seconds / total * 100.0 if total else 0.0
+        if share < 0.5:
+            continue
+        print(f"{module:<40s} {seconds:9.3f} {share:6.1f}%")
+
+    print(f"\ntop {args.top} by cumulative time:")
+    stats.sort_stats("cumulative")
+    stats.print_stats(args.top)
+
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"wrote pstats data to {args.output}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -737,6 +831,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "replay": _cmd_replay,
         "models": _cmd_models,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

@@ -225,6 +225,7 @@ class NaiveBayesClassifier:
             np.clip(diff, -STRENGTH_CLIP, STRENGTH_CLIP),
             0.0,
         )
+        self._finalize_scoring()
         if self.robust:
             # Selection deliberately uses the *unmasked* ratios, as the
             # per-sample scoring of the original implementation did.
@@ -233,6 +234,15 @@ class NaiveBayesClassifier:
         else:
             self.attribute_mask = np.ones(n_attrs, dtype=bool)
         return self
+
+    def _finalize_scoring(self) -> None:
+        """Cache per-fit scalar-path state (attribute index vector and
+        the class-prior log-difference), keyed to the model version:
+        rebuilt on every fit() / from_dict()."""
+        self._attr_idx = np.arange(self.n_attributes)
+        self._prior_diff = float(
+            self._log_prior[ABNORMAL] - self._log_prior[NORMAL]
+        )
 
     def _require_trained(self) -> None:
         if not self.trained:
@@ -247,14 +257,20 @@ class NaiveBayesClassifier:
         return np.clip(X, 0, self.n_bins - 1)
 
     def log_odds(self, x: Sequence[int]) -> float:
-        """``log P(abnormal | x) - log P(normal | x)`` (up to evidence)."""
+        """``log P(abnormal | x) - log P(normal | x)`` (up to evidence).
+
+        Single-sample fast path (see :meth:`TANClassifier.log_odds`):
+        bitwise-identical to ``log_odds_batch(x[None])[0]``.
+        """
         self._require_trained()
         x = np.asarray(x, dtype=np.intp)
         if x.shape != (self.n_attributes,):
             raise ValueError(
                 f"expected {self.n_attributes} attributes, got shape {x.shape}"
             )
-        return float(self.log_odds_batch(x[None])[0])
+        x = np.clip(x, 0, self.n_bins - 1)
+        raw = self._diff_hard[self._attr_idx, x]
+        return float(np.where(self.attribute_mask, raw, 0.0).sum() + self._prior_diff)
 
     def strengths_batch(self, X: Sequence[Sequence[int]]) -> np.ndarray:
         """Masked strengths for a batch of binned samples.
@@ -264,15 +280,13 @@ class NaiveBayesClassifier:
         """
         self._require_trained()
         X = self._check_batch(np.atleast_2d(np.asarray(X, dtype=np.intp)))
-        raw = self._diff_hard[np.arange(self.n_attributes)[None, :], X]
+        raw = self._diff_hard[self._attr_idx[None, :], X]
         return np.where(self.attribute_mask[None, :], raw, 0.0)
 
     def log_odds_batch(self, X: Sequence[Sequence[int]]) -> np.ndarray:
         """Eq. (1) statistic for a batch of binned samples, shape (m,)."""
         strengths = self.strengths_batch(X)
-        return strengths.sum(axis=1) + (
-            self._log_prior[ABNORMAL] - self._log_prior[NORMAL]
-        )
+        return strengths.sum(axis=1) + self._prior_diff
 
     def strengths_reference(self, x: Sequence[int]) -> List[float]:
         """Pre-vectorization :meth:`attribute_strengths` (reference)."""
@@ -487,5 +501,6 @@ class NaiveBayesClassifier:
         clf._diff_soft = np.where(
             support, np.clip(diff, -STRENGTH_CLIP, STRENGTH_CLIP), 0.0
         )
+        clf._finalize_scoring()
         clf.attribute_mask = mask
         return clf

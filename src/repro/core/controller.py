@@ -46,6 +46,7 @@ from repro.core.actuation import (
 )
 from repro.core.events import EventLog
 from repro.core.filtering import DEFAULT_K, DEFAULT_W, MajorityVoteFilter
+from repro.core.fleet import FleetScorer
 from repro.core.inference import CauseInference, Diagnosis
 from repro.core.labeling import TrainingBuffer
 from repro.core.localization import DeviationLocalizer, violation_epochs
@@ -134,6 +135,13 @@ class PrepareConfig:
     #: horizon.  Off by default: the paper evaluates a single fixed
     #: look-ahead window.
     horizon_sweep: bool = False
+    #: Batch the per-VM predictive / reactive classify stages into one
+    #: :class:`~repro.core.fleet.FleetScorer` call per tick (and stack
+    #: the deviation-fallback windows) instead of running the full
+    #: pipeline once per VM.  Bitwise-identical to the per-VM loop —
+    #: the equivalence tests assert it — so this is purely a hot-path
+    #: switch; False keeps the pre-batching loop (debugging aid).
+    fleet_batching: bool = True
     #: Staleness bound on last-known-good imputation, seconds.  Missing
     #: or NaN-corrupted samples are imputed from the VM's last real
     #: reading to keep the per-VM training buffers aligned, but once a
@@ -247,6 +255,11 @@ class PrepareController:
             name: deque(maxlen=self.config.filter_w) for name in vm_names
         }
         self._reactive_abnormal: Dict[str, bool] = {}
+        #: Lazily built fleet-wide scorer shared by the predictive and
+        #: reactive paths (see :meth:`_fleet_scorer`).
+        self._scorer: Optional[FleetScorer] = None
+        self._scorer_key: Tuple[str, ...] = ()
+        self._scorer_was_stacked = False
         self._last_action_at: Dict[str, float] = {}
         self._suppressed_until: Dict[str, float] = {}
         self._ops_seen = 0
@@ -365,11 +378,20 @@ class PrepareController:
         ts = batch[0].timestamp if batch else now
         out: List[MetricSample] = []
         seen = set()
+        buffers = self.buffers
+        last_values = self._last_values
         for sample in batch:
-            if sample.vm in self.buffers:
-                seen.add(sample.vm)
-                if any(not math.isfinite(v) for v in sample.values.values()):
-                    last = self._last_values.get(sample.vm, {})
+            vm = sample.vm
+            if vm in buffers:
+                seen.add(vm)
+                # A C-level sum is non-finite iff any addend is (NaN
+                # propagates; +/-inf cannot cancel to a finite value and
+                # the bounded metric ranges cannot overflow), so one
+                # isfinite on the sum replaces a per-attribute scan.
+                if math.isfinite(sum(sample.values.values())):
+                    self._last_real[vm] = sample.timestamp
+                else:
+                    last = last_values.get(vm, {})
                     fixed = {
                         name: value if math.isfinite(value)
                         else last.get(name, 0.0)
@@ -379,11 +401,12 @@ class PrepareController:
                         sample, values=fixed, imputed=True
                     )
                     self.resilience_stats["imputed_samples"] += 1
-                    self._m_imputed.inc(vm=sample.vm)
-                else:
-                    self._last_real[sample.vm] = sample.timestamp
-                self._last_values[sample.vm] = dict(sample.values)
-                self._last_alloc[sample.vm] = (
+                    self._m_imputed.inc(vm=vm)
+                # Sample value dicts are never mutated after delivery,
+                # so last-known-good can alias them instead of copying
+                # 13 entries per VM per tick.
+                last_values[vm] = sample.values
+                self._last_alloc[vm] = (
                     sample.cpu_allocated, sample.mem_allocated_mb
                 )
             out.append(sample)
@@ -533,37 +556,95 @@ class PrepareController:
     # ------------------------------------------------------------------
     # Predictive path
     # ------------------------------------------------------------------
+    def _fleet_scorer(self, trained_names: List[str]) -> FleetScorer:
+        """Shared :class:`FleetScorer` over the trained predictors.
+
+        Between retrains every tick reuses the same stacked operators
+        and horizon cache.  After a retrain the scorer first attempts
+        an incremental :meth:`FleetScorer.refresh` (re-stacking only
+        the refit VMs' tensor rows); a full rebuild happens only when
+        the trained membership changed or the repair was impossible.
+        """
+        key = tuple(trained_names)
+        scorer = self._scorer
+        if scorer is not None and key == self._scorer_key:
+            if scorer.stacked or not self._scorer_was_stacked:
+                return scorer
+            if scorer.refresh():
+                return scorer
+        scorer = FleetScorer(
+            {name: self.predictors[name] for name in trained_names}
+        )
+        self._scorer = scorer
+        self._scorer_key = key
+        self._scorer_was_stacked = scorer.stacked
+        return scorer
+
     def _predictive_path(self, now: float) -> None:
         confirmed: List[Tuple[str, PredictionResult]] = []
-        for name, predictor in self.predictors.items():
-            if not predictor.trained:
-                continue
-            if self._blacked_out(name, now):
-                # The VM's recent history is pure imputation: a forecast
-                # from frozen inputs is noise.  Skip this VM (the rest
-                # of the cluster keeps predicting) until real samples
-                # resume.
-                self.resilience_stats["blackout_skips"] += 1
-                self._m_blackout_skips.inc(vm=name)
-                continue
-            buffer = self.buffers[name]
-            history = buffer.recent_values(predictor.history_needed)
-            if history.shape[0] < predictor.history_needed:
-                continue
-            if self.config.horizon_sweep:
-                horizons = predictor.predict_horizons(
-                    history, steps=self.lookahead_steps
+        batched = self.config.fleet_batching and not self.config.horizon_sweep
+        eligible: List[Tuple[str, np.ndarray]] = []
+        trained_names: List[str] = []
+        results: List[PredictionResult] = []
+        if batched:
+            # Gather pass: same per-VM skip bookkeeping, in the same
+            # order, as the per-VM loop below — then one fleet call.
+            for name, predictor in self.predictors.items():
+                if not predictor.trained:
+                    continue
+                trained_names.append(name)
+                if self._blacked_out(name, now):
+                    self.resilience_stats["blackout_skips"] += 1
+                    self._m_blackout_skips.inc(vm=name)
+                    continue
+                history = self.buffers[name].recent_values(
+                    predictor.history_needed
                 )
-                # Earliest horizon that clears the alert margin wins;
-                # otherwise keep the final-horizon result (identical to
-                # the single-horizon path).
-                result = next(
-                    (r for r in horizons
-                     if r.score > self.config.alert_threshold),
-                    horizons[-1],
-                )
-            else:
-                result = predictor.predict(history, steps=self.lookahead_steps)
+                if history.shape[0] < predictor.history_needed:
+                    continue
+                eligible.append((name, history))
+            if not eligible:
+                return
+            steps = self.lookahead_steps
+            scorer = self._fleet_scorer(trained_names)
+            results = scorer.score(
+                [(name, history, steps) for name, history in eligible]
+            )
+        else:
+            for name, predictor in self.predictors.items():
+                if not predictor.trained:
+                    continue
+                if self._blacked_out(name, now):
+                    # The VM's recent history is pure imputation: a
+                    # forecast from frozen inputs is noise.  Skip this
+                    # VM (the rest of the cluster keeps predicting)
+                    # until real samples resume.
+                    self.resilience_stats["blackout_skips"] += 1
+                    self._m_blackout_skips.inc(vm=name)
+                    continue
+                buffer = self.buffers[name]
+                history = buffer.recent_values(predictor.history_needed)
+                if history.shape[0] < predictor.history_needed:
+                    continue
+                if self.config.horizon_sweep:
+                    horizons = predictor.predict_horizons(
+                        history, steps=self.lookahead_steps
+                    )
+                    # Earliest horizon that clears the alert margin
+                    # wins; otherwise keep the final-horizon result
+                    # (identical to the single-horizon path).
+                    result = next(
+                        (r for r in horizons
+                         if r.score > self.config.alert_threshold),
+                        horizons[-1],
+                    )
+                else:
+                    result = predictor.predict(
+                        history, steps=self.lookahead_steps
+                    )
+                eligible.append((name, history))
+                results.append(result)
+        for (name, _history), result in zip(eligible, results):
             self._latest_results[name] = result
             self._note_strengths(name, result)
             if self._suppressed(name, now):
@@ -592,14 +673,32 @@ class PrepareController:
             with self.obs.span(STAGE_RETRAIN):
                 self._retrain()
         results: Dict[str, PredictionResult] = {}
-        for name, predictor in self.predictors.items():
-            if not predictor.trained:
-                continue
-            buffer = self.buffers[name]
-            current = buffer.recent_values(1)
-            if current.shape[0] == 0:
-                continue
-            results[name] = predictor.classify_current(current[0])
+        if self.config.fleet_batching:
+            batch: List[Tuple[str, np.ndarray]] = []
+            trained_names: List[str] = []
+            for name, predictor in self.predictors.items():
+                if not predictor.trained:
+                    continue
+                trained_names.append(name)
+                current = self.buffers[name].recent_values(1)
+                if current.shape[0] == 0:
+                    continue
+                batch.append((name, current[0]))
+            if batch:
+                scorer = self._fleet_scorer(trained_names)
+                for (name, _values), result in zip(
+                    batch, scorer.classify_batch(batch)
+                ):
+                    results[name] = result
+        else:
+            for name, predictor in self.predictors.items():
+                if not predictor.trained:
+                    continue
+                buffer = self.buffers[name]
+                current = buffer.recent_values(1)
+                if current.shape[0] == 0:
+                    continue
+                results[name] = predictor.classify_current(current[0])
         for name, result in results.items():
             self._reactive_abnormal[name] = result.abnormal
             self._latest_results[name] = result
@@ -628,21 +727,51 @@ class PrepareController:
         epoch_len, gap, ref_len = 4, 4, 12
         needed = epoch_len + gap + ref_len
         scores: Dict[str, Tuple[float, np.ndarray]] = {}
-        for name, buffer in self.buffers.items():
-            values = buffer.recent_values(needed)
-            if values.shape[0] < needed:
-                # A VM that joined late (or lost samples) cannot be
-                # diagnosed yet — but it must not disable the fallback
-                # for the whole cluster: skip it, diagnose the rest.
-                continue
-            reference = values[:ref_len]
-            epoch = values[-epoch_len:]
-            scale = np.maximum(
-                np.maximum(reference.std(axis=0), epoch.std(axis=0)),
-                1e-3 * np.maximum(np.abs(reference.mean(axis=0)), 1.0),
-            )
-            z = np.abs(epoch.mean(axis=0) - reference.mean(axis=0)) / scale
-            scores[name] = (float(z.max()), z)
+        if self.config.fleet_batching:
+            names: List[str] = []
+            windows: List[np.ndarray] = []
+            for name, buffer in self.buffers.items():
+                values = buffer.recent_values(needed)
+                if values.shape[0] < needed:
+                    # A VM that joined late (or lost samples) cannot be
+                    # diagnosed yet — but it must not disable the
+                    # fallback for the whole cluster: skip it, diagnose
+                    # the rest.
+                    continue
+                names.append(name)
+                windows.append(values)
+            if names:
+                # One stacked (n_vms, window, attrs) reduction; each
+                # per-VM reduction keeps its own axis, so every z row
+                # matches the per-VM computation below bitwise.
+                stacked = np.stack(windows)
+                reference = stacked[:, :ref_len, :]
+                epoch = stacked[:, -epoch_len:, :]
+                scale = np.maximum(
+                    np.maximum(reference.std(axis=1), epoch.std(axis=1)),
+                    1e-3 * np.maximum(np.abs(reference.mean(axis=1)), 1.0),
+                )
+                zs = np.abs(epoch.mean(axis=1) - reference.mean(axis=1)) / scale
+                for i, name in enumerate(names):
+                    z = zs[i]
+                    scores[name] = (float(z.max()), z)
+        else:
+            for name, buffer in self.buffers.items():
+                values = buffer.recent_values(needed)
+                if values.shape[0] < needed:
+                    # A VM that joined late (or lost samples) cannot be
+                    # diagnosed yet — but it must not disable the
+                    # fallback for the whole cluster: skip it, diagnose
+                    # the rest.
+                    continue
+                reference = values[:ref_len]
+                epoch = values[-epoch_len:]
+                scale = np.maximum(
+                    np.maximum(reference.std(axis=0), epoch.std(axis=0)),
+                    1e-3 * np.maximum(np.abs(reference.mean(axis=0)), 1.0),
+                )
+                z = np.abs(epoch.mean(axis=0) - reference.mean(axis=0)) / scale
+                scores[name] = (float(z.max()), z)
         if not scores:
             return {}
         top = max(score for score, _z in scores.values())

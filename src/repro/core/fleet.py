@@ -1,0 +1,547 @@
+"""Fleet-wide batched scoring: one stacked operator for many VMs.
+
+This is the shared engine behind both consumers of fleet batching:
+
+* the **online serving layer** (:mod:`repro.serve.service`), whose
+  micro-batching dispatcher coalesces samples from many connections
+  into one :class:`FleetScorer` call, and
+* the **offline controller** (:mod:`repro.core.controller`), whose
+  predictive and reactive paths score every monitored VM each tick and
+  batch those per-VM pipeline calls into a single fleet contraction.
+
+:class:`FleetScorer` concatenates every VM's per-attribute Markov
+chains into a single :class:`~repro.core.predictor.
+BatchedAttributeChains` (``total_attrs = Σ n_attrs``) and — when every
+VM carries a TAN classifier — also stacks the discretizer edges and
+classifier tensors, precomputing a k-step *horizon operator* per
+look-ahead so a mixed-VM batch is scored with a handful of fleet-wide
+gathers and einsums instead of one full pipeline pass per sample.
+
+Every tier is bitwise-identical to the per-VM code path
+(:meth:`AnomalyPredictor.predict` / :meth:`AnomalyPredictor.
+classify_current`): the stacked einsum reductions are independent
+along the attribute axis, and per-VM reductions keep their shapes.
+The scorer falls back tier by tier — stacked chains with per-VM
+classification, then fully sequential — whenever stacking is
+impossible (mixed chain variants, naive classifiers) or any model was
+refit since stacking.  ``serve_check.py``, the replay harness and the
+controller equivalence tests assert the parity end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bayes import ABNORMAL as TAN_ABNORMAL, NORMAL as TAN_NORMAL
+from repro.core.markov import expected_bins
+from repro.core.predictor import (
+    AnomalyPredictor,
+    BatchedAttributeChains,
+    PredictionResult,
+)
+from repro.core.tan import TANClassifier
+
+__all__ = ["FleetScorer"]
+
+
+@dataclass
+class _FastTensors:
+    """Fleet-stacked scoring state for the TAN fast path.
+
+    Everything an arriving batch needs, concatenated along one global
+    attribute axis (``A = Σ per-VM attrs``): discretizer edges for the
+    batched transform, the per-attribute TAN difference tensors and
+    tree metadata for stacked classification, and the identity of the
+    source arrays so a refit anywhere invalidates the stack.
+    """
+
+    edges: np.ndarray        # (A, n_bins - 1)
+    diff_soft: np.ndarray    # (A, b, b) clipped Eq. (2) tensors
+    diff_hard: np.ndarray    # (A, b, b) unclipped variant
+    root_row: np.ndarray     # (A, b) root rows of diff_soft
+    rel_parent: np.ndarray   # (A,) parent index *within* the VM
+    is_root: np.ndarray      # (A,) bool
+    mask: np.ndarray         # (A,) attribute-selection mask
+    prior_diff: Dict[str, float]          # vm -> log-prior difference
+    clf_refs: List[Tuple[object, object]]  # (classifier, _diff_soft)
+    disc_refs: List[Tuple[object, object]]  # (discretizer, _bins)
+
+    def current(self) -> bool:
+        """True while no source classifier/discretizer was refit."""
+        return all(
+            clf._diff_soft is ref for clf, ref in self.clf_refs
+        ) and all(disc._bins is ref for disc, ref in self.disc_refs)
+
+
+class FleetScorer:
+    """Scores samples from many VMs through one stacked fleet operator.
+
+    See the module docstring for the tiering and parity guarantees.
+    """
+
+    def __init__(self, predictors: Dict[str, AnomalyPredictor]) -> None:
+        if not predictors:
+            raise ValueError("need at least one predictor")
+        for vm, predictor in predictors.items():
+            if not predictor.trained:
+                raise ValueError(f"predictor for VM {vm!r} is not trained")
+        self.predictors = dict(predictors)
+        self._slices: Dict[str, np.ndarray] = {}
+        chains = []
+        offset = 0
+        for vm in sorted(self.predictors):
+            models = self.predictors[vm].value_models
+            self._slices[vm] = np.arange(offset, offset + len(models))
+            chains.extend(models)
+            offset += len(models)
+        try:
+            self._stacked: Optional[BatchedAttributeChains] = (
+                BatchedAttributeChains(chains)
+            )
+        except ValueError:
+            self._stacked = None
+        # fresh() only catches in-place chain updates; a retrain swaps
+        # in brand-new model objects, so identity must be tracked too.
+        self._chain_refs = [
+            (self.predictors[vm], tuple(self.predictors[vm].value_models))
+            for vm in sorted(self.predictors)
+        ]
+        self._fast = self._build_fast() if self._stacked is not None else None
+        #: steps -> (A, [p0,] c0, x) final-horizon transition operator
+        self._horizon_cache: Dict[int, np.ndarray] = {}
+
+    @property
+    def n_vms(self) -> int:
+        return len(self.predictors)
+
+    @property
+    def n_states(self) -> int:
+        if self._stacked is None:
+            raise RuntimeError("fleet is not stacked")
+        return self._stacked.n_states
+
+    @property
+    def stacked(self) -> bool:
+        """True while the fleet-wide chain operator is usable."""
+        return (
+            self._stacked is not None
+            and self._stacked.fresh()
+            and all(
+                len(predictor.value_models) == len(ref)
+                and all(a is b for a, b in zip(predictor.value_models, ref))
+                for predictor, ref in self._chain_refs
+            )
+        )
+
+    def _build_fast(self) -> Optional[_FastTensors]:
+        order = sorted(self.predictors)
+        classifiers = [self.predictors[vm].classifier for vm in order]
+        if not all(isinstance(clf, TANClassifier) for clf in classifiers):
+            return None
+        discretizers = [self.predictors[vm].discretizer for vm in order]
+        diff_soft = np.concatenate([clf._diff_soft for clf in classifiers])
+        return _FastTensors(
+            edges=np.stack([
+                bins.edges
+                for disc in discretizers for bins in disc._bins
+            ]),
+            diff_soft=diff_soft,
+            diff_hard=np.concatenate(
+                [clf._diff_hard for clf in classifiers]
+            ),
+            root_row=np.ascontiguousarray(diff_soft[:, 0, :]),
+            rel_parent=np.concatenate(
+                [clf._parent_or_self for clf in classifiers]
+            ),
+            is_root=np.concatenate(
+                [clf.parents < 0 for clf in classifiers]
+            ),
+            mask=np.concatenate(
+                [clf.attribute_mask for clf in classifiers]
+            ),
+            prior_diff={
+                vm: float(clf._log_prior[TAN_ABNORMAL]
+                          - clf._log_prior[TAN_NORMAL])
+                for vm, clf in zip(order, classifiers)
+            },
+            clf_refs=[(clf, clf._diff_soft) for clf in classifiers],
+            disc_refs=[(disc, disc._bins) for disc in discretizers],
+        )
+
+    def refresh(self) -> bool:
+        """Incrementally re-stack VMs whose models were refit in place.
+
+        The online controller retrains a handful of VMs every few
+        ticks; rebuilding the whole fleet stack (and its horizon
+        operators) each time would cost more than the batching saves.
+        This repairs only the stale VMs' tensor rows — chains, fast-
+        tier classifier slices and any cached horizon operators — and
+        returns ``True`` when the scorer is fully current afterwards.
+        ``False`` means incremental repair is impossible (membership,
+        shape or variant changed, or the fleet was never stacked) and
+        the caller should build a fresh scorer.
+        """
+        if self._stacked is None:
+            return False
+        order = sorted(self.predictors)
+        stale: List[int] = []
+        for i, vm in enumerate(order):
+            predictor = self.predictors[vm]
+            _, chain_ref = self._chain_refs[i]
+            chains_current = (
+                len(predictor.value_models) == len(chain_ref)
+                and all(
+                    a is b for a, b in zip(predictor.value_models, chain_ref)
+                )
+            )
+            fast_current = self._fast is None or (
+                self._fast.clf_refs[i][0] is predictor.classifier
+                and self._fast.clf_refs[i][0]._diff_soft
+                is self._fast.clf_refs[i][1]
+                and self._fast.disc_refs[i][0] is predictor.discretizer
+                and self._fast.disc_refs[i][0]._bins
+                is self._fast.disc_refs[i][1]
+            )
+            if chains_current and fast_current:
+                continue
+            if not predictor.trained:
+                return False
+            sl = self._slices[vm]
+            if len(predictor.value_models) != sl.shape[0]:
+                return False
+            stale.append(i)
+        for i in stale:
+            vm = order[i]
+            predictor = self.predictors[vm]
+            sl = self._slices[vm]
+            start, stop = int(sl[0]), int(sl[-1]) + 1
+            try:
+                self._stacked.restack(start, predictor.value_models)
+            except ValueError:
+                return False
+            self._chain_refs[i] = (predictor, tuple(predictor.value_models))
+            if self._fast is not None and not self._refresh_fast(
+                i, vm, predictor, start, stop
+            ):
+                return False
+            for steps, operator in self._horizon_cache.items():
+                operator[start:stop] = self._horizon_for(
+                    self._stacked._tensor[start:stop], steps
+                )
+        return True
+
+    def _refresh_fast(
+        self,
+        i: int,
+        vm: str,
+        predictor: AnomalyPredictor,
+        start: int,
+        stop: int,
+    ) -> bool:
+        """Repair one VM's rows of the fast-tier tensors in place."""
+        fast = self._fast
+        clf = predictor.classifier
+        if not isinstance(clf, TANClassifier):
+            return False
+        disc = predictor.discretizer
+        edges = np.stack([bins.edges for bins in disc._bins])
+        if (
+            edges.shape != fast.edges[start:stop].shape
+            or clf._diff_soft.shape != fast.diff_soft[start:stop].shape
+        ):
+            return False
+        fast.edges[start:stop] = edges
+        fast.diff_soft[start:stop] = clf._diff_soft
+        fast.diff_hard[start:stop] = clf._diff_hard
+        fast.root_row[start:stop] = clf._diff_soft[:, 0, :]
+        fast.rel_parent[start:stop] = clf._parent_or_self
+        fast.is_root[start:stop] = clf.parents < 0
+        fast.mask[start:stop] = clf.attribute_mask
+        fast.prior_diff[vm] = float(
+            clf._log_prior[TAN_ABNORMAL] - clf._log_prior[TAN_NORMAL]
+        )
+        fast.clf_refs[i] = (clf, clf._diff_soft)
+        fast.disc_refs[i] = (disc, disc._bins)
+        return True
+
+    def _horizon_operator(self, steps: int) -> np.ndarray:
+        """Final-horizon transition operator for every stacked chain.
+
+        For 2-dependent chains, ``F[a, p0, c0, x]`` is the probability
+        of state ``x`` exactly ``steps`` ticks after observing the
+        combined state ``(p0, c0)`` — i.e. the whole iterated
+        propagation folded into one gather table.  Built by running
+        the *same* einsum recurrence :meth:`BatchedAttributeChains.
+        predict_all` runs, once per start state, so the gathered row
+        is bitwise-identical to propagating live.
+        """
+        cached = self._horizon_cache.get(steps)
+        if cached is not None:
+            return cached
+        operator = self._horizon_for(self._stacked._tensor, steps)
+        self._horizon_cache[steps] = operator
+        return operator
+
+    def _horizon_for(self, tensor: np.ndarray, steps: int) -> np.ndarray:
+        """The horizon recurrence over any contiguous tensor slice.
+
+        The einsum reductions are independent along the attribute
+        axis, so running the recurrence over a slice yields the same
+        rows as running it fleet-wide — which is what lets
+        :meth:`refresh` repair one retrained VM's rows of a cached
+        operator without touching the rest.
+        """
+        a, n = tensor.shape[0], self._stacked.n_states
+        idx = np.arange(n)
+        if self._stacked.two_dependent:
+            # G[a, p0, c0, c, x]: the live path's dense combined-state
+            # matrix after each step, for every (p0, c0) start.
+            combined = np.zeros((a, n, n, n, n))
+            combined[:, :, idx, idx, :] = tensor
+            for _ in range(steps - 1):
+                combined = np.einsum(
+                    "aspc,apcx->ascx",
+                    combined.reshape(a, n * n, n, n),
+                    tensor,
+                ).reshape(a, n, n, n, n)
+            operator = combined.sum(axis=3)
+        else:
+            dist = tensor.copy()
+            for _ in range(steps - 1):
+                dist = np.einsum("asc,acx->asx", dist, tensor)
+            operator = dist
+        return operator
+
+    def score(
+        self, batch: Sequence[Tuple[str, np.ndarray, int]]
+    ) -> List[PredictionResult]:
+        """Score ``(vm, recent_values, steps)`` items, preserving order.
+
+        Each result is bitwise-identical to
+        ``predictors[vm].predict(recent, steps)``.
+        """
+        if not self.stacked or not all(
+            self.predictors[vm].vectorized for vm, _, _ in batch
+        ):
+            return [
+                self.predictors[vm].predict(recent, steps)
+                for vm, recent, steps in batch
+            ]
+        results: List[Optional[PredictionResult]] = [None] * len(batch)
+        by_steps: Dict[int, List[int]] = {}
+        for i, (_, _, steps) in enumerate(batch):
+            by_steps.setdefault(steps, []).append(i)
+        fast = self._fast if (
+            self._fast is not None and self._fast.current()
+        ) else None
+        for steps, positions in by_steps.items():
+            if steps < 1:
+                raise ValueError(f"steps must be >= 1, got {steps}")
+            if fast is not None:
+                self._score_fast(batch, positions, steps, results)
+            else:
+                self._score_stacked(batch, positions, steps, results)
+        return results  # type: ignore[return-value]
+
+    def classify_batch(
+        self, batch: Sequence[Tuple[str, np.ndarray]]
+    ) -> List[PredictionResult]:
+        """Classify ``(vm, observed_values)`` items, preserving order.
+
+        The observed-state (``steps=0``) companion of :meth:`score`,
+        used by the controller's reactive path.  Each result is
+        bitwise-identical to
+        ``predictors[vm].classify_current(values)``: the batched
+        transform counts ``edges <= value`` exactly like
+        ``searchsorted(side="right")``, and the per-VM strength sums
+        reduce the same contiguous 13-element rows the scalar
+        ``log_odds`` path reduces.
+        """
+        fast = self._fast if (
+            self._fast is not None and self._fast.current()
+        ) else None
+        if fast is None:
+            return [
+                self.predictors[vm].classify_current(values)
+                for vm, values in batch
+            ]
+        values = []
+        attr_idx = []
+        bounds = [0]
+        for vm, observed in batch:
+            observed = np.asarray(observed, dtype=float)
+            sl = self._slices[vm]
+            if observed.shape != (sl.shape[0],):
+                raise ValueError(
+                    f"expected {sl.shape[0]} observed values for "
+                    f"{vm!r}, got {observed.shape}"
+                )
+            values.append(observed)
+            attr_idx.append(sl)
+            bounds.append(bounds[-1] + sl.shape[0])
+        flat = np.concatenate(values)
+        sel = np.concatenate(attr_idx)
+        bounds = np.asarray(bounds, dtype=np.intp)
+        bins = (fast.edges[sel] <= flat[:, None]).sum(axis=1)
+        parent_local = fast.rel_parent[sel] + np.repeat(
+            bounds[:-1], np.diff(bounds)
+        )
+        raw = fast.diff_hard[sel][
+            np.arange(sel.shape[0]), bins[parent_local], bins
+        ]
+        strengths_all = np.where(fast.mask[sel], raw, 0.0)
+        results: List[PredictionResult] = []
+        for j, (vm, _) in enumerate(batch):
+            lo, hi = bounds[j], bounds[j + 1]
+            strengths = strengths_all[lo:hi]
+            score = float(strengths.sum() + fast.prior_diff[vm])
+            results.append(PredictionResult(
+                abnormal=score > 0.0,
+                probability=float(1.0 / (1.0 + np.exp(-score))),
+                score=score,
+                bins=tuple(int(b) for b in bins[lo:hi]),
+                strengths=tuple(float(v) for v in strengths),
+                attributes=self.predictors[vm].attributes,
+                steps=0,
+            ))
+        return results
+
+    def _gather_group(
+        self,
+        batch: Sequence[Tuple[str, np.ndarray, int]],
+        positions: List[int],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated (histories, global attr indices, item bounds)
+        for one same-steps group of the batch."""
+        need = self._stacked.history_needed
+        values = []
+        attr_idx = []
+        bounds = [0]
+        for i in positions:
+            vm, recent, _ = batch[i]
+            recent = np.asarray(recent, dtype=float)
+            sl = self._slices[vm]
+            if recent.ndim != 2 or recent.shape[1] != sl.shape[0]:
+                raise ValueError(
+                    f"expected (n, {sl.shape[0]}) recent values for "
+                    f"{vm!r}, got {recent.shape}"
+                )
+            if recent.shape[0] < need:
+                raise ValueError(
+                    f"need {need} recent samples for {vm!r}, "
+                    f"got {recent.shape[0]}"
+                )
+            values.append(recent[-need:])
+            attr_idx.append(sl)
+            bounds.append(bounds[-1] + sl.shape[0])
+        return (
+            np.concatenate(values, axis=1),
+            np.concatenate(attr_idx),
+            np.asarray(bounds, dtype=np.intp),
+        )
+
+    def _score_fast(
+        self,
+        batch: Sequence[Tuple[str, np.ndarray, int]],
+        positions: List[int],
+        steps: int,
+        results: List[Optional[PredictionResult]],
+    ) -> None:
+        """TAN fast tier: one batched transform, one horizon-operator
+        gather, and two fleet-wide classifier einsums per group."""
+        fast = self._fast
+        values, sel, bounds = self._gather_group(batch, positions)
+        # searchsorted(side="right") == count of edges <= value.
+        bins = (fast.edges[sel][None, :, :] <= values[:, :, None]).sum(axis=2)
+        operator = self._horizon_operator(steps)
+        if self._stacked.two_dependent:
+            final = operator[sel, bins[-2], bins[-1]]
+        else:
+            final = operator[sel, bins[-1]]
+        rel_parent = fast.rel_parent[sel]
+        parent_local = rel_parent + np.repeat(
+            bounds[:-1], np.diff(bounds)
+        )
+        is_root = fast.is_root[sel]
+        mask = fast.mask[sel]
+        roots = np.flatnonzero(is_root)
+        children = np.flatnonzero(~is_root)
+        strengths_all = np.zeros(sel.shape[0])
+        if roots.size:
+            strengths_all[roots] = np.einsum(
+                "ac,ac->a", final[roots], fast.root_row[sel][roots]
+            )
+        if children.size:
+            strengths_all[children] = np.einsum(
+                "ap,apc,ac->a",
+                final[parent_local[children]],
+                fast.diff_soft[sel][children],
+                final[children],
+            )
+        strengths_all = np.where(mask, strengths_all, 0.0)
+        diff_hard = fast.diff_hard[sel]
+        for j, i in enumerate(positions):
+            vm = batch[i][0]
+            predictor = self.predictors[vm]
+            lo, hi = bounds[j], bounds[j + 1]
+            dists = final[lo:hi]
+            predicted = expected_bins(dists)
+            if predictor.prediction_mode == "hard":
+                clipped = np.clip(predicted, 0, predictor.n_bins - 1)
+                raw = diff_hard[lo:hi][
+                    np.arange(hi - lo), clipped[rel_parent[lo:hi]], clipped
+                ]
+                strengths = np.where(mask[lo:hi], raw, 0.0)
+            else:
+                strengths = strengths_all[lo:hi]
+            score = float(strengths.sum() + fast.prior_diff[vm])
+            results[i] = PredictionResult(
+                abnormal=score > 0.0,
+                probability=float(1.0 / (1.0 + np.exp(-score))),
+                score=score,
+                bins=tuple(int(b) for b in predicted),
+                strengths=tuple(float(v) for v in strengths),
+                attributes=predictor.attributes,
+                steps=steps,
+            )
+
+    def _score_stacked(
+        self,
+        batch: Sequence[Tuple[str, np.ndarray, int]],
+        positions: List[int],
+        steps: int,
+        results: List[Optional[PredictionResult]],
+    ) -> None:
+        """Middle tier: stacked chain propagation, per-VM transform
+        and classification (used when classifiers cannot be stacked)."""
+        histories = []
+        attr_idx = []
+        bounds = [0]
+        for i in positions:
+            vm, recent, _ = batch[i]
+            predictor = self.predictors[vm]
+            binned = predictor.discretizer.transform(
+                np.asarray(recent, dtype=float)
+            )
+            histories.append(binned[-self._stacked.history_needed:])
+            attr_idx.append(self._slices[vm])
+            bounds.append(bounds[-1] + len(self._slices[vm]))
+        final = self._stacked.predict_subset(
+            np.concatenate(histories, axis=1),
+            np.concatenate(attr_idx),
+            steps,
+        )[-1]
+        for j, i in enumerate(positions):
+            vm = batch[i][0]
+            predictor = self.predictors[vm]
+            dists = final[bounds[j]:bounds[j + 1]]
+            bins = tuple(int(b) for b in expected_bins(dists))
+            if predictor.prediction_mode == "hard":
+                results[i] = predictor._classify(bins, steps=steps)
+            else:
+                results[i] = predictor._classify_soft(
+                    list(dists), bins, steps
+                )

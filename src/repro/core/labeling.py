@@ -5,11 +5,24 @@ timestamps of system-level metric measurements and SLO violation
 logs."  :class:`TrainingBuffer` accumulates one VM's metric samples and
 pairs each with the application's SLO state at the sample's timestamp,
 yielding the labelled matrices the supervised models train on.
+
+Samples are immutable once appended, so the buffer keeps per-sample
+derived state (value vector, timestamp, allocations, imputed flag) in
+contiguous numpy arrays filled at append time.  A retrain then reads
+its matrices as array *views* instead of re-walking every sample's
+value dict and re-stacking 2000 rows — at campaign scale that rebuild
+(50 VMs x 2000 samples x 13 attributes, every retrain round) used to
+dominate the whole run.  The storage is a grow-and-compact window:
+rows append at the tail, the window start slides forward on eviction,
+and when the tail hits physical capacity the live window is copied
+back to the front (amortized O(1) per append).  Views handed out are
+consumed synchronously within a controller tick, before any later
+append can compact the storage under them.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -37,7 +50,7 @@ def label_samples(
         )
     X = np.stack([s.vector(attributes) for s in samples])
     t = np.array([s.timestamp for s in samples])
-    y = np.array([int(slo.violated_at(ts)) for ts in t], dtype=np.intp)
+    y = slo.violated_at_many(t).astype(np.intp)
     return X, y, t
 
 
@@ -62,32 +75,79 @@ class TrainingBuffer:
         self._slo = slo
         self.attributes = tuple(attributes)
         self.max_samples = max_samples
-        self._samples: List[MetricSample] = []
+        # Contiguous storage, twice the window so eviction is a pointer
+        # bump and compaction (copying the live window to the front)
+        # amortizes to O(1) per append.
+        capacity = 2 * max_samples
+        n_attrs = len(self.attributes)
+        self._values_buf = np.empty((capacity, n_attrs))
+        self._times_buf = np.empty(capacity)
+        self._cpu_buf = np.empty(capacity)
+        self._mem_buf = np.empty(capacity)
+        self._imputed_buf = np.empty(capacity, dtype=bool)
+        self._start = 0
+        self._end = 0
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return self._end - self._start
 
     def append(self, sample: MetricSample) -> None:
-        self._samples.append(sample)
-        if len(self._samples) > self.max_samples:
-            del self._samples[: len(self._samples) - self.max_samples]
+        if self._end == self._values_buf.shape[0]:
+            self._compact()
+        i = self._end
+        self._values_buf[i] = sample.vector(self.attributes)
+        self._times_buf[i] = sample.timestamp
+        self._cpu_buf[i] = sample.cpu_allocated
+        self._mem_buf[i] = sample.mem_allocated_mb
+        self._imputed_buf[i] = sample.imputed
+        self._end = i + 1
+        if self._end - self._start > self.max_samples:
+            self._start = self._end - self.max_samples
+
+    def _compact(self) -> None:
+        """Copy the live window back to the front of the storage.
+
+        Only triggered with the tail at physical capacity, where the
+        window (at most ``max_samples`` rows of a ``2 * max_samples``
+        buffer) cannot overlap its destination.
+        """
+        n = self._end - self._start
+        sl = slice(self._start, self._end)
+        self._values_buf[:n] = self._values_buf[sl]
+        self._times_buf[:n] = self._times_buf[sl]
+        self._cpu_buf[:n] = self._cpu_buf[sl]
+        self._mem_buf[:n] = self._mem_buf[sl]
+        self._imputed_buf[:n] = self._imputed_buf[sl]
+        self._start = 0
+        self._end = n
 
     def recent_values(self, count: int) -> np.ndarray:
-        """Value matrix of the most recent ``count`` samples."""
-        recent = self._samples[-count:]
-        if not recent:
-            return np.empty((0, len(self.attributes)))
-        return np.stack([s.vector(self.attributes) for s in recent])
+        """Value matrix of the most recent ``count`` samples (a view)."""
+        if count > 0:
+            lo = max(self._start, self._end - count)
+        else:
+            # Mirror list[-count:] semantics for the degenerate cases
+            # (0 selects the whole window).
+            lo = min(self._end, self._start - count)
+        return self._values_buf[lo:self._end]
 
     def matrices(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Labelled ``(X, y, t)`` for everything currently buffered."""
-        return label_samples(self._samples, self._slo, self.attributes)
+        if self._end == self._start:
+            return (
+                np.empty((0, len(self.attributes))),
+                np.empty(0, dtype=np.intp),
+                np.empty(0),
+            )
+        X = self._values_buf[self._start:self._end]
+        t = self._times_buf[self._start:self._end]
+        y = self._slo.violated_at_many(t).astype(np.intp)
+        return X, y, t
 
     def allocations(self) -> Tuple[np.ndarray, np.ndarray]:
         """Per-sample (CPU cores, memory MB) allocations at sample time."""
-        cpu = np.array([s.cpu_allocated for s in self._samples])
-        mem = np.array([s.mem_allocated_mb for s in self._samples])
-        return cpu, mem
+        sl = slice(self._start, self._end)
+        return self._cpu_buf[sl], self._mem_buf[sl]
 
     def regime_mask(
         self, cpu_allocated: float, mem_allocated_mb: float,
@@ -102,26 +162,24 @@ class TrainingBuffer:
         produces chronic false alarms once the allocation returns to
         baseline.
         """
-        mask = np.empty(len(self._samples), dtype=bool)
-        for i, sample in enumerate(self._samples):
-            cpu_ok = abs(sample.cpu_allocated - cpu_allocated) <= rel_tol * max(
-                cpu_allocated, 1e-9
-            )
-            mem_ok = abs(sample.mem_allocated_mb - mem_allocated_mb) <= rel_tol * max(
-                mem_allocated_mb, 1e-9
-            )
-            mask[i] = cpu_ok and mem_ok
-        return mask
+        cpu, mem = self.allocations()
+        cpu_ok = np.abs(cpu - cpu_allocated) <= rel_tol * max(cpu_allocated, 1e-9)
+        mem_ok = np.abs(mem - mem_allocated_mb) <= rel_tol * max(
+            mem_allocated_mb, 1e-9
+        )
+        return cpu_ok & mem_ok
 
     def imputed_mask(self) -> np.ndarray:
         """Boolean mask of samples synthesized by downstream imputation
         (controller last-known-good repair) rather than measured —
         training must exclude them, or frozen repeats of one reading
         masquerade as a stable regime."""
-        return np.array([s.imputed for s in self._samples], dtype=bool)
+        return self._imputed_buf[self._start:self._end]
 
     def has_both_classes(self) -> bool:
         """True once the buffer holds normal *and* abnormal samples —
         the precondition for training the supervised classifier."""
-        _X, y, _t = self.matrices()
-        return bool(y.size) and bool(y.any()) and bool((1 - y).any())
+        if self._end == self._start:
+            return False
+        y = self._slo.violated_at_many(self._times_buf[self._start:self._end])
+        return bool(y.any()) and bool((~y).any())

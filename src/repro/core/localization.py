@@ -18,7 +18,7 @@ VMs keep their *normal* label for that epoch.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -165,27 +165,27 @@ class DeviationLocalizer:
             ref_stats: Dict[str, Optional[Tuple[np.ndarray, np.ndarray]]] = {}
             for name in names:
                 matrix = matrices[name]
-                rows = np.arange(start, end)
-                ref_rows = np.arange(ref_start, ref_end)
+                # Slices (views) replace the original arange-based fancy
+                # indexing wherever no allocation filter applies — the
+                # selected rows, and therefore every statistic, are
+                # identical either way.
+                epoch_vals = matrix[start:end]
+                reference = matrix[ref_start:ref_end]
                 if per_vm_allocations is not None:
                     cpu, mem = per_vm_allocations[name]
-
-                    def same_alloc(idx: np.ndarray) -> np.ndarray:
-                        return (
-                            np.abs(cpu[idx] - cpu[start])
-                            <= 0.02 * max(cpu[start], 1e-9)
-                        ) & (
-                            np.abs(mem[idx] - mem[start])
-                            <= 0.02 * max(mem[start], 1e-9)
-                        )
-
-                    same = same_alloc(rows)
-                    if same.any():
-                        rows = rows[same]
-                    ref_same = same_alloc(ref_rows)
-                    if ref_same.sum() >= 3:
-                        ref_rows = ref_rows[ref_same]
-                reference = matrix[ref_rows]
+                    cpu0, mem0 = cpu[start], mem[start]
+                    cpu_tol = 0.02 * max(cpu0, 1e-9)
+                    mem_tol = 0.02 * max(mem0, 1e-9)
+                    same = (
+                        np.abs(cpu[start:end] - cpu0) <= cpu_tol
+                    ) & (np.abs(mem[start:end] - mem0) <= mem_tol)
+                    if same.any() and not same.all():
+                        epoch_vals = epoch_vals[same]
+                    ref_same = (
+                        np.abs(cpu[ref_start:ref_end] - cpu0) <= cpu_tol
+                    ) & (np.abs(mem[ref_start:ref_end] - mem0) <= mem_tol)
+                    if ref_same.sum() >= 3 and not ref_same.all():
+                        reference = reference[ref_same]
                 if reference.shape[0] < 3:
                     scores[name] = float("inf")
                     ref_stats[name] = None
@@ -194,7 +194,7 @@ class DeviationLocalizer:
                         reference.mean(axis=0), reference.std(axis=0)
                     )
                     scores[name] = self.deviation_score(
-                        matrix[rows], *ref_stats[name]
+                        epoch_vals, *ref_stats[name]
                     )
             # Propagation awareness (the heart of PAL [13]): the root
             # cause manifests *before* the components it starves, so

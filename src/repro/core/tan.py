@@ -315,6 +315,12 @@ class TANClassifier:
         # Root rows are constant along the parent axis; keep the
         # compact (n_roots, b) view the soft path contracts with.
         self._root_diff_soft = self._diff_soft[self._root_idx, 0, :]
+        # Per-fit scalar-path caches: the attribute index vector and
+        # the class-prior log-difference.  Rebuilt on every fit() /
+        # from_dict(), so they are keyed to the model version and the
+        # single-sample path never re-assembles them per call.
+        self._attr_idx = np.arange(n_attrs)
+        self._prior_diff = float(self._log_prior[ABNORMAL] - self._log_prior[NORMAL])
 
     # ------------------------------------------------------------------
     # Inference
@@ -342,8 +348,9 @@ class TANClassifier:
     def _raw_strengths_batch(self, X: np.ndarray) -> np.ndarray:
         """Unmasked Eq. (2) terms for already-validated binned samples:
         one gather over the dense difference tensor, shape (m, a)."""
-        attrs = np.arange(self.n_attributes)
-        return self._diff_hard[attrs[None, :], X[:, self._parent_or_self], X]
+        return self._diff_hard[
+            self._attr_idx[None, :], X[:, self._parent_or_self], X
+        ]
 
     def _raw_strengths_reference(self, x: np.ndarray) -> np.ndarray:
         """Unmasked Eq. (2) terms for one binned sample — the
@@ -378,7 +385,8 @@ class TANClassifier:
         """
         self._require_trained()
         x = self._check_sample(x)
-        return [float(v) for v in self.strengths_batch(x[None])[0]]
+        raw = self._diff_hard[self._attr_idx, x[self._parent_or_self], x]
+        return [float(v) for v in np.where(self.attribute_mask, raw, 0.0)]
 
     def strengths_batch(self, X: Sequence[Sequence[int]]) -> np.ndarray:
         """Masked Eq. (2) strengths for a batch of binned samples.
@@ -392,17 +400,25 @@ class TANClassifier:
         return np.where(self.attribute_mask[None, :], raw, 0.0)
 
     def log_odds(self, x: Sequence[int]) -> float:
-        """Left-hand side of Eq. (1)."""
+        """Left-hand side of Eq. (1).
+
+        Single-sample fast path: one gather over the cached difference
+        tensor instead of routing through the (m, a) batch machinery —
+        at fleet scale the controller's classify tick calls this once
+        per VM, and the batch path's shape plumbing costs more than
+        the 13-element reduction itself.  Bitwise-identical to
+        ``log_odds_batch(x[None])[0]``: same gathered elements, same
+        contiguous 13-element pairwise sum, same prior difference.
+        """
         self._require_trained()
         x = self._check_sample(x)
-        return float(self.log_odds_batch(x[None])[0])
+        raw = self._diff_hard[self._attr_idx, x[self._parent_or_self], x]
+        return float(np.where(self.attribute_mask, raw, 0.0).sum() + self._prior_diff)
 
     def log_odds_batch(self, X: Sequence[Sequence[int]]) -> np.ndarray:
         """Eq. (1) statistic for a batch of binned samples, shape (m,)."""
         strengths = self.strengths_batch(X)
-        return strengths.sum(axis=1) + (
-            self._log_prior[ABNORMAL] - self._log_prior[NORMAL]
-        )
+        return strengths.sum(axis=1) + self._prior_diff
 
     def strengths_reference(self, x: Sequence[int]) -> List[float]:
         """Pre-vectorization :meth:`attribute_strengths` (reference)."""

@@ -15,12 +15,14 @@ bottleneck component.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.apps.base import DistributedApplication
+from repro.apps.fleet import FLEET_RATE_PER_NODE, UniformFleetApp
 from repro.apps.rubis import RubisApp
 from repro.apps.streams import SystemSApp
 from repro.apps.workload import NasaTraceWorkload, Workload
@@ -34,12 +36,29 @@ from repro.sim.engine import Simulator
 from repro.sim.monitor import DEFAULT_SAMPLING_INTERVAL, VMMonitor
 from repro.sim.resources import ResourceSpec
 
-__all__ = ["Testbed", "build_testbed", "make_fault", "APP_NAMES",
-           "SYSTEM_S", "RUBIS", "VM_SPEC"]
+__all__ = ["Testbed", "build_testbed", "make_fault", "parse_fleet_size",
+           "APP_NAMES", "SYSTEM_S", "RUBIS", "VM_SPEC"]
 
 SYSTEM_S = "system-s"
 RUBIS = "rubis"
 APP_NAMES = (SYSTEM_S, RUBIS)
+
+#: Synthetic N-node fleets are named ``fleet<N>`` (e.g. ``fleet50``).
+_FLEET_NAME = re.compile(r"^fleet(\d+)$")
+_FLEET_MAX_NODES = 512
+
+
+def parse_fleet_size(app_name: str) -> Optional[int]:
+    """Node count of a ``fleet<N>`` app name, or ``None`` if not one."""
+    match = _FLEET_NAME.match(app_name)
+    if match is None:
+        return None
+    n = int(match.group(1))
+    if not 1 <= n <= _FLEET_MAX_NODES:
+        raise ValueError(
+            f"fleet size must be in [1, {_FLEET_MAX_NODES}], got {n}"
+        )
+    return n
 
 #: Guest VM allocation: 1 core / 1 GB on a dual-core 4 GB host, leaving
 #: local headroom for elastic scaling as in the paper's VCL setup.
@@ -93,13 +112,30 @@ def build_testbed(
     given (scenario, seed) pair is fully reproducible; replicate runs
     vary the seed like the paper repeats each experiment five times.
     """
-    if app_name not in APP_NAMES:
-        raise ValueError(f"unknown application {app_name!r}; pick from {APP_NAMES}")
+    fleet_size = parse_fleet_size(app_name)
+    if app_name not in APP_NAMES and fleet_size is None:
+        raise ValueError(
+            f"unknown application {app_name!r}; pick from {APP_NAMES} "
+            "or a 'fleet<N>' name"
+        )
     sim = Simulator()
     cluster = Cluster(sim)
     rng = np.random.default_rng(seed)
 
-    if app_name == SYSTEM_S:
+    if fleet_size is not None:
+        width = max(2, len(str(fleet_size)))
+        vm_names = [f"vm{i + 1:0{width}d}" for i in range(fleet_size)]
+        vms = cluster.place_one_vm_per_host(vm_names, VM_SPEC, spares=spares)
+        workload: Workload = NasaTraceWorkload(
+            fleet_size * FLEET_RATE_PER_NODE,
+            duration=duration_hint,
+            seed=seed,
+            diurnal_amplitude=0.10,
+            fluctuation=0.06,
+            burstiness=0.04,
+        )
+        app: DistributedApplication = UniformFleetApp(sim, workload, vms)
+    elif app_name == SYSTEM_S:
         vm_names = [f"vm{i + 1}" for i in range(7)]
         vms = cluster.place_one_vm_per_host(vm_names, VM_SPEC, spares=spares)
         workload: Workload = NasaTraceWorkload(
@@ -142,25 +178,33 @@ def build_testbed(
     )
 
 
+def _fault_component(testbed: Testbed, kind: FaultKind) -> str:
+    """Canonical fault-target component for a testbed."""
+    if isinstance(testbed.app, UniformFleetApp):
+        return testbed.app.fault_node
+    if kind is FaultKind.MEMORY_LEAK:
+        return SYSTEM_S_LEAK_PE if testbed.app_name == SYSTEM_S else RUBIS_FAULT_TIER
+    if kind is FaultKind.CPU_HOG:
+        return SYSTEM_S_HOG_PE if testbed.app_name == SYSTEM_S else RUBIS_FAULT_TIER
+    if testbed.app_name == SYSTEM_S:
+        return SystemSApp.BOTTLENECK_PE
+    return RubisApp.BOTTLENECK_TIER
+
+
 def make_fault(testbed: Testbed, kind: FaultKind) -> Fault:
     """Instantiate the canonical fault of the given kind for a testbed."""
     if kind is FaultKind.MEMORY_LEAK:
-        component = (
-            SYSTEM_S_LEAK_PE if testbed.app_name == SYSTEM_S else RUBIS_FAULT_TIER
-        )
         return MemoryLeakFault(
-            testbed.vm_for_component(component), rate_mb_per_s=LEAK_RATE_MB_S
+            testbed.vm_for_component(_fault_component(testbed, kind)),
+            rate_mb_per_s=LEAK_RATE_MB_S,
         )
     if kind is FaultKind.CPU_HOG:
-        component = (
-            SYSTEM_S_HOG_PE if testbed.app_name == SYSTEM_S else RUBIS_FAULT_TIER
+        return CpuHogFault(
+            testbed.vm_for_component(_fault_component(testbed, kind)),
+            cores=HOG_CORES,
         )
-        return CpuHogFault(testbed.vm_for_component(component), cores=HOG_CORES)
     if kind is FaultKind.BOTTLENECK:
-        if testbed.app_name == SYSTEM_S:
-            bottleneck = SystemSApp.BOTTLENECK_PE
-        else:
-            bottleneck = RubisApp.BOTTLENECK_TIER
+        bottleneck = _fault_component(testbed, kind)
         return BottleneckFault(
             testbed.workload,
             bottleneck_component=bottleneck,

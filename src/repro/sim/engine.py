@@ -14,8 +14,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 __all__ = ["Event", "PeriodicTask", "Simulator", "SimulationError"]
 
@@ -24,23 +23,59 @@ class SimulationError(RuntimeError):
     """Raised on invalid use of the simulation engine."""
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
     Events compare by ``(time, seq)`` so that two events scheduled for
-    the same instant fire in the order they were scheduled.
+    the same instant fire in the order they were scheduled.  The engine
+    itself keeps ``(time, seq, event)`` tuples on the heap — comparing
+    plain tuples is several times cheaper than dispatching to rich
+    comparison methods — so the ordering methods here exist only for
+    API compatibility with code that sorts events directly.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        cancelled: bool = False,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = cancelled
+        self.label = label
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when it is popped."""
         self.cancelled = True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.time, self.seq) == (other.time, other.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __le__(self, other: "Event") -> bool:
+        return (self.time, self.seq) <= (other.time, other.seq)
+
+    def __gt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) > (other.time, other.seq)
+
+    def __ge__(self, other: "Event") -> bool:
+        return (self.time, self.seq) >= (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Event(time={self.time!r}, seq={self.seq!r}, "
+            f"cancelled={self.cancelled!r}, label={self.label!r})"
+        )
 
 
 class PeriodicTask:
@@ -58,7 +93,10 @@ class PeriodicTask:
         start_at: Optional[float] = None,
         label: str = "",
     ) -> None:
-        if interval <= 0:
+        # Finiteness is validated once here so the per-fire re-arm can
+        # push the follow-up event directly, skipping the schedule()
+        # guards on the hot path.
+        if not (interval > 0 and math.isfinite(interval)):
             raise SimulationError(f"periodic interval must be > 0, got {interval}")
         self._sim = sim
         self.interval = interval
@@ -86,7 +124,19 @@ class PeriodicTask:
             return
         self.callback(self._sim.now)
         if not self._stopped:
-            self._event = self._sim.schedule(self.interval, self._fire, label=self.label)
+            # Inline re-arm: interval is already validated positive and
+            # finite, so skip schedule()'s guards and push directly.
+            # The sequence number is drawn *after* the callback ran,
+            # exactly where schedule() would draw it.
+            sim = self._sim
+            event = Event(
+                time=sim._now + self.interval,
+                seq=next(sim._seq),
+                callback=self._fire,
+                label=self.label,
+            )
+            heapq.heappush(sim._queue, (event.time, event.seq, event))
+            self._event = event
 
 
 class Simulator:
@@ -102,7 +152,9 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: List[Event] = []
+        # Heap of (time, seq, event): tuple comparison keeps the
+        # (time, seq) FIFO order without rich-comparison dispatch.
+        self._queue: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
 
@@ -145,7 +197,7 @@ class Simulator:
                 f"current time t={self._now}"
             )
         event = Event(time=time, seq=next(self._seq), callback=callback, label=label)
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (time, event.seq, event))
         return event
 
     def every(
@@ -160,21 +212,21 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        return sum(1 for entry in self._queue if not entry[2].cancelled)
 
     def peek(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
+        while self._queue and self._queue[0][2].cancelled:
             heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        return self._queue[0][0] if self._queue else None
 
     def step(self) -> bool:
         """Run the single next event.  Returns ``False`` if none remain."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            time, _, event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
-            self._now = event.time
+            self._now = time
             event.callback()
             return True
         return False
@@ -192,12 +244,23 @@ class Simulator:
                 f"end_time {end_time} is before current time {self._now}"
             )
         self._running = True
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue:
-                nxt = self.peek()
-                if nxt is None or nxt > end_time:
+            # Inlined peek + step: one head inspection per event instead
+            # of two pops' worth of attribute traffic per loop turn.
+            while queue:
+                head = queue[0]
+                event = head[2]
+                if event.cancelled:
+                    pop(queue)
+                    continue
+                time = head[0]
+                if time > end_time:
                     break
-                self.step()
+                pop(queue)
+                self._now = time
+                event.callback()
             self._now = end_time
         finally:
             self._running = False

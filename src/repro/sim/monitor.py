@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.sim.engine import PeriodicTask, Simulator
-from repro.sim.vm import VirtualMachine
+from repro.sim.vm import CACHE_PRESSURE_MB, VirtualMachine
 
 __all__ = ["ATTRIBUTES", "MetricSample", "VMMonitor", "DEFAULT_SAMPLING_INTERVAL"]
 
@@ -72,6 +72,14 @@ _NOISE_STD: Dict[str, float] = {
 _LOAD1_WINDOW = 60.0
 _LOAD5_WINDOW = 300.0
 
+#: Noise standard deviations as a vector in :data:`ATTRIBUTES` order —
+#: one vectorized ``Generator.normal`` call per sample draws the same
+#: gaussian stream as thirteen scalar calls (verified bit-identical),
+#: at a fraction of the dispatch cost.
+_NOISE_STD_VEC = np.array([_NOISE_STD[name] for name in ATTRIBUTES])
+
+_ATTR_SET = frozenset(ATTRIBUTES)
+
 
 @dataclass(frozen=True)
 class MetricSample:
@@ -104,21 +112,25 @@ class MetricSample:
         return np.array([self.values[a] for a in attributes], dtype=float)
 
     def __post_init__(self) -> None:
+        if _ATTR_SET <= self.values.keys():
+            return
         missing = set(ATTRIBUTES) - set(self.values)
-        if missing:
-            raise ValueError(f"sample for {self.vm} missing attributes: {sorted(missing)}")
+        raise ValueError(f"sample for {self.vm} missing attributes: {sorted(missing)}")
 
 
 class _LoadState:
     """Per-VM EWMA state for the load-average attributes."""
 
+    __slots__ = ("load1", "load5")
+
     def __init__(self) -> None:
         self.load1 = 0.0
         self.load5 = 0.0
 
-    def update(self, runqueue: float, dt: float) -> None:
-        a1 = 1.0 - np.exp(-dt / _LOAD1_WINDOW)
-        a5 = 1.0 - np.exp(-dt / _LOAD5_WINDOW)
+    def update(self, runqueue: float, a1: float, a5: float) -> None:
+        """Fold one observation in; ``a1``/``a5`` are the per-interval
+        smoothing factors (constant for a fixed sampling interval, so
+        the monitor precomputes them instead of exp()-ing per sample)."""
         self.load1 += a1 * (runqueue - self.load1)
         self.load5 += a5 * (runqueue - self.load5)
 
@@ -154,6 +166,15 @@ class VMMonitor:
         #: previous sample (marked ``stale``), so per-VM traces stay
         #: aligned — the contract every downstream consumer relies on.
         self.drop_rate = drop_rate
+        # Hot-path constants: the load-average smoothing factors for
+        # this interval and the scaled noise-std vector (ATTRIBUTES
+        # order) for the one-shot gaussian draw in sample_vm.
+        self._alpha1 = 1.0 - np.exp(-interval / _LOAD1_WINDOW)
+        self._alpha5 = 1.0 - np.exp(-interval / _LOAD5_WINDOW)
+        self._noise_vec = _NOISE_STD_VEC * noise_scale
+        # Fleet-wide noise-scale matrix for batched collection, built
+        # lazily for the current VM count (a zero-copy broadcast view).
+        self._noise_mat: Optional[np.ndarray] = None
         self._loads: Dict[str, _LoadState] = {vm.name: _LoadState() for vm in self._vms}
         self.traces: Dict[str, List[MetricSample]] = {vm.name: [] for vm in self._vms}
         self._listeners: List[Callable[[List[MetricSample]], None]] = []
@@ -203,49 +224,95 @@ class VMMonitor:
     # Sampling
     # ------------------------------------------------------------------
     def sample_vm(self, vm: VirtualMachine, timestamp: float) -> MetricSample:
-        """Measure one VM now (noise included)."""
-        load = self._loads[vm.name]
-        load.update(vm.total_cpu_demand(), self.interval)
+        """Measure one VM now (noise included).
 
-        usage_pct = 100.0 * vm.cpu_utilization()
-        swap = vm.swap_used_mb()
-        # Major faults scale with how hard the guest is thrashing.
-        page_faults = 2.0 + 90.0 * (swap / max(vm.mem_allocated_mb, 1.0))
-        # Context switches track overall activity (hundreds per second).
-        ctx = 200.0 + 600.0 * vm.cpu_utilization()
-
-        # Page-cache starvation shows up as extra physical reads well
-        # before hard swapping starts (see repro.sim.vm).
-        cache_miss_reads = 90.0 * vm.cache_pressure()
-        raw = {
-            "cpu_usage": usage_pct,
-            "residual_cpu": max(0.0, vm.cpu_allocated - vm.cpu_usage_cores()),
-            "load1": load.load1,
-            "load5": load.load5,
-            "free_mem": vm.free_mem_mb(),
-            "mem_used": vm.mem_used_mb(),
-            "swap_used": swap,
-            "page_faults": page_faults + 25.0 * vm.cache_pressure(),
-            "net_in": vm.activity.net_in_kbps,
-            "net_out": vm.activity.net_out_kbps,
-            "disk_read": vm.activity.disk_read_kbps + cache_miss_reads,
-            "disk_write": vm.activity.disk_write_kbps,
-            "ctx_switches": ctx,
-        }
-        values = {}
-        for name, value in raw.items():
-            noisy = value + self._rng.normal(0.0, _NOISE_STD[name] * self._noise_scale)
-            values[name] = max(0.0, noisy)
-        values["cpu_usage"] = min(values["cpu_usage"], 100.0)
+        The 13 attributes are derived once from shared VM state (the
+        demand sums and utilization the individual accessors would each
+        recompute) and perturbed with a single vectorized gaussian draw
+        that consumes the generator stream exactly like the thirteen
+        per-attribute scalar draws it replaces.
+        """
+        row, cpu_allocated, mem_allocated = self._raw_row(vm)
+        noisy = np.array(row) + self._rng.normal(0.0, self._noise_vec)
+        np.maximum(noisy, 0.0, out=noisy)
+        if noisy[0] > 100.0:
+            noisy[0] = 100.0
         return MetricSample(
             vm=vm.name,
             timestamp=timestamp,
-            values=values,
-            cpu_allocated=vm.cpu_allocated,
-            mem_allocated_mb=vm.mem_allocated_mb,
+            values=dict(zip(ATTRIBUTES, noisy.tolist())),
+            cpu_allocated=cpu_allocated,
+            mem_allocated_mb=mem_allocated,
         )
 
+    def _raw_row(self, vm: VirtualMachine) -> Tuple[List[float], float, float]:
+        """Raw (pre-noise) attribute row plus the VM's allocations.
+
+        Folds the VM's run queue into the load EWMAs as a side effect —
+        call exactly once per VM per round.
+        """
+        # Inlined total_cpu_demand / total_mem_demand_mb cache reads.
+        total_cpu = vm._cpu_total
+        if total_cpu is None:
+            total_cpu = vm._cpu_total = sum(vm._cpu_demands.values())
+        cpu_allocated = vm._cpu_alloc
+        usage_cores = total_cpu if total_cpu < cpu_allocated else cpu_allocated
+        utilization = 0.0 if cpu_allocated == 0 else usage_cores / cpu_allocated
+
+        load = self._loads[vm.name]
+        load.update(total_cpu, self._alpha1, self._alpha5)
+
+        mem_allocated = vm._mem_alloc
+        total_mem = vm._mem_total
+        if total_mem is None:
+            total_mem = vm._mem_total = sum(vm._mem_demands.values())
+        # Branches replace the max() builtins; each picks the exact
+        # operand the original call returned.
+        swap = total_mem - mem_allocated
+        if swap <= 0.0:
+            swap = 0.0
+        free_mem = mem_allocated - total_mem
+        if free_mem <= 0.0:
+            free_mem = 0.0
+        cache_pressure = 1.0 - free_mem / CACHE_PRESSURE_MB
+        if cache_pressure <= 0.0:
+            cache_pressure = 0.0
+        # Major faults scale with how hard the guest is thrashing.
+        page_faults = 2.0 + 90.0 * (
+            swap / (mem_allocated if mem_allocated > 1.0 else 1.0)
+        )
+        # Context switches track overall activity (hundreds per second).
+        ctx = 200.0 + 600.0 * utilization
+        # Page-cache starvation shows up as extra physical reads well
+        # before hard swapping starts (see repro.sim.vm).
+        cache_miss_reads = 90.0 * cache_pressure
+
+        residual = cpu_allocated - usage_cores
+        if residual <= 0.0:
+            residual = 0.0
+
+        activity = vm.activity
+        row = [
+            100.0 * utilization,                         # cpu_usage
+            residual,                                    # residual_cpu
+            load.load1,
+            load.load5,
+            free_mem,
+            min(total_mem, mem_allocated),               # mem_used
+            swap,
+            page_faults + 25.0 * cache_pressure,
+            activity.net_in_kbps,
+            activity.net_out_kbps,
+            activity.disk_read_kbps + cache_miss_reads,
+            activity.disk_write_kbps,
+            ctx,
+        ]
+        return row, cpu_allocated, mem_allocated
+
     def _collect(self, now: float) -> None:
+        if self.drop_rate == 0.0 and self._vms:
+            self._collect_batched(now)
+            return
         batch = []
         for vm in self._vms:
             trace = self.traces[vm.name]
@@ -267,6 +334,50 @@ class VMMonitor:
             else:
                 sample = self.sample_vm(vm, now)
             trace.append(sample)
+            batch.append(sample)
+        if self._interceptor is None:
+            self._dispatch(batch)
+        else:
+            self._interceptor(batch, self._dispatch)
+
+    def _collect_batched(self, now: float) -> None:
+        """One collection round as a single fleet-wide noise draw.
+
+        With ``drop_rate == 0`` the generator is consumed strictly in
+        VM-major, attribute-minor order, so one ``(n_vms, 13)`` gaussian
+        draw produces the bit-identical stream of the per-VM draws (a
+        broadcast fill walks the output in C order) while paying the
+        numpy dispatch cost once per round instead of once per VM.
+        """
+        vms = self._vms
+        rows = []
+        allocs = []
+        for vm in vms:
+            row, cpu_allocated, mem_allocated = self._raw_row(vm)
+            rows.append(row)
+            allocs.append((cpu_allocated, mem_allocated))
+        noise = self._noise_mat
+        if noise is None or noise.shape[0] != len(vms):
+            noise = self._noise_mat = np.broadcast_to(
+                self._noise_vec, (len(vms), self._noise_vec.size)
+            )
+        noisy = np.array(rows) + self._rng.normal(0.0, noise)
+        np.maximum(noisy, 0.0, out=noisy)
+        cpu_col = noisy[:, 0]
+        np.minimum(cpu_col, 100.0, out=cpu_col)
+        batch = []
+        traces = self.traces
+        for vm, (cpu_allocated, mem_allocated), values in zip(
+            vms, allocs, noisy.tolist()
+        ):
+            sample = MetricSample(
+                vm=vm.name,
+                timestamp=now,
+                values=dict(zip(ATTRIBUTES, values)),
+                cpu_allocated=cpu_allocated,
+                mem_allocated_mb=mem_allocated,
+            )
+            traces[vm.name].append(sample)
             batch.append(sample)
         if self._interceptor is None:
             self._dispatch(batch)

@@ -85,6 +85,34 @@ class VirtualMachine:
         self._cpu_demands: Dict[str, float] = {}
         self._mem_demands: Dict[str, float] = {}
         self._thrash = 1.0
+        # Memo for _slowdown_target: (total demand, allocation) -> value.
+        # Healthy VMs re-derive an identical slowdown every simulated
+        # second; one float compare per input replaces the arithmetic.
+        # Kept as two scalars (not a tuple) to avoid an allocation per
+        # VM per simulated second.
+        self._sd_total = -1.0
+        self._sd_alloc = -1.0
+        self._sd_val = 1.0
+        # Plain-attribute mirrors of the allocation (property access is
+        # a measurable cost in the per-second hot loop) and lazily
+        # cached demand totals, invalidated whenever the corresponding
+        # demand dict actually changes.  The totals are recomputed with
+        # the exact same ``sum`` over the same insertion order, so the
+        # cache is bitwise-transparent.
+        self._cpu_alloc = spec.cpu_cores
+        self._mem_alloc = spec.memory_mb
+        self._cpu_total: Optional[float] = None
+        self._mem_total: Optional[float] = None
+        # Memo for potential_cpu keyed by consumer.  The ceiling depends
+        # only on the *other* consumers' demands and the allocation —
+        # never on the queried consumer's own demand — so an entry stays
+        # valid across the every-step updates of that consumer's own
+        # demand and is dropped only when a competitor's demand or the
+        # allocation changes.  ``_pc_sole`` names the consumer when the
+        # cache holds exactly that consumer's entry (the steady state),
+        # letting set_cpu_demand skip invalidation with one compare.
+        self._pc_cache: Dict[str, float] = {}
+        self._pc_sole: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Allocation
@@ -96,17 +124,21 @@ class VirtualMachine:
 
     @property
     def cpu_allocated(self) -> float:
-        return self._spec.cpu_cores
+        return self._cpu_alloc
 
     @property
     def mem_allocated_mb(self) -> float:
-        return self._spec.memory_mb
+        return self._mem_alloc
 
     def set_allocation(self, kind: ResourceKind, amount: float) -> None:
         """Change one allocation dimension (the hypervisor calls this)."""
         if amount <= 0:
             raise ResourceError(f"{self.name}: allocation must stay positive, got {amount}")
         self._spec = self._spec.with_amount(kind, amount)
+        self._cpu_alloc = self._spec.cpu_cores
+        self._mem_alloc = self._spec.memory_mb
+        self._pc_cache.clear()
+        self._pc_sole = None
 
     # ------------------------------------------------------------------
     # CPU model
@@ -115,13 +147,35 @@ class VirtualMachine:
         """Declare a consumer's CPU demand in cores; 0 removes it."""
         if cores < 0:
             raise ResourceError(f"negative CPU demand {cores} from {consumer}")
+        demands = self._cpu_demands
         if cores == 0:
-            self._cpu_demands.pop(consumer, None)
+            if consumer not in demands:
+                return
+            del demands[consumer]
         else:
-            self._cpu_demands[consumer] = cores
+            if demands.get(consumer) == cores:
+                return
+            demands[consumer] = cores
+        self._cpu_total = None
+        # A consumer's own demand never affects its own ceiling; only
+        # the *other* consumers' memoized ceilings go stale.  In the
+        # steady state the cache holds exactly the changing consumer's
+        # own entry (``_pc_sole``), so there is nothing to drop.
+        cache = self._pc_cache
+        if cache and self._pc_sole != consumer:
+            keep = cache.get(consumer)
+            cache.clear()
+            if keep is not None:
+                cache[consumer] = keep
+                self._pc_sole = consumer
+            else:
+                self._pc_sole = None
 
     def total_cpu_demand(self) -> float:
-        return sum(self._cpu_demands.values())
+        total = self._cpu_total
+        if total is None:
+            total = self._cpu_total = sum(self._cpu_demands.values())
+        return total
 
     @staticmethod
     def _max_min_grants(demands: Dict[str, float], capacity: float) -> Dict[str, float]:
@@ -150,9 +204,19 @@ class VirtualMachine:
 
     def cpu_share(self, consumer: str) -> float:
         """Cores actually granted to ``consumer`` under max-min fairness."""
-        if consumer not in self._cpu_demands:
+        demands = self._cpu_demands
+        if consumer not in demands:
             return 0.0
-        grants = self._max_min_grants(self._cpu_demands, self.cpu_allocated)
+        if len(demands) == 1:
+            # Sole consumer: water-filling grants min(demand, capacity)
+            # (and nothing when the capacity is below the redistribution
+            # epsilon, where the loop never runs).
+            capacity = self.cpu_allocated
+            if capacity <= 1e-12:
+                return 0.0
+            demand = demands[consumer]
+            return demand if demand <= capacity else capacity
+        grants = self._max_min_grants(demands, self.cpu_allocated)
         return grants[consumer]
 
     def potential_cpu(self, consumer: str) -> float:
@@ -163,15 +227,31 @@ class VirtualMachine:
         consumers (e.g. an injected CPU hog) would still hold under
         max-min fairness against a saturating competitor.
         """
-        others = {
-            name: demand
-            for name, demand in self._cpu_demands.items()
-            if name != consumer
-        }
-        scenario = dict(others)
-        scenario[consumer] = float("inf")
-        grants = self._max_min_grants(scenario, self.cpu_allocated)
-        return self.cpu_allocated - sum(grants[name] for name in others)
+        cached = self._pc_cache.get(consumer)
+        if cached is not None:
+            return cached
+        demands = self._cpu_demands
+        n = len(demands)
+        if n == 0 or (n == 1 and consumer in demands):
+            # No competitors: a saturating consumer takes the whole
+            # allocation (water-filling grants it everything, or nothing
+            # when the capacity is below the epsilon — either way the
+            # others hold zero).
+            value = self._cpu_alloc
+        else:
+            others = {
+                name: demand
+                for name, demand in demands.items()
+                if name != consumer
+            }
+            scenario = dict(others)
+            scenario[consumer] = float("inf")
+            grants = self._max_min_grants(scenario, self._cpu_alloc)
+            value = self._cpu_alloc - sum(grants[name] for name in others)
+        cache = self._pc_cache
+        cache[consumer] = value
+        self._pc_sole = consumer if len(cache) == 1 else None
+        return value
 
     def cpu_usage_cores(self) -> float:
         """Cores actually consumed (min of demand and allocation)."""
@@ -190,13 +270,22 @@ class VirtualMachine:
         """Declare a consumer's resident-set size in MB; 0 removes it."""
         if mb < 0:
             raise ResourceError(f"negative memory demand {mb} from {consumer}")
+        demands = self._mem_demands
         if mb == 0:
-            self._mem_demands.pop(consumer, None)
+            if consumer not in demands:
+                return
+            del demands[consumer]
         else:
-            self._mem_demands[consumer] = mb
+            if demands.get(consumer) == mb:
+                return
+            demands[consumer] = mb
+        self._mem_total = None
 
     def total_mem_demand_mb(self) -> float:
-        return sum(self._mem_demands.values())
+        total = self._mem_total
+        if total is None:
+            total = self._mem_total = sum(self._mem_demands.values())
+        return total
 
     def mem_used_mb(self) -> float:
         """Resident memory (cannot exceed the allocation)."""
@@ -219,21 +308,44 @@ class VirtualMachine:
         penalty as the page cache is squeezed out, then the steep
         thrashing penalty once demand spills into swap.
         """
-        if self.mem_allocated_mb == 0:
+        allocated = self._mem_alloc
+        if allocated == 0:
             return 1.0
-        ratio = self.swap_used_mb() / self.mem_allocated_mb
-        return (
-            1.0
-            + CACHE_PRESSURE_PENALTY * self.cache_pressure()
-            + SWAP_PENALTY * ratio
-        )
+        # Single pass over the demand dict; the sub-expressions below
+        # are exactly swap_used_mb(), cache_pressure() and the original
+        # ratio, just without summing the demands three times over.
+        total = self._mem_total
+        if total is None:
+            total = self._mem_total = sum(self._mem_demands.values())
+        if total == self._sd_total and allocated == self._sd_alloc:
+            return self._sd_val
+        swap = max(0.0, total - allocated)
+        free = max(0.0, allocated - total)
+        cache = max(0.0, 1.0 - free / CACHE_PRESSURE_MB)
+        value = 1.0 + CACHE_PRESSURE_PENALTY * cache + SWAP_PENALTY * (swap / allocated)
+        self._sd_total = total
+        self._sd_alloc = allocated
+        self._sd_val = value
+        return value
 
     def tick(self, dt: float) -> None:
         """Advance inertial state (the application model calls this
         once per step before reading capacities)."""
         if dt <= 0:
             return
-        target = self._slowdown_target()
+        # Inlined _slowdown_target memo hit: the overwhelmingly common
+        # case (healthy VM, unchanged demands) is a pair of float
+        # compares with no call.
+        total = self._mem_total
+        if total is not None and total == self._sd_total \
+                and self._mem_alloc == self._sd_alloc:
+            target = self._sd_val
+        else:
+            target = self._slowdown_target()
+        if target == self._thrash:
+            # Converged (the common healthy steady state at 1.0): the
+            # EWMA update would add alpha * 0.0 — skip the exp().
+            return
         tau = THRASH_TAU_UP if target > self._thrash else THRASH_TAU_DOWN
         alpha = 1.0 - math.exp(-dt / tau)
         self._thrash += alpha * (target - self._thrash)

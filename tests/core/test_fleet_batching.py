@@ -1,0 +1,259 @@
+"""Byte-identical equivalence of the fleet-batched controller hot path.
+
+The campaign overhaul routes the controller's predictive, reactive and
+deviation stages through one :class:`repro.core.fleet.FleetScorer`
+call per tick (``PrepareConfig.fleet_batching``) instead of a per-VM
+loop.  That switch is only allowed to change *speed*: these tests run
+complete experiments under both settings — with and without
+infrastructure chaos — and require every observable decision (alert
+funnel, action log, validation outcomes, SLO accounting, telemetry
+counters) to match exactly, plus unit-level parity and incremental
+repair (``refresh``/``restack``) coverage for the scorer itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import PrepareConfig
+from repro.core.fleet import FleetScorer
+from repro.core.predictor import AnomalyPredictor
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.faults.base import FaultKind
+
+N_ATTRS = 9
+
+
+def _run_cell(batched, chaos=None):
+    config = ExperimentConfig(
+        app="fleet8",
+        fault=FaultKind.MEMORY_LEAK,
+        scheme="prepare",
+        seed=7,
+        duration=1500.0,
+        telemetry=True,
+        controller=PrepareConfig(fleet_batching=batched),
+        chaos=chaos,
+    )
+    return run_experiment(config)
+
+
+def _behaviour(result):
+    """Everything the control loop decided, as one comparable value."""
+    return {
+        "violation_time": result.violation_time,
+        "per_injection": tuple(result.per_injection_violation),
+        "proactive": result.proactive_actions,
+        "actions": tuple(
+            (a.timestamp, a.vm, a.verb, str(a.resource), a.metric,
+             a.proactive, a.completed, a.effective, a.attempts)
+            for a in result.actions
+        ),
+        "trace": (tuple(result.trace_times), tuple(result.trace_values)),
+        "labels": tuple(result.sample_labels),
+    }
+
+
+def _counters(result):
+    """Telemetry counters, minus host-time-dependent stage latencies."""
+    telemetry = result.telemetry.to_dict()
+    telemetry.pop("stage_latency", None)
+    telemetry.pop("trace", None)
+    telemetry.get("meta", {}).pop("wall_seconds", None)
+    return telemetry
+
+
+CHAOS = {
+    "seed": 3,
+    "metric": {"corrupt_rate": 0.05, "blackout_rate": 0.01,
+               "blackout_duration": 40.0},
+    "verbs": {"failure_rate": 0.15, "late_rate": 0.1},
+}
+
+
+class TestControllerEquivalence:
+    @pytest.fixture(scope="class")
+    def clean(self):
+        return _run_cell(True), _run_cell(False)
+
+    @pytest.fixture(scope="class")
+    def chaotic(self):
+        return _run_cell(True, chaos=CHAOS), _run_cell(False, chaos=CHAOS)
+
+    def test_clean_behaviour_identical(self, clean):
+        batched, per_vm = clean
+        assert _behaviour(batched) == _behaviour(per_vm)
+
+    def test_clean_telemetry_identical(self, clean):
+        batched, per_vm = clean
+        assert _counters(batched) == _counters(per_vm)
+
+    def test_clean_run_acts(self, clean):
+        # Guard against vacuous equality: the cell must actually
+        # exercise the predictive path.
+        batched, _ = clean
+        assert batched.actions
+        assert batched.proactive_actions >= 1
+
+    def test_chaos_behaviour_identical(self, chaotic):
+        batched, per_vm = chaotic
+        assert _behaviour(batched) == _behaviour(per_vm)
+
+    def test_chaos_telemetry_identical(self, chaotic):
+        batched, per_vm = chaotic
+        assert _counters(batched) == _counters(per_vm)
+
+    def test_chaos_run_degraded_inputs(self, chaotic):
+        # The chaos cell must actually stress the sanitize/imputation
+        # path the batched stages consume.
+        batched, _ = chaotic
+        assert batched.resilience is not None
+
+
+def _train_predictor(seed, n_attrs=N_ATTRS):
+    rng = np.random.default_rng(seed)
+    predictor = AnomalyPredictor(
+        [f"m{i}" for i in range(n_attrs)], n_bins=6, markov="2dep",
+    )
+    values = np.cumsum(rng.normal(size=(250, n_attrs)), axis=0)
+    labels = (rng.random(250) < 0.3).astype(int)
+    return predictor.train(values, labels), values
+
+
+def _make_fleet(n_vms=5):
+    predictors, traces = {}, {}
+    for i in range(n_vms):
+        p, v = _train_predictor(seed=40 + i)
+        predictors[f"vm{i}"] = p
+        traces[f"vm{i}"] = v
+    return predictors, traces
+
+
+def _assert_result_equal(got, want):
+    assert got.abnormal == want.abnormal
+    assert got.score == want.score
+    assert got.probability == want.probability
+    assert got.bins == want.bins
+    assert got.strengths == want.strengths
+    assert got.steps == want.steps
+    assert got.attributes == want.attributes
+
+
+class TestClassifyBatchParity:
+    def test_matches_classify_current(self):
+        predictors, traces = _make_fleet()
+        scorer = FleetScorer(predictors)
+        batch = [
+            (vm, traces[vm][100 + i]) for i, vm in enumerate(sorted(predictors))
+        ]
+        results = scorer.classify_batch(batch)
+        for (vm, values), got in zip(batch, results):
+            _assert_result_equal(got, predictors[vm].classify_current(values))
+
+
+class TestIncrementalRefresh:
+    def test_refresh_repairs_refit_vm(self):
+        predictors, traces = _make_fleet()
+        scorer = FleetScorer(predictors)
+        batch = [(vm, traces[vm][50:60], 4) for vm in sorted(predictors)]
+        scorer.score(batch)  # populate the horizon-operator cache
+
+        # Refit one VM on different data (new chain/classifier tensors).
+        refit = "vm2"
+        rng = np.random.default_rng(99)
+        values = np.cumsum(rng.normal(size=(220, N_ATTRS)), axis=0)
+        labels = (rng.random(220) < 0.4).astype(int)
+        predictors[refit].train(values, labels)
+        assert not scorer.stacked
+
+        assert scorer.refresh() is True
+        assert scorer.stacked
+
+        # Every VM — refit and untouched — must still score bitwise
+        # like the per-VM reference and like a scorer built from
+        # scratch.
+        fresh = FleetScorer(predictors)
+        for (vm, recent, steps), got, rebuilt in zip(
+            batch, scorer.score(batch), fresh.score(batch)
+        ):
+            want = predictors[vm].predict(recent, steps)
+            _assert_result_equal(got, want)
+            _assert_result_equal(rebuilt, want)
+        for (vm, values_row), got in zip(
+            [(vm, traces[vm][80]) for vm in sorted(predictors)],
+            scorer.classify_batch(
+                [(vm, traces[vm][80]) for vm in sorted(predictors)]
+            ),
+        ):
+            _assert_result_equal(
+                got, predictors[vm].classify_current(values_row)
+            )
+
+    def test_refresh_refuses_untrained_replacement(self):
+        predictors, _ = _make_fleet(n_vms=3)
+        scorer = FleetScorer(predictors)
+        assert scorer.stacked
+        # The scorer holds its own dict: swap the entry it actually
+        # consults for an untrained predictor.
+        scorer.predictors["vm1"] = AnomalyPredictor(
+            [f"m{i}" for i in range(N_ATTRS)], n_bins=6, markov="2dep"
+        )
+        assert scorer.refresh() is False
+
+    def test_refresh_without_stack_is_false(self):
+        # Mixed chain variants cannot stack into one fleet operator;
+        # the scorer falls back to sequential scoring and refresh has
+        # nothing to repair.
+        p2dep, _ = _train_predictor(seed=1)
+        rng = np.random.default_rng(2)
+        simple = AnomalyPredictor(
+            [f"m{i}" for i in range(N_ATTRS)], n_bins=6, markov="simple",
+        )
+        values = np.cumsum(rng.normal(size=(200, N_ATTRS)), axis=0)
+        labels = (rng.random(200) < 0.3).astype(int)
+        simple.train(values, labels)
+        scorer = FleetScorer({"vm0": p2dep, "vm1": simple})
+        assert not scorer.stacked
+        assert scorer.refresh() is False
+
+
+class TestRestackValidation:
+    def test_rejects_out_of_range(self):
+        predictors, _ = _make_fleet(n_vms=2)
+        scorer = FleetScorer(predictors)
+        chains = scorer._stacked
+        with pytest.raises(ValueError, match="outside"):
+            chains.restack(
+                len(chains._models), predictors["vm0"].value_models
+            )
+
+    def test_rejects_untrained_models(self):
+        from repro.core.markov import TwoDependentMarkovModel
+
+        predictors, _ = _make_fleet(n_vms=2)
+        scorer = FleetScorer(predictors)
+        n_states = scorer.n_states
+        untrained = [TwoDependentMarkovModel(n_states)]
+        with pytest.raises(ValueError, match="trained"):
+            scorer._stacked.restack(0, untrained)
+
+    def test_rejects_state_count_mismatch(self):
+        predictors, _ = _make_fleet(n_vms=2)
+        scorer = FleetScorer(predictors)
+        # A fleet trained with a different bin count has a different
+        # chain state space.
+        small = AnomalyPredictor(
+            [f"m{i}" for i in range(N_ATTRS)], n_bins=4, markov="2dep"
+        )
+        rng = np.random.default_rng(5)
+        values = np.cumsum(rng.normal(size=(200, N_ATTRS)), axis=0)
+        labels = (rng.random(200) < 0.3).astype(int)
+        small.train(values, labels)
+        with pytest.raises(ValueError, match="n_states"):
+            scorer._stacked.restack(0, small.value_models)
+
+
+class TestServeImportCompat:
+    def test_service_reexports_core_scorer(self):
+        from repro.serve import service
+
+        assert service.FleetScorer is FleetScorer
