@@ -14,6 +14,9 @@ Exposes the experiment harness without writing Python::
     prepare-repro serve --registry runs/registry --name prod --socket /tmp/s
     prepare-repro replay trace.npz --socket /tmp/s --rate 500
     prepare-repro models --registry runs/registry
+    prepare-repro models promote --registry runs/registry --name prod --version 2
+    prepare-repro models rollback --registry runs/registry --name prod
+    prepare-repro models status --registry runs/registry
 
 ``telemetry`` runs one scenario with the full observability layer
 attached and exports metrics (Prometheus text), the span trace and the
@@ -25,8 +28,9 @@ and runs such a grid directly from flags: every job is an experiment
 under injected infrastructure faults with the resilient control plane
 armed (see ``docs/resilience.md``).  ``serve`` / ``replay`` / ``models``
 drive the online serving layer: start a streaming scorer from a model
-registry snapshot, load-test it with a recorded trace, and list the
-stored snapshots (see ``docs/serving.md``).
+registry snapshot, load-test it with a recorded trace, and manage the
+stored snapshots — including the champion pointer that continuous
+learning promotes and rolls back (see ``docs/serving.md``).
 
 Also runnable as ``python -m repro ...``.
 """
@@ -258,12 +262,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the replay report as JSON")
 
     mdl = sub.add_parser(
-        "models", help="list model-registry snapshots"
+        "models", help="list/promote/rollback model-registry snapshots"
     )
+    mdl.add_argument("action", nargs="?", default="list",
+                     choices=("list", "promote", "rollback", "status"),
+                     help="list snapshots (default), move the champion "
+                          "pointer, roll it back, or show the active "
+                          "champion per name")
     mdl.add_argument("--registry", required=True, metavar="DIR",
                      help="model registry root")
+    mdl.add_argument("--name", default=None,
+                     help="model name (required for promote/rollback)")
+    mdl.add_argument("--version", type=int, default=None,
+                     help="with promote: version to make champion")
     mdl.add_argument("--json", action="store_true",
-                     help="print the snapshot list as JSON")
+                     help="print the result as JSON")
 
     prof = sub.add_parser(
         "profile",
@@ -601,9 +614,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.service import PredictionService, ServiceConfig
 
     try:
-        predictors = ModelRegistry(args.registry).load(
-            args.name, args.version
-        )
+        registry = ModelRegistry(args.registry)
+        if args.version is None:
+            # Serve the champion pointer when one exists (continuous
+            # learning promotes/rolls back through it); otherwise the
+            # latest version, as before.
+            predictors = registry.load_active(args.name)
+        else:
+            predictors = registry.load(args.name, args.version)
     except RegistryError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -711,6 +729,43 @@ def _cmd_models(args: argparse.Namespace) -> int:
 
     registry = ModelRegistry(args.registry)
     try:
+        if args.action == "promote":
+            if args.name is None or args.version is None:
+                print("error: promote needs --name and --version",
+                      file=sys.stderr)
+                return 2
+            active = registry.promote(args.name, args.version)
+            return _print_active(active, args.json)
+        if args.action == "rollback":
+            if args.name is None:
+                print("error: rollback needs --name", file=sys.stderr)
+                return 2
+            active = registry.rollback(args.name)
+            return _print_active(active, args.json)
+        if args.action == "status":
+            names = [args.name] if args.name else registry.names()
+            rows = []
+            for name in names:
+                active = registry.active_info(name)
+                versions = registry.versions(name)
+                rows.append({
+                    "name": name,
+                    "active": active.version if active else None,
+                    "previous": active.previous if active else None,
+                    "latest": versions[-1] if versions else None,
+                    "versions": versions,
+                })
+            if args.json:
+                print(json.dumps(rows, indent=1))
+                return 0
+            print(f"{'name':20s} {'active':>7s} {'previous':>9s} "
+                  f"{'latest':>7s}")
+            for row in rows:
+                def _v(v):
+                    return "-" if v is None else f"v{v:04d}"
+                print(f"{row['name']:20s} {_v(row['active']):>7s} "
+                      f"{_v(row['previous']):>9s} {_v(row['latest']):>7s}")
+            return 0
         infos = registry.list()
     except RegistryError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -731,11 +786,30 @@ def _cmd_models(args: argparse.Namespace) -> int:
     if not infos:
         print(f"no snapshots under {args.registry}")
         return 0
+    active_by_name = {
+        name: registry.active_version(name) for name in registry.names()
+    }
     print(f"{'name':20s} {'version':>7s} {'vms':>4s} "
           f"{'created-at':25s} sha256")
     for info in infos:
+        champ = " *" if active_by_name.get(info.name) == info.version else ""
         print(f"{info.name:20s} {info.version_label:>7s} {info.n_vms:>4d} "
-              f"{info.created_at:25s} {info.sha256[:12]}")
+              f"{info.created_at:25s} {info.sha256[:12]}{champ}")
+    return 0
+
+
+def _print_active(active, as_json: bool) -> int:
+    if as_json:
+        print(json.dumps({
+            "name": active.name,
+            "version": active.version,
+            "previous": active.previous,
+            "promoted_at": active.promoted_at,
+        }, indent=1))
+        return 0
+    previous = "-" if active.previous is None else f"v{active.previous:04d}"
+    print(f"{active.name}: champion v{active.version:04d} "
+          f"(previous {previous})")
     return 0
 
 

@@ -14,7 +14,7 @@ bin indices and back to representative bin centers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -23,6 +23,11 @@ __all__ = ["Discretizer", "DEFAULT_BINS"]
 #: Default number of single states per attribute.
 DEFAULT_BINS = 8
 
+#: Interior-edge sentinel for constant-trained attributes: finite (so
+#: canonical-JSON snapshots stay valid) but above any real metric
+#: value, which clamps every input to bin 0 as the docstring promises.
+_CONSTANT_EDGE = np.finfo(float).max
+
 
 @dataclass
 class _AttributeBins:
@@ -30,6 +35,11 @@ class _AttributeBins:
 
     edges: np.ndarray    # interior edges, length n_bins - 1
     centers: np.ndarray  # representative value per bin, length n_bins
+    #: (min, max) of the training column, when known.  Used by
+    #: :meth:`Discretizer.stable_under` to prove that a refit on the
+    #: concatenated data would reproduce these bins bitwise; ``None``
+    #: (e.g. a snapshot predating the field) disables that fast path.
+    fit_range: Optional[Tuple[float, float]] = None
 
 
 class Discretizer:
@@ -75,11 +85,15 @@ class Discretizer:
     def _fit_column(self, col: np.ndarray) -> _AttributeBins:
         lo, hi = float(np.min(col)), float(np.max(col))
         if hi - lo < 1e-12:
-            # Constant attribute: single informative bin; widen the
-            # range artificially so every value maps to bin 0.
-            edges = np.linspace(lo + 1.0, lo + 2.0, self.n_bins - 1)
+            # Constant attribute: single informative bin.  Push every
+            # interior edge above any representable metric value so the
+            # whole real line maps to bin 0 — an attribute that was
+            # idle during training cannot invent states 1..n-1 when it
+            # later becomes active.
+            edges = np.full(self.n_bins - 1, _CONSTANT_EDGE)
             centers = np.full(self.n_bins, lo)
-            return _AttributeBins(edges=edges, centers=centers)
+            return _AttributeBins(edges=edges, centers=centers,
+                                  fit_range=(lo, hi))
         if self.strategy == "width":
             all_edges = np.linspace(lo, hi, self.n_bins + 1)
         else:
@@ -91,7 +105,47 @@ class Discretizer:
             )
         edges = all_edges[1:-1]
         centers = 0.5 * (all_edges[:-1] + all_edges[1:])
-        return _AttributeBins(edges=edges, centers=centers)
+        return _AttributeBins(edges=edges, centers=centers,
+                              fit_range=(lo, hi))
+
+    # ------------------------------------------------------------------
+    # Incremental-update guard
+    # ------------------------------------------------------------------
+    def stable_under(self, data: np.ndarray) -> bool:
+        """Would a refit on (training data + ``data``) keep these bins?
+
+        True only when it provably would, *bitwise*: equal-width
+        strategy, every new value finite and inside the fitted
+        ``[lo, hi]`` range of its attribute (so the concatenated min
+        and max — hence the ``linspace`` edges — are the exact same
+        floats), and constant-trained attributes staying exactly
+        constant.  Quantile bins depend on every sample, and bins
+        restored from a snapshot without fit ranges cannot be checked,
+        so both answer False and force the caller onto the full-refit
+        path.
+        """
+        if self._bins is None or self.strategy != "width":
+            return False
+        arr = np.asarray(data, dtype=float)
+        if arr.ndim == 1:
+            arr = arr[np.newaxis, :]
+        if arr.ndim != 2 or arr.shape[1] != len(self._bins):
+            return False
+        for j, bins in enumerate(self._bins):
+            if bins.fit_range is None:
+                return False
+            lo, hi = bins.fit_range
+            col = arr[:, j]
+            if not np.isfinite(col).all():
+                return False
+            if hi - lo < 1e-12:
+                # Constant-trained: any deviation at all would flip the
+                # refit out of (or shift) the constant branch.
+                if col.size and (col != lo).any():
+                    return False
+            elif col.size and (col.min() < lo or col.max() > hi):
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # Transform
@@ -142,7 +196,12 @@ class Discretizer:
             "n_bins": self.n_bins,
             "strategy": self.strategy,
             "bins": None if self._bins is None else [
-                {"edges": b.edges.tolist(), "centers": b.centers.tolist()}
+                {
+                    "edges": b.edges.tolist(),
+                    "centers": b.centers.tolist(),
+                    "range": None if b.fit_range is None
+                    else [b.fit_range[0], b.fit_range[1]],
+                }
                 for b in self._bins
             ],
         }
@@ -172,6 +231,15 @@ class Discretizer:
                         f"attribute {i}: expected {disc.n_bins} centers, "
                         f"got {centers.shape}"
                     )
-                bins.append(_AttributeBins(edges=edges, centers=centers))
+                raw_range = entry.get("range")
+                fit_range: Optional[Tuple[float, float]] = None
+                if raw_range is not None:
+                    if len(raw_range) != 2:
+                        raise ValueError(
+                            f"attribute {i}: fit range must have 2 entries"
+                        )
+                    fit_range = (float(raw_range[0]), float(raw_range[1]))
+                bins.append(_AttributeBins(edges=edges, centers=centers,
+                                           fit_range=fit_range))
             disc._bins = bins
         return disc

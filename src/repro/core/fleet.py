@@ -191,10 +191,17 @@ class FleetScorer:
         for i, vm in enumerate(order):
             predictor = self.predictors[vm]
             _, chain_ref = self._chain_refs[i]
+            sl_vm = self._slices[vm]
             chains_current = (
                 len(predictor.value_models) == len(chain_ref)
                 and all(
                     a is b for a, b in zip(predictor.value_models, chain_ref)
+                )
+                # Identity alone misses incremental updates: partial_fit
+                # mutates the chain in place (same object, bumped
+                # version), leaving the stacked tensor rows stale.
+                and self._stacked.fresh_slice(
+                    int(sl_vm[0]), int(sl_vm[-1]) + 1
                 )
             )
             fast_current = self._fast is None or (

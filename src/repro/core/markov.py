@@ -93,6 +93,11 @@ class MarkovModel:
             (self._n_condition_states(), n_states), dtype=float
         )
         self._trained = False
+        #: Trailing states of the most recent stream seen by
+        #: fit/update/partial_fit — the conditioning context needed to
+        #: stitch the next :meth:`partial_fit` chunk onto the stream
+        #: without losing (or double-counting) boundary transitions.
+        self._tail = np.empty(0, dtype=np.intp)
         #: Cached smoothed transition matrix; None = dirty (counts have
         #: changed since it was last built).
         self._matrix_cache: Optional[np.ndarray] = None
@@ -119,17 +124,55 @@ class MarkovModel:
         """Train from scratch on a discrete state sequence."""
         self._counts[:] = 0.0
         self._trained = False
+        self._tail = np.empty(0, dtype=np.intp)
         self._invalidate_cache()
         return self.update(sequence)
 
     def update(self, sequence: Sequence[int]) -> "MarkovModel":
-        """Accumulate transition counts from an additional sequence."""
+        """Accumulate transition counts from an additional sequence.
+
+        The sequence is an *independent* stream (e.g. a new training
+        segment): no transition is counted across the boundary from
+        previously seen data.  A model becomes trained only once at
+        least one transition has actually been observed — a sequence
+        too short to yield a transition leaves the trained flag alone,
+        so a fresh chain fed only empty/degenerate segments still
+        raises ``RuntimeError`` at prediction time instead of emitting
+        pure smoothing/persistence noise.
+        """
         seq = self._validate(sequence)
         if seq.size > self.history_needed:
             rows, nxt = self._extract_transitions(seq)
             np.add.at(self._counts, (rows, nxt), 1.0)
             self._invalidate_cache()
-        self._trained = True
+            self._trained = True
+        if seq.size:
+            self._tail = seq[-self.history_needed:].copy()
+        return self
+
+    def partial_fit(self, sequence: Sequence[int]) -> "MarkovModel":
+        """Continue the most recent stream with additional observations.
+
+        Unlike :meth:`update`, the new chunk is treated as the direct
+        continuation of the last sequence seen by :meth:`fit`,
+        :meth:`update` or :meth:`partial_fit`: the stored tail (the
+        trailing :attr:`history_needed` states of that stream) is
+        prepended, so transitions spanning the chunk boundary are
+        counted exactly once.  ``fit(a); partial_fit(b)`` is therefore
+        bitwise-identical to ``fit(a + b)`` — counts are integer-valued
+        float additions (exact in any order) and everything else is a
+        deterministic function of the counts.
+        """
+        seq = self._validate(sequence)
+        if not seq.size:
+            return self
+        stitched = np.concatenate([self._tail, seq])
+        if stitched.size > self.history_needed:
+            rows, nxt = self._extract_transitions(stitched)
+            np.add.at(self._counts, (rows, nxt), 1.0)
+            self._invalidate_cache()
+            self._trained = True
+        self._tail = stitched[-self.history_needed:].copy()
         return self
 
     def _invalidate_cache(self) -> None:
@@ -266,6 +309,14 @@ class MarkovModel:
                 f"counts shape {counts.shape} does not match "
                 f"{model._counts.shape} for a {kind!r} chain with "
                 f"{model.n_states} states"
+            )
+        if not np.isfinite(counts).all():
+            raise ValueError(
+                "corrupt Markov snapshot: counts contain NaN/inf values"
+            )
+        if (counts < 0.0).any():
+            raise ValueError(
+                "corrupt Markov snapshot: counts contain negative values"
             )
         model._counts = counts
         model._trained = bool(payload["trained"])

@@ -13,7 +13,10 @@ scorer, the operational counterpart of the paper's batch simulations:
   into single calls to the vectorized batch predictor;
 * :mod:`repro.serve.replay` — load harness replaying recorded trace
   datasets against a service and checking alert parity vs the offline
-  controller.
+  controller;
+* :mod:`repro.serve.lifecycle` — continuous-learning loop: online
+  drift trigger, challenger shadow scoring, agreement-gated champion
+  promotion and instant rollback.
 
 See ``docs/serving.md`` for the end-to-end tour.
 """
@@ -26,7 +29,9 @@ from repro.serve.protocol import (
     decode_line,
     encode_message,
 )
+from repro.serve.lifecycle import LifecycleConfig, LifecycleManager
 from repro.serve.registry import (
+    ActiveInfo,
     ModelRegistry,
     RegistryError,
     SnapshotInfo,
@@ -36,7 +41,10 @@ from repro.serve.replay import ReplayReport, replay_dataset
 from repro.serve.service import FleetScorer, PredictionService, ServiceConfig
 
 __all__ = [
+    "ActiveInfo",
     "FleetScorer",
+    "LifecycleConfig",
+    "LifecycleManager",
     "ModelRegistry",
     "PredictionService",
     "PROTOCOL_VERSION",

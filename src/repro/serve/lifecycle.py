@@ -1,0 +1,222 @@
+"""Continuous-learning lifecycle: drift → challenger → shadow → promote.
+
+Ties the pieces of the champion/challenger loop together around a
+running :class:`~repro.serve.service.PredictionService`:
+
+1. **Drift trigger.**  Every observed sample extends per-VM trailing
+   windows; a :class:`~repro.core.inference.DriftDetector` tick over
+   those windows decides when the serving fleet has drifted out from
+   under its training distribution.
+2. **Challenger training.**  On drift, a caller-supplied trainer
+   callback produces a fresh fleet (typically a retrain over the
+   recent regime).  The challenger is saved to the registry as the
+   next version and installed for shadow scoring — one extra
+   :class:`~repro.core.fleet.FleetScorer` pass per micro-batch, with
+   decisions logged but never served.
+3. **Promotion.**  Once the challenger has shadow-scored at least
+   ``min_shadow_samples`` and its alert decisions agree with the
+   champion's on at least ``min_agreement`` of them, the challenger is
+   auto-promoted: the registry's champion pointer moves to its
+   version and the service starts serving its decisions.
+4. **Rollback.**  The displaced champion stays immutable on disk and
+   in memory, so :meth:`LifecycleManager.rollback` restores it
+   instantly — registry pointer and serving fleet together.
+
+The agreement gate is deliberately conservative: a challenger that
+*diverges* from the champion on stable traffic is suspect (bad labels,
+truncated training window), while a drift-triggered retrain that still
+agrees on the overwhelmingly-normal stream is safe to take.  Callers
+needing an accuracy-based gate can score both fleets offline first and
+only ``install_challenger`` winners.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.inference import DriftDetector
+from repro.core.predictor import AnomalyPredictor
+from repro.obs import NULL_OBS, Observability
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import PredictionService
+
+__all__ = ["LifecycleConfig", "LifecycleManager"]
+
+#: Produces a challenger fleet from per-VM recent-value windows.
+TrainerFn = Callable[[Dict[str, np.ndarray]], Dict[str, AnomalyPredictor]]
+
+
+@dataclass(frozen=True)
+class LifecycleConfig:
+    """Tunables of the continuous-learning loop."""
+
+    #: trailing samples per VM fed to the drift detector
+    drift_window: int = 24
+    #: fraction of VMs that must show a change point to call drift
+    drift_min_fraction: float = 1.0
+    #: detector ticks suppressed after a trigger
+    drift_cooldown: int = 24
+    #: change-point z-threshold (see ``detect_change_point``)
+    drift_threshold: float = 4.5
+    #: shadow decisions required before a promotion verdict
+    min_shadow_samples: int = 50
+    #: alert-decision agreement (champion vs challenger) required
+    min_agreement: float = 0.9
+
+
+class LifecycleManager:
+    """Drives drift detection, shadow scoring and champion promotion."""
+
+    def __init__(
+        self,
+        service: PredictionService,
+        registry: ModelRegistry,
+        model_name: str,
+        trainer: TrainerFn,
+        config: Optional[LifecycleConfig] = None,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        self.service = service
+        self.registry = registry
+        self.model_name = model_name
+        self.trainer = trainer
+        self.config = config or LifecycleConfig()
+        self.obs = obs if obs is not None else NULL_OBS
+        # Full windows only: the serving-side trigger waits until every
+        # VM has drift_window trailing samples, trading detection lag
+        # for far fewer spurious half-window change points.
+        self.detector = DriftDetector(
+            threshold=self.config.drift_threshold,
+            min_fraction=self.config.drift_min_fraction,
+            min_samples=max(6, self.config.drift_window),
+            cooldown=self.config.drift_cooldown,
+        )
+        self._windows: Dict[str, Deque[List[float]]] = {
+            vm: deque(maxlen=self.config.drift_window)
+            for vm in service.scorer.predictors
+        }
+        self.events: List[Dict] = []
+        m = self.obs.metrics
+        self._m_drift = m.counter(
+            "serve_drift_detected_total", "Serving-side drift triggers")
+        self._m_promotions = m.counter(
+            "serve_promotions_total", "Challenger auto-promotions")
+        self._m_rollbacks = m.counter(
+            "serve_rollbacks_total", "Champion rollbacks")
+
+    # ------------------------------------------------------------------
+    # Observation + drift
+    # ------------------------------------------------------------------
+    def observe(self, vm: str, values: Sequence[float]) -> bool:
+        """Record one sample; True when this observation fired drift.
+
+        Feed every sample the service sees (the replay harness and
+        ``continuous_check.py`` call this next to each ``sample`` op).
+        Drift fires at most once per cooldown; the caller then trains
+        and installs a challenger via :meth:`train_challenger` or
+        :meth:`install_challenger`.
+        """
+        window = self._windows.get(vm)
+        if window is None:
+            return False
+        window.append(list(values))
+        return self.check_drift()
+
+    def check_drift(self) -> bool:
+        """One detector tick over the current trailing windows."""
+        if self.service._challenger is not None:
+            # Evidence gathering is in progress; a second trigger now
+            # would discard the shadow tallies mid-window.
+            return False
+        windows = {
+            vm: np.asarray(w, dtype=float)
+            for vm, w in self._windows.items()
+        }
+        if self.detector.check(windows):
+            self._m_drift.inc()
+            self.events.append({
+                "event": "drift_detected",
+                "fraction": float(self.detector.last_fraction),
+            })
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Challenger training + installation
+    # ------------------------------------------------------------------
+    def train_challenger(self) -> Optional[int]:
+        """Train, save and install a challenger from the trainer callback.
+
+        Returns the registry version of the installed challenger, or
+        None when the trainer produced no usable fleet (not enough
+        labeled data yet — drift remains pending until the next
+        trigger).
+        """
+        windows = {
+            vm: np.asarray(w, dtype=float)
+            for vm, w in self._windows.items()
+        }
+        predictors = self.trainer(windows)
+        if not predictors:
+            self.events.append({"event": "challenger_skipped"})
+            return None
+        return self.install_challenger(predictors)
+
+    def install_challenger(
+        self, predictors: Dict[str, AnomalyPredictor]
+    ) -> int:
+        """Save ``predictors`` as the next version and shadow-score it."""
+        info = self.registry.save(self.model_name, predictors)
+        self.service.set_challenger(predictors, version=info.version)
+        self.events.append({
+            "event": "challenger_installed", "version": info.version,
+        })
+        return info.version
+
+    # ------------------------------------------------------------------
+    # Promotion + rollback
+    # ------------------------------------------------------------------
+    def maybe_promote(self) -> bool:
+        """Promote the challenger if its shadow window clears the gate.
+
+        Call after draining the service (so the tallies are settled).
+        Returns True when a promotion happened.  A challenger that has
+        seen the full window but *fails* the agreement gate is
+        discarded — the champion keeps serving.
+        """
+        if self.service._challenger is None:
+            return False
+        stats = self.service.shadow_stats()
+        if stats["scored"] < self.config.min_shadow_samples:
+            return False
+        if stats["agreement"] < self.config.min_agreement:
+            self.events.append({
+                "event": "challenger_rejected", **stats,
+            })
+            self.service.clear_challenger()
+            return False
+        version = self.service._challenger_version
+        self.service.promote_challenger()
+        if version is not None:
+            self.registry.promote(self.model_name, version)
+        self._m_promotions.inc()
+        self.events.append({
+            "event": "challenger_promoted", "version": version, **stats,
+        })
+        return True
+
+    def rollback(self) -> None:
+        """Restore the displaced champion, in memory and on disk."""
+        self.service.rollback_champion()
+        active = self.registry.active_info(self.model_name)
+        if active is not None and active.previous is not None:
+            self.registry.rollback(self.model_name)
+        self._m_rollbacks.inc()
+        self.events.append({
+            "event": "champion_rolled_back",
+            "version": self.service.champion_version,
+        })

@@ -31,6 +31,7 @@ __all__ = [
     "RegistryError",
     "SnapshotIntegrityError",
     "SnapshotInfo",
+    "ActiveInfo",
     "SCHEMA_VERSION",
 ]
 
@@ -41,6 +42,7 @@ _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
 _SNAPSHOT_FILE = "snapshot.json"
 _MANIFEST_FILE = "manifest.json"
+_ACTIVE_FILE = "active.json"
 
 _MANIFEST_KEYS = frozenset(
     {"schema", "name", "version", "created_at", "sha256", "n_vms", "vms"}
@@ -70,6 +72,22 @@ class SnapshotInfo:
     @property
     def version_label(self) -> str:
         return f"v{self.version:04d}"
+
+
+@dataclass(frozen=True)
+class ActiveInfo:
+    """The champion pointer of one model name.
+
+    ``version`` is the version currently served; ``previous`` retains
+    the champion that was displaced by the last promotion, which is
+    what :meth:`ModelRegistry.rollback` restores — instantly, because
+    both versions stay immutable on disk.
+    """
+
+    name: str
+    version: int
+    previous: Optional[int]
+    promoted_at: str
 
 
 def canonical_json(payload: Dict) -> str:
@@ -183,6 +201,102 @@ class ModelRegistry:
                     f"does not restore: {exc}"
                 ) from None
         return out
+
+    def load_active(self, name: str) -> Dict[str, AnomalyPredictor]:
+        """Restore the *champion* version of ``name``.
+
+        The champion is whatever :meth:`promote` last pointed at;
+        names that were never explicitly promoted fall back to the
+        latest version (backward compatible with pre-pointer layouts).
+        """
+        active = self.active_info(name)
+        return self.load(name, active.version if active else None)
+
+    # ------------------------------------------------------------------
+    # Champion pointer (promote / rollback)
+    # ------------------------------------------------------------------
+    def promote(
+        self,
+        name: str,
+        version: int,
+        promoted_at: Optional[str] = None,
+    ) -> ActiveInfo:
+        """Point the champion of ``name`` at ``version``.
+
+        Verifies the target version exists and its snapshot bytes
+        still match the manifest hash before moving the pointer — a
+        corrupt challenger must never become the champion.  The
+        displaced champion (if any) is retained as ``previous`` so
+        :meth:`rollback` can restore it instantly.
+        """
+        info = self.info(name, version)  # raises on unknown version
+        self._read_document(info)  # raises SnapshotIntegrityError if corrupt
+        if promoted_at is None:
+            promoted_at = datetime.now(timezone.utc).isoformat()
+        current = self.active_info(name)
+        previous = current.version if current else None
+        if previous == version:
+            previous = current.previous if current else None
+        active = ActiveInfo(
+            name=name,
+            version=version,
+            previous=previous,
+            promoted_at=promoted_at,
+        )
+        self._write_active(active)
+        return active
+
+    def rollback(self, name: str) -> ActiveInfo:
+        """Restore the previously displaced champion of ``name``.
+
+        Raises :class:`RegistryError` when there is nothing to roll
+        back to (no pointer, or no promotion ever displaced one).
+        """
+        current = self.active_info(name)
+        if current is None or current.previous is None:
+            raise RegistryError(
+                f"model {name!r} has no previous champion to roll back to"
+            )
+        return self.promote(name, current.previous)
+
+    def active_info(self, name: str) -> Optional[ActiveInfo]:
+        """The champion pointer of ``name``, or None if never promoted."""
+        path = self.root / name / _ACTIVE_FILE
+        if not path.is_file():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RegistryError(
+                f"cannot read active pointer {path}: {exc}"
+            ) from None
+        if not isinstance(payload, dict) or "version" not in payload:
+            raise RegistryError(f"active pointer {path} is malformed")
+        previous = payload.get("previous")
+        return ActiveInfo(
+            name=name,
+            version=int(payload["version"]),
+            previous=None if previous is None else int(previous),
+            promoted_at=str(payload.get("promoted_at", "")),
+        )
+
+    def active_version(self, name: str) -> Optional[int]:
+        """Champion version number of ``name``, or None if never promoted."""
+        active = self.active_info(name)
+        return active.version if active else None
+
+    def _write_active(self, active: ActiveInfo) -> None:
+        path = self.root / active.name / _ACTIVE_FILE
+        payload = {
+            "name": active.name,
+            "version": active.version,
+            "previous": active.previous,
+            "promoted_at": active.promoted_at,
+        }
+        path.write_text(
+            json.dumps(payload, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
 
     def _read_document(self, info: SnapshotInfo) -> str:
         snap_path = info.path / _SNAPSHOT_FILE

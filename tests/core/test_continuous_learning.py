@@ -1,0 +1,458 @@
+"""Incremental training (partial_fit / partial_train) and its bugfixes.
+
+The continuous-learning contract is **bitwise**: folding a new chunk
+into a trained model's count statistics and recomputing the derived
+tensors must equal a batch refit on the concatenated data, float for
+float — same style of guarantee as ``test_vectorized_equivalence.py``.
+Also covered here: the model-lifecycle bugfixes that rode along —
+the Markov trained-flag-on-empty-update bug, the constant-attribute
+discretizer bins, and snapshot value hardening.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bayes import NaiveBayesClassifier
+from repro.core.discretization import Discretizer
+from repro.core.markov import SimpleMarkovModel, TwoDependentMarkovModel
+from repro.core.predictor import AnomalyPredictor, BatchedAttributeChains
+from repro.core.tan import TANClassifier
+
+N_STATES = 6
+
+sequences = st.lists(st.integers(0, N_STATES - 1), min_size=0, max_size=40)
+
+
+def assert_chains_bitwise_equal(a, b):
+    np.testing.assert_array_equal(a._counts, b._counts)
+    assert a._trained == b._trained
+    if a._trained:
+        np.testing.assert_array_equal(
+            a.transition_matrix(), b.transition_matrix()
+        )
+
+
+# ----------------------------------------------------------------------
+# Markov chains
+# ----------------------------------------------------------------------
+class TestMarkovPartialFit:
+    @pytest.mark.parametrize(
+        "cls", [SimpleMarkovModel, TwoDependentMarkovModel]
+    )
+    @given(first=sequences, second=sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_partial_fit_matches_batch_refit(self, cls, first, second):
+        inc = cls(N_STATES).fit(first).partial_fit(second)
+        full = cls(N_STATES).fit(first + second)
+        assert_chains_bitwise_equal(inc, full)
+
+    @pytest.mark.parametrize(
+        "cls", [SimpleMarkovModel, TwoDependentMarkovModel]
+    )
+    def test_chunked_stream_matches_one_shot(self, cls):
+        rng = np.random.default_rng(5)
+        stream = rng.integers(0, N_STATES, size=120).tolist()
+        inc = cls(N_STATES).fit(stream[:1])  # degenerate first chunk
+        for lo in range(1, 120, 7):
+            inc.partial_fit(stream[lo:lo + 7])
+        assert_chains_bitwise_equal(inc, cls(N_STATES).fit(stream))
+
+    @pytest.mark.parametrize(
+        "cls", [SimpleMarkovModel, TwoDependentMarkovModel]
+    )
+    def test_update_starts_an_independent_segment(self, cls):
+        # update() must NOT stitch across the boundary: the two
+        # segments are separate observation streams.
+        a = [0, 1, 2, 3, 2, 1, 0, 1]
+        b = [5, 4, 3, 2, 1, 0, 1, 2]
+        split = cls(N_STATES).fit(a).update(b)
+        joined = cls(N_STATES).fit(a + b)
+        assert not np.array_equal(split._counts, joined._counts)
+        np.testing.assert_array_equal(
+            split._counts,
+            cls(N_STATES).fit(a)._counts + cls(N_STATES).fit(b)._counts,
+        )
+
+    @pytest.mark.parametrize(
+        "cls", [SimpleMarkovModel, TwoDependentMarkovModel]
+    )
+    def test_partial_fit_after_update_stitches_the_new_segment(self, cls):
+        a = [0, 1, 2, 3, 2, 1]
+        b = [5, 4, 3, 2]
+        c = [1, 0, 1, 2]
+        inc = cls(N_STATES).fit(a).update(b).partial_fit(c)
+        ref = cls(N_STATES).fit(a).update(b + c)
+        assert_chains_bitwise_equal(inc, ref)
+
+
+class TestMarkovTrainedFlagRegression:
+    """update()/fit() on too-short sequences must not mark trained."""
+
+    @pytest.mark.parametrize(
+        "cls,too_short",
+        [
+            (SimpleMarkovModel, []),
+            (SimpleMarkovModel, [3]),
+            (TwoDependentMarkovModel, []),
+            (TwoDependentMarkovModel, [3]),
+            (TwoDependentMarkovModel, [3, 4]),
+        ],
+    )
+    def test_no_transitions_leaves_model_untrained(self, cls, too_short):
+        model = cls(N_STATES)
+        model.update(too_short)
+        assert not model._trained
+        with pytest.raises(RuntimeError):
+            model.predict_distribution([1] * model.history_needed)
+        model.fit(too_short)
+        assert not model._trained
+
+    @pytest.mark.parametrize(
+        "cls", [SimpleMarkovModel, TwoDependentMarkovModel]
+    )
+    def test_short_segments_still_accumulate_later(self, cls):
+        model = cls(N_STATES)
+        model.update([2])  # no transition yet
+        model.update([0, 1, 2, 3, 2, 1])
+        assert model._trained
+        ref = cls(N_STATES).fit([0, 1, 2, 3, 2, 1])
+        np.testing.assert_array_equal(model._counts, ref._counts)
+
+
+# ----------------------------------------------------------------------
+# Discretizer
+# ----------------------------------------------------------------------
+class TestConstantAttributeRegression:
+    def test_idle_then_active_metric_stays_in_bin_zero(self):
+        # An attribute flat during training (idle disk, say) must map
+        # every later value to bin 0 — the docstring's promise.  The
+        # old edges (linspace(lo+1, lo+2)) put values above lo+1 into
+        # bins >= 1.
+        data = np.column_stack([
+            np.zeros(50),                       # idle during training
+            np.linspace(0.0, 10.0, 50),
+        ])
+        disc = Discretizer(n_bins=6).fit(data)
+        active = np.column_stack([
+            np.linspace(0.0, 400.0, 30),        # bursts after training
+            np.linspace(0.0, 10.0, 30),
+        ])
+        binned = disc.transform(active)
+        assert (binned[:, 0] == 0).all()
+        assert disc.transform_value(0, 1.5) == 0
+        assert disc.transform_value(0, 1e9) == 0
+
+    def test_constant_bins_survive_snapshot_roundtrip(self):
+        data = np.column_stack([np.full(20, 7.0), np.arange(20.0)])
+        disc = Discretizer(n_bins=4).fit(data)
+        restored = Discretizer.from_dict(disc.to_dict())
+        assert restored.transform_value(0, 123.0) == 0
+        np.testing.assert_array_equal(
+            restored.transform(data), disc.transform(data)
+        )
+
+
+class TestStableUnderGuard:
+    def test_in_range_data_is_stable(self):
+        rng = np.random.default_rng(0)
+        data = rng.uniform(0.0, 10.0, size=(40, 3))
+        disc = Discretizer(n_bins=5).fit(data)
+        assert disc.stable_under(data)
+        assert disc.stable_under(data[:5] * 0.5 + 2.0)
+
+    def test_out_of_range_or_bad_data_is_unstable(self):
+        data = np.random.default_rng(1).uniform(0.0, 10.0, size=(40, 2))
+        disc = Discretizer(n_bins=5).fit(data)
+        assert not disc.stable_under(np.full((3, 2), 11.0))
+        assert not disc.stable_under(np.full((3, 2), -1.0))
+        assert not disc.stable_under(np.full((3, 2), np.nan))
+
+    def test_constant_trained_attribute_must_stay_constant(self):
+        data = np.column_stack([np.full(20, 3.0), np.arange(20.0)])
+        disc = Discretizer(n_bins=4).fit(data)
+        stays = np.column_stack([np.full(5, 3.0), np.arange(5.0)])
+        moves = np.column_stack([np.full(5, 4.0), np.arange(5.0)])
+        assert disc.stable_under(stays)
+        assert not disc.stable_under(moves)
+
+    def test_quantile_strategy_is_never_stable(self):
+        data = np.random.default_rng(2).uniform(size=(40, 2))
+        disc = Discretizer(n_bins=4, strategy="quantile").fit(data)
+        assert not disc.stable_under(data)
+
+    def test_refit_on_concat_reproduces_edges_when_stable(self):
+        rng = np.random.default_rng(3)
+        old = rng.uniform(0.0, 10.0, size=(60, 3))
+        new = rng.uniform(1.0, 9.0, size=(20, 3))
+        disc = Discretizer(n_bins=6).fit(old)
+        assert disc.stable_under(new)
+        refit = Discretizer(n_bins=6).fit(np.vstack([old, new]))
+        for a, b in zip(disc._bins, refit._bins):
+            np.testing.assert_array_equal(a.edges, b.edges)
+            np.testing.assert_array_equal(a.centers, b.centers)
+
+
+# ----------------------------------------------------------------------
+# Classifiers
+# ----------------------------------------------------------------------
+def make_labeled(seed, n, n_attrs=4, n_bins=N_STATES):
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, n_bins, size=(n, n_attrs))
+    y = (rng.random(n) < 0.3).astype(int)
+    y[:2] = [0, 1]  # both classes present in any prefix split we use
+    return X, y
+
+
+def assert_classifiers_bitwise_equal(a, b):
+    np.testing.assert_array_equal(a._log_prior, b._log_prior)
+    np.testing.assert_array_equal(a.attribute_mask, b.attribute_mask)
+    np.testing.assert_array_equal(a._diff_hard, b._diff_hard)
+    np.testing.assert_array_equal(a._diff_soft, b._diff_soft)
+
+
+@pytest.mark.parametrize("cls", [NaiveBayesClassifier, TANClassifier])
+@pytest.mark.parametrize("robust", [True, False])
+@pytest.mark.parametrize("class_prior", ["balanced", "empirical", "capped"])
+class TestClassifierPartialFit:
+    def test_partial_fit_matches_batch_refit(self, cls, robust, class_prior):
+        X, y = make_labeled(11, 240)
+        inc = cls(
+            n_bins=N_STATES, robust=robust, class_prior=class_prior
+        ).fit(X[:150], y[:150]).partial_fit(X[150:], y[150:])
+        full = cls(
+            n_bins=N_STATES, robust=robust, class_prior=class_prior
+        ).fit(X, y)
+        assert_classifiers_bitwise_equal(inc, full)
+        np.testing.assert_array_equal(
+            inc.log_odds_batch(X), full.log_odds_batch(X)
+        )
+        if cls is TANClassifier:
+            np.testing.assert_array_equal(inc.parents, full.parents)
+
+    def test_many_small_chunks(self, cls, robust, class_prior):
+        X, y = make_labeled(13, 200)
+        inc = cls(
+            n_bins=N_STATES, robust=robust, class_prior=class_prior
+        ).fit(X[:60], y[:60])
+        for lo in range(60, 200, 35):
+            inc.partial_fit(X[lo:lo + 35], y[lo:lo + 35])
+        full = cls(
+            n_bins=N_STATES, robust=robust, class_prior=class_prior
+        ).fit(X, y)
+        assert_classifiers_bitwise_equal(inc, full)
+
+
+class TestClassifierPartialFitEdges:
+    def test_partial_fit_on_untrained_is_fit(self):
+        X, y = make_labeled(17, 100)
+        a = NaiveBayesClassifier(n_bins=N_STATES).partial_fit(X, y)
+        b = NaiveBayesClassifier(n_bins=N_STATES).fit(X, y)
+        assert_classifiers_bitwise_equal(a, b)
+
+    def test_restored_snapshot_cannot_partial_fit(self):
+        X, y = make_labeled(19, 100)
+        for cls in (NaiveBayesClassifier, TANClassifier):
+            restored = cls.from_dict(
+                cls(n_bins=N_STATES).fit(X, y).to_dict()
+            )
+            assert not restored.supports_partial_fit
+            with pytest.raises(RuntimeError):
+                restored.partial_fit(X[:5], y[:5])
+
+    def test_tan_structure_change_counter(self):
+        # First regime: attrs 0/1 perfectly coupled; later chunks
+        # couple attrs 1/2 instead, forcing a different spanning tree.
+        rng = np.random.default_rng(23)
+        n = 200
+        base = rng.integers(0, N_STATES, size=(n, 3))
+        X1 = base.copy()
+        X1[:, 1] = X1[:, 0]
+        y = (rng.random(n) < 0.4).astype(int)
+        y[:2] = [0, 1]
+        clf = TANClassifier(n_bins=N_STATES, robust=False).fit(X1, y)
+        assert clf.structure_changes == 0
+
+        X2 = rng.integers(0, N_STATES, size=(4 * n, 3))
+        X2[:, 1] = X2[:, 2]
+        y2 = (rng.random(4 * n) < 0.4).astype(int)
+        clf.partial_fit(X2, y2)
+        assert clf.structure_changes == 1
+        full = TANClassifier(n_bins=N_STATES, robust=False).fit(
+            np.vstack([X1, X2]), np.concatenate([y, y2])
+        )
+        np.testing.assert_array_equal(clf.parents, full.parents)
+        assert_classifiers_bitwise_equal(clf, full)
+
+
+# ----------------------------------------------------------------------
+# Snapshot value hardening
+# ----------------------------------------------------------------------
+class TestCorruptSnapshotRejection:
+    @pytest.mark.parametrize(
+        "cls", [SimpleMarkovModel, TwoDependentMarkovModel]
+    )
+    @pytest.mark.parametrize("poison", [np.nan, np.inf, -1.0])
+    def test_markov_rejects_bad_count_values(self, cls, poison):
+        model = cls(N_STATES).fit([0, 1, 2, 3, 2, 1, 0, 1, 2])
+        blob = model.to_dict()
+        blob["counts"][0][0] = poison
+        with pytest.raises(ValueError, match="corrupt Markov snapshot"):
+            cls.from_dict(blob)
+
+    def test_naive_bayes_rejects_bad_log_probabilities(self):
+        X, y = make_labeled(29, 120)
+        blob = NaiveBayesClassifier(n_bins=N_STATES).fit(X, y).to_dict()
+        bad = {**blob, "log_prior": [0.5, blob["log_prior"][1]]}
+        with pytest.raises(ValueError, match="positive log"):
+            NaiveBayesClassifier.from_dict(bad)
+        bad = {**blob}
+        bad["log_cpt"] = [row[:] for row in blob["log_cpt"]]
+        bad["log_cpt"][0][0][0] = float("nan")
+        with pytest.raises(ValueError, match="non-finite"):
+            NaiveBayesClassifier.from_dict(bad)
+
+    def test_tan_rejects_bad_snapshot_values(self):
+        X, y = make_labeled(31, 120)
+        blob = TANClassifier(n_bins=N_STATES).fit(X, y).to_dict()
+        bad = {**blob, "log_prior": [float("inf"), blob["log_prior"][1]]}
+        with pytest.raises(ValueError, match="corrupt TAN snapshot"):
+            TANClassifier.from_dict(bad)
+        bad = {**blob, "parents": [9] + blob["parents"][1:]}
+        with pytest.raises(ValueError):
+            TANClassifier.from_dict(bad)
+        import copy
+
+        bad = copy.deepcopy(blob)
+        flat = np.asarray(bad["log_cpt"][0], dtype=float)
+        flat.flat[0] = 1.0
+        bad["log_cpt"][0] = flat.tolist()
+        with pytest.raises(ValueError, match="positive log"):
+            TANClassifier.from_dict(bad)
+
+
+# ----------------------------------------------------------------------
+# Predictor partial_train
+# ----------------------------------------------------------------------
+def predictor_window(seed=41, n=260, n_attrs=3):
+    rng = np.random.default_rng(seed)
+    values = np.cumsum(rng.normal(size=(n, n_attrs)), axis=0)
+    labels = (rng.random(n) < 0.3).astype(int)
+    labels[:2] = [0, 1]
+    return values, labels
+
+
+def assert_predictions_bitwise_equal(a, b, values):
+    recent = values[-max(a.history_needed, 2):]
+    ra, rb = a.predict(recent, steps=4), b.predict(recent, steps=4)
+    assert ra.score == rb.score
+    assert ra.strengths == rb.strengths
+    assert ra.bins == rb.bins
+    ca, cb = a.classify_current(values[-1]), b.classify_current(values[-1])
+    assert ca.score == cb.score
+
+
+class TestPredictorPartialTrain:
+    @pytest.mark.parametrize("markov", ["simple", "2dep"])
+    @pytest.mark.parametrize("classifier", ["tan", "naive"])
+    def test_extension_matches_full_retrain(self, markov, classifier):
+        values, labels = predictor_window()
+        # The suffix must lie inside the training range so the
+        # discretizer guard passes: train on a prefix whose values
+        # cover the whole window's range.
+        lo, hi = values.min(axis=0), values.max(axis=0)
+        values[0], values[1] = lo, hi
+        inc = AnomalyPredictor(
+            ["a", "b", "c"], n_bins=6, markov=markov, classifier=classifier
+        )
+        inc.train(values[:200], labels[:200])
+        assert inc.partial_train(values, labels) is True
+        full = AnomalyPredictor(
+            ["a", "b", "c"], n_bins=6, markov=markov, classifier=classifier
+        )
+        full.train(values, labels)
+        assert_predictions_bitwise_equal(inc, full, values)
+
+    def test_segment_ids_respected(self):
+        values, labels = predictor_window(seed=43)
+        lo, hi = values.min(axis=0), values.max(axis=0)
+        values[0], values[1] = lo, hi
+        ids = np.zeros(len(values), dtype=int)
+        ids[120:] = 1  # second Markov segment
+        inc = AnomalyPredictor(["a", "b", "c"], n_bins=6)
+        inc.train(values[:200], labels[:200], segment_ids=ids[:200])
+        assert inc.partial_train(values, labels, segment_ids=ids) is True
+        full = AnomalyPredictor(["a", "b", "c"], n_bins=6)
+        full.train(values, labels, segment_ids=ids)
+        assert_predictions_bitwise_equal(inc, full, values)
+
+    def test_new_segment_in_suffix(self):
+        values, labels = predictor_window(seed=47)
+        lo, hi = values.min(axis=0), values.max(axis=0)
+        values[0], values[1] = lo, hi
+        ids = np.zeros(len(values), dtype=int)
+        ids[230:] = 1  # the suffix opens a brand-new segment
+        inc = AnomalyPredictor(["a", "b", "c"], n_bins=6)
+        inc.train(values[:200], labels[:200], segment_ids=ids[:200])
+        assert inc.partial_train(values, labels, segment_ids=ids) is True
+        full = AnomalyPredictor(["a", "b", "c"], n_bins=6)
+        full.train(values, labels, segment_ids=ids)
+        assert_predictions_bitwise_equal(inc, full, values)
+
+    def test_gate_rejects_non_extensions(self):
+        values, labels = predictor_window(seed=53)
+        predictor = AnomalyPredictor(["a", "b", "c"], n_bins=6)
+        predictor.train(values[:200], labels[:200])
+        # shorter window
+        assert predictor.partial_train(values[:150], labels[:150]) is False
+        # changed prefix values
+        mutated = values.copy()
+        mutated[10] += 1.0
+        assert predictor.partial_train(mutated, labels) is False
+        # changed prefix labels
+        flipped = labels.copy()
+        flipped[10] ^= 1
+        assert predictor.partial_train(values, flipped) is False
+        # out-of-range suffix (discretizer unstable)
+        blown = values.copy()
+        blown[250:] = values.max() * 100
+        assert predictor.partial_train(blown, labels) is False
+        # equal window = empty suffix is a no-op success
+        v2, l2 = values[:200], labels[:200]
+        assert predictor.partial_train(v2, l2) is True
+
+    def test_untrained_and_restored_predictors_refuse(self):
+        values, labels = predictor_window(seed=59)
+        fresh = AnomalyPredictor(["a", "b", "c"], n_bins=6)
+        assert fresh.partial_train(values, labels) is False
+        trained = AnomalyPredictor(["a", "b", "c"], n_bins=6)
+        trained.train(values[:200], labels[:200])
+        restored = AnomalyPredictor.from_dict(trained.to_dict())
+        assert restored.partial_train(values, labels) is False
+
+    def test_train_raises_when_no_segment_yields_transitions(self):
+        values, labels = predictor_window(seed=61, n=40)
+        ids = np.arange(40)  # every segment has exactly one sample
+        predictor = AnomalyPredictor(["a", "b", "c"], n_bins=6)
+        with pytest.raises(ValueError, match="no state transitions"):
+            predictor.train(values, labels, segment_ids=ids)
+        assert not predictor.trained
+
+
+# ----------------------------------------------------------------------
+# Batched chains pick up in-place updates
+# ----------------------------------------------------------------------
+class TestFreshSlice:
+    def test_fresh_slice_localizes_staleness(self):
+        chains = [
+            TwoDependentMarkovModel(4).fit([0, 1, 2, 3, 2, 1, 0])
+            for _ in range(4)
+        ]
+        batched = BatchedAttributeChains(chains)
+        assert batched.fresh()
+        chains[2].partial_fit([1, 2, 3])
+        assert not batched.fresh()
+        assert batched.fresh_slice(0, 2)
+        assert not batched.fresh_slice(2, 4)
+        batched.restack(2, chains[2:])
+        assert batched.fresh()

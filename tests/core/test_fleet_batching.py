@@ -188,6 +188,50 @@ class TestIncrementalRefresh:
                 got, predictors[vm].classify_current(values_row)
             )
 
+    def test_refresh_repairs_in_place_partial_train(self):
+        """``partial_train`` updates the chains *in place* (same model
+        objects, bumped versions) — identity checks alone would miss
+        it.  ``stacked`` must go stale and ``refresh`` must repair to
+        bitwise-per-VM scores."""
+        rng = np.random.default_rng(7)
+        predictors, traces = {}, {}
+        for i in range(4):
+            vm = f"vm{i}"
+            p = AnomalyPredictor(
+                [f"m{j}" for j in range(N_ATTRS)], n_bins=6, markov="2dep",
+            )
+            values = np.cumsum(
+                rng.normal(size=(260, N_ATTRS)), axis=0
+            )
+            # Pin global per-column extremes into the trained prefix so
+            # the held-out suffix stays inside the discretizer's range
+            # and the incremental path actually engages.
+            values[0] = values.min(axis=0) - 1.0
+            values[1] = values.max(axis=0) + 1.0
+            labels = (rng.random(260) < 0.3).astype(int)
+            p.train(values[:200], labels[:200])
+            predictors[vm] = p
+            traces[vm] = (values, labels)
+
+        scorer = FleetScorer(predictors)
+        batch = [(vm, traces[vm][0][50:60], 4) for vm in sorted(predictors)]
+        scorer.score(batch)  # populate the horizon-operator cache
+
+        updated = "vm2"
+        values, labels = traces[updated]
+        assert predictors[updated].partial_train(values, labels) is True
+        assert not scorer.stacked
+
+        assert scorer.refresh() is True
+        assert scorer.stacked
+        fresh = FleetScorer(predictors)
+        for (vm, recent, steps), got, rebuilt in zip(
+            batch, scorer.score(batch), fresh.score(batch)
+        ):
+            want = predictors[vm].predict(recent, steps)
+            _assert_result_equal(got, want)
+            _assert_result_equal(rebuilt, want)
+
     def test_refresh_refuses_untrained_replacement(self):
         predictors, _ = _make_fleet(n_vms=3)
         scorer = FleetScorer(predictors)

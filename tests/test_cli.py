@@ -297,3 +297,95 @@ class TestServingCommands:
         assert main(["replay", str(path), "--socket",
                      str(tmp_path / "s.sock"), "--name", "fleet"]) == 2
         assert "--registry" in capsys.readouterr().err
+
+
+class TestModelLifecycleCommands:
+    @staticmethod
+    def _registry(tmp_path, versions=2):
+        import numpy as np
+
+        from repro.core.predictor import AnomalyPredictor
+        from repro.serve.registry import ModelRegistry
+
+        rng = np.random.default_rng(4)
+        predictor = AnomalyPredictor([f"m{i}" for i in range(5)], n_bins=6)
+        values = np.cumsum(rng.normal(size=(200, 5)), axis=0)
+        labels = (rng.random(200) < 0.3).astype(int)
+        predictor.train(values, labels)
+        registry = ModelRegistry(tmp_path / "registry")
+        for v in range(versions):
+            registry.save("fleet", {"vm1": predictor},
+                          created_at=f"2026-08-0{v + 1}T00:00:00+00:00")
+        return tmp_path / "registry"
+
+    def test_promote_then_status_and_rollback(self, capsys, tmp_path):
+        registry = self._registry(tmp_path)
+        base = ["models", "--registry", str(registry)]
+        assert main(base + ["promote", "--name", "fleet",
+                            "--version", "1"]) == 0
+        assert "champion v0001" in capsys.readouterr().out
+
+        assert main(base + ["promote", "--name", "fleet",
+                            "--version", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {
+            "name": "fleet", "version": 2, "previous": 1,
+            "promoted_at": payload["promoted_at"],
+        }
+
+        assert main(base + ["status", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows == [{
+            "name": "fleet", "active": 2, "previous": 1,
+            "latest": 2, "versions": [1, 2],
+        }]
+
+        assert main(base + ["rollback", "--name", "fleet"]) == 0
+        assert "champion v0001" in capsys.readouterr().out
+        assert main(base + ["status"]) == 0
+        out = capsys.readouterr().out
+        assert "v0001" in out  # active column back on v1
+
+    def test_list_marks_champion(self, capsys, tmp_path):
+        registry = self._registry(tmp_path)
+        base = ["models", "--registry", str(registry)]
+        assert main(base + ["promote", "--name", "fleet",
+                            "--version", "1"]) == 0
+        capsys.readouterr()
+        assert main(base) == 0
+        lines = capsys.readouterr().out.splitlines()
+        starred = [l for l in lines if l.rstrip().endswith("*")]
+        assert len(starred) == 1 and "v0001" in starred[0]
+
+    def test_promote_requires_name_and_version(self, capsys, tmp_path):
+        registry = self._registry(tmp_path)
+        assert main(["models", "--registry", str(registry),
+                     "promote", "--name", "fleet"]) == 2
+        assert "--version" in capsys.readouterr().err
+        assert main(["models", "--registry", str(registry),
+                     "rollback"]) == 2
+        assert "--name" in capsys.readouterr().err
+
+    def test_promote_unknown_version_exits_2(self, capsys, tmp_path):
+        registry = self._registry(tmp_path)
+        assert main(["models", "--registry", str(registry),
+                     "promote", "--name", "fleet", "--version", "9"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_rollback_without_promotion_exits_2(self, capsys, tmp_path):
+        registry = self._registry(tmp_path)
+        assert main(["models", "--registry", str(registry),
+                     "rollback", "--name", "fleet"]) == 2
+        assert "roll back" in capsys.readouterr().err
+
+    def test_serve_uses_champion_pointer(self, tmp_path):
+        # With a pointer installed, `serve` resolves the champion, not
+        # the latest version.
+        from repro.serve.registry import ModelRegistry
+
+        registry_path = self._registry(tmp_path)
+        ModelRegistry(registry_path).promote("fleet", 1)
+        args = build_parser().parse_args(
+            ["serve", "--registry", str(registry_path), "--name", "fleet"]
+        )
+        assert args.version is None  # default: follow the pointer
