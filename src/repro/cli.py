@@ -278,6 +278,62 @@ def build_parser() -> argparse.ArgumentParser:
     mdl.add_argument("--json", action="store_true",
                      help="print the result as JSON")
 
+    apa = sub.add_parser(
+        "api",
+        help="start the operator HTTP/WebSocket API (alarms, fleet "
+             "health, model status, /metrics) over a registry snapshot",
+    )
+    apa.add_argument("--registry", required=True, metavar="DIR",
+                     help="model registry root")
+    apa.add_argument("--name", required=True,
+                     help="snapshot name to serve")
+    apa.add_argument("--version", type=int, default=None,
+                     help="snapshot version (default: champion pointer, "
+                          "else latest)")
+    apa.add_argument("--host", default="127.0.0.1",
+                     help="API bind address (default %(default)s)")
+    apa.add_argument("--port", type=int, default=8787,
+                     help="API port (default %(default)s)")
+    apa.add_argument("--serve-socket", default=None, metavar="PATH",
+                     help="also expose the newline-JSON scoring protocol "
+                          "on this unix socket")
+    apa.add_argument("--serve-port", type=int, default=0,
+                     help="also expose the scoring protocol on this TCP "
+                          "port (0 = API only)")
+    apa.add_argument("--steps", type=int, default=4,
+                     help="default look-ahead steps per sample")
+
+    alm = sub.add_parser(
+        "alarms",
+        help="list and drive alarms on a running operator API "
+             "(see `repro api`)",
+    )
+    alm.add_argument("action", nargs="?", default="list",
+                     choices=("list", "ack", "silence", "escalate",
+                              "resolve", "raise"),
+                     help="list alarms (default) or drive one through "
+                          "its lifecycle")
+    alm.add_argument("--url", default="http://127.0.0.1:8787",
+                     help="operator API base URL (default %(default)s)")
+    alm.add_argument("--id", type=int, default=None, dest="alarm_id",
+                     help="alarm id (required for ack/silence/escalate/"
+                          "resolve)")
+    alm.add_argument("--state", default=None,
+                     help="with list: only alarms in this state")
+    alm.add_argument("--duration", type=float, default=300.0,
+                     help="with silence: mute window in seconds "
+                          "(default %(default)s)")
+    alm.add_argument("--vm", default=None,
+                     help="with raise: VM the alarm is about")
+    alm.add_argument("--kind", default=None,
+                     help="with raise: anomaly type (dedup key with --vm)")
+    alm.add_argument("--severity", default="warning",
+                     choices=("info", "warning", "critical"))
+    alm.add_argument("--message", default="",
+                     help="with raise: human-readable context")
+    alm.add_argument("--json", action="store_true",
+                     help="print the API response as JSON")
+
     prof = sub.add_parser(
         "profile",
         help="cProfile one campaign cell and report where time goes",
@@ -798,6 +854,134 @@ def _cmd_models(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_api(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs import Observability
+    from repro.serve.alarms import AlarmManager
+    from repro.serve.api import OperatorAPI
+    from repro.serve.registry import ModelRegistry, RegistryError
+    from repro.serve.service import PredictionService, ServiceConfig
+
+    try:
+        registry = ModelRegistry(args.registry)
+        if args.version is None:
+            predictors = registry.load_active(args.name)
+            version = registry.active_version(args.name)
+        else:
+            predictors = registry.load(args.name, args.version)
+            version = args.version
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def run() -> None:
+        obs = Observability()
+        alarms = AlarmManager(obs=obs)
+        service = PredictionService(
+            predictors, ServiceConfig(steps=args.steps),
+            obs=obs, alarms=alarms,
+        )
+        service.champion_version = version
+        api = OperatorAPI(
+            alarms, service=service, registry=registry,
+            model_name=args.name, obs=obs,
+        )
+        scoring = None
+        if args.serve_socket is not None:
+            await service.start(path=args.serve_socket)
+            scoring = args.serve_socket
+        elif args.serve_port:
+            await service.start(host=args.host, port=args.serve_port)
+            scoring = f"{args.host}:{args.serve_port}"
+        await api.start(host=args.host, port=args.port)
+        print(f"operator API for {len(predictors)} VM pipelines on "
+              f"http://{args.host}:{api.port} (ctrl-c to stop)", flush=True)
+        if scoring is not None:
+            print(f"scoring protocol on {scoring}", flush=True)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await api.stop()
+            if scoring is not None:
+                await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_alarms(args: argparse.Namespace) -> int:
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+    action = args.action
+    if action == "list":
+        query = f"?state={args.state}" if args.state else ""
+        request = urllib.request.Request(f"{base}/alarms{query}")
+    elif action == "raise":
+        if args.vm is None or args.kind is None:
+            print("error: raise needs --vm and --kind", file=sys.stderr)
+            return 2
+        request = urllib.request.Request(
+            f"{base}/alarms",
+            data=json.dumps({
+                "vm": args.vm, "kind": args.kind,
+                "severity": args.severity, "message": args.message,
+            }).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+    else:
+        if args.alarm_id is None:
+            print(f"error: {action} needs --id", file=sys.stderr)
+            return 2
+        body = {"duration": args.duration} if action == "silence" else {}
+        request = urllib.request.Request(
+            f"{base}/alarms/{args.alarm_id}/{action}",
+            data=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        try:
+            detail = json.loads(detail).get("error", detail)
+        except (ValueError, AttributeError):
+            pass
+        print(f"error: {exc.code}: {detail}", file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    rows = payload["alarms"] if action == "list" else [payload]
+    if not rows:
+        print("no alarms")
+        return 0
+    print(f"{'id':>4s} {'vm':12s} {'kind':20s} {'severity':8s} "
+          f"{'state':10s} {'count':>5s} message")
+    for row in rows:
+        print(f"{row['alarm_id']:>4d} {row['vm']:12s} {row['kind']:20s} "
+              f"{row['severity']:8s} {row['state']:10s} "
+              f"{row['count']:>5d} {row['message']}")
+    if action == "list":
+        counts = payload.get("counts", {})
+        open_total = sum(
+            count for state, count in counts.items() if state != "resolved"
+        )
+        print(f"{open_total} open / {counts.get('resolved', 0)} resolved")
+    return 0
+
+
 def _print_active(active, as_json: bool) -> int:
     if as_json:
         print(json.dumps({
@@ -905,6 +1089,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "replay": _cmd_replay,
         "models": _cmd_models,
+        "api": _cmd_api,
+        "alarms": _cmd_alarms,
         "profile": _cmd_profile,
     }
     return handlers[args.command](args)

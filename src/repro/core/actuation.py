@@ -104,7 +104,8 @@ class PreventionAction:
     #: where there is exactly one un-counted attempt).
     attempts: int = 0
     #: True once every retry attempt was exhausted without a completion
-    #: — a failed action is dropped by the validator, never judged.
+    #: — the validator resolves it as :attr:`ValidationOutcome.FAILED`
+    #: so the controller still escalates.
     failed: bool = False
 
 
@@ -517,11 +518,15 @@ class PreventionActuator:
 
 
 class ValidationOutcome:
-    """Tri-state result of an effectiveness check."""
+    """Result states of an effectiveness check."""
 
     PENDING = "pending"
     EFFECTIVE = "effective"
     INEFFECTIVE = "ineffective"
+    #: every dispatch retry was exhausted — nothing was actuated, so
+    #: there is no look-ahead window to judge, but the anomaly is
+    #: still unhandled and the controller must escalate
+    FAILED = "failed"
 
 
 @dataclass
@@ -603,7 +608,11 @@ class EffectivenessValidator:
         for item in self._pending:
             if item.action.failed:
                 # Every retry was exhausted: there is no "after" state
-                # to judge — drop the validation without an outcome.
+                # to compare usage against, but the outcome must still
+                # surface — silently dropping it would reset the
+                # alert's escalation instead of escalating it.
+                item.action.effective = False
+                resolved.append((item.action, ValidationOutcome.FAILED))
                 continue
             if now < item.matured_at or not item.action.completed:
                 still_pending.append(item)

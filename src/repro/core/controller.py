@@ -197,6 +197,7 @@ class PrepareController:
         config: Optional[PrepareConfig] = None,
         attributes: Sequence[str] = ATTRIBUTES,
         obs=None,
+        alarms=None,
     ) -> None:
         self._sim = sim
         self.cluster = cluster
@@ -205,6 +206,13 @@ class PrepareController:
         self.actuator = actuator
         self.config = config or PrepareConfig()
         self.attributes = tuple(attributes)
+        #: Optional :class:`~repro.serve.alarms.AlarmManager`.  None
+        #: (the default) keeps every decision byte-identical to an
+        #: alarm-free controller: the hooks below only ever *read*
+        #: controller state and raise/resolve operator alarms.
+        self.alarms = alarms
+        #: per-VM anomaly-type key of the alarm this controller raised
+        self._alarm_kinds: Dict[str, str] = {}
 
         vm_names = [vm.name for vm in app.vms]
         self.buffers: Dict[str, TrainingBuffer] = {
@@ -939,6 +947,21 @@ class PrepareController:
             workload_change=diagnosis.workload_change,
             proactive=proactive,
         )
+        if self.alarms is not None:
+            # One alarm per VM + anomaly type (= the top-ranked metric
+            # of the diagnosis); repeats across ticks deduplicate into
+            # it.  Reactive alerts mean the SLO is already violated.
+            for vm_name in diagnosis.faulty_vms:
+                ranked = diagnosis.ranked_metrics.get(vm_name, ())
+                kind = f"anomaly:{ranked[0] if ranked else 'unknown'}"
+                self._alarm_kinds[vm_name] = kind
+                self.alarms.raise_alarm(
+                    vm_name, kind,
+                    severity="warning" if proactive else "critical",
+                    message=f"anomaly predicted for {vm_name}"
+                    if proactive else f"SLO violation on {vm_name}",
+                    now=now, proactive=proactive,
+                )
         if not self.config.prevention_enabled:
             return
         # A workload change affects every component (Sec. II-C); only
@@ -1063,8 +1086,23 @@ class PrepareController:
             if outcome == ValidationOutcome.EFFECTIVE:
                 self.actuator.mark_effective(action)
                 self.filters[action.vm].reset()
+                if self.alarms is not None:
+                    kind = self._alarm_kinds.pop(action.vm, None)
+                    if kind is not None:
+                        self.alarms.resolve_key(
+                            action.vm, kind, now=now,
+                            reason="prevention action effective")
             else:
+                # INEFFECTIVE and FAILED both escalate: a failed action
+                # (every retry exhausted) leaves the anomaly unhandled,
+                # so the alarm's severity must go up, not reset.
                 self.actuator.mark_ineffective(action)
+                if self.alarms is not None:
+                    kind = self._alarm_kinds.get(action.vm)
+                    if kind is not None:
+                        self.alarms.escalate_key(
+                            action.vm, kind, now=now,
+                            reason=f"prevention action {outcome}")
                 self._escalate(action, now)
 
     def _escalate(self, action: PreventionAction, now: float) -> None:

@@ -175,6 +175,11 @@ def build_run_telemetry(
             outcome = str(event.detail.get("outcome", ""))
             if outcome in validations:
                 validations[outcome] += 1
+            elif outcome == "failed":
+                # Dispatch-failure outcomes only appear on runs that
+                # exhausted a retry budget; keep the key absent
+                # elsewhere so stored payloads stay stable.
+                validations["failed"] = validations.get("failed", 0) + 1
 
     models = {
         "trained": counts.get("model_trained", 0),

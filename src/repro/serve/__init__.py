@@ -16,13 +16,29 @@ scorer, the operational counterpart of the paper's batch simulations:
   controller;
 * :mod:`repro.serve.lifecycle` — continuous-learning loop: online
   drift trigger, challenger shadow scoring, agreement-gated champion
-  promotion and instant rollback.
+  promotion and instant rollback;
+* :mod:`repro.serve.alarms` — operator alarm lifecycle (raise → ack →
+  silence → escalate → resolve) with dedup, severity latching and
+  bounded history;
+* :mod:`repro.serve.api` — dependency-free HTTP/1.1 + WebSocket
+  operator API: alarms, fleet health, model status, funnel, and a
+  Prometheus ``/metrics`` scrape.
 
-See ``docs/serving.md`` for the end-to-end tour.
+See ``docs/serving.md`` for the end-to-end tour and
+``docs/operations.md`` for the operator runbook.
 """
 
 from __future__ import annotations
 
+from repro.serve.alarms import (
+    SEVERITIES,
+    Alarm,
+    AlarmError,
+    AlarmManager,
+    AlarmState,
+    severity_rank,
+)
+from repro.serve.api import ApiConfig, OperatorAPI
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -42,19 +58,27 @@ from repro.serve.service import FleetScorer, PredictionService, ServiceConfig
 
 __all__ = [
     "ActiveInfo",
+    "Alarm",
+    "AlarmError",
+    "AlarmManager",
+    "AlarmState",
+    "ApiConfig",
     "FleetScorer",
     "LifecycleConfig",
     "LifecycleManager",
     "ModelRegistry",
+    "OperatorAPI",
     "PredictionService",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "RegistryError",
     "ReplayReport",
+    "SEVERITIES",
     "ServiceConfig",
     "SnapshotInfo",
     "SnapshotIntegrityError",
     "decode_line",
     "encode_message",
     "replay_dataset",
+    "severity_rank",
 ]

@@ -1,0 +1,443 @@
+"""Operator alarm lifecycle: raise → ack → silence → escalate → resolve.
+
+The controller and the serving layer emit point-in-time *events* (an
+abnormal score, a drift trigger, a failed prevention).  Operators need
+*alarms*: stateful objects that deduplicate repeats, remember the worst
+severity seen, and move through an explicit lifecycle an on-call human
+can drive — acknowledge it, silence it for a maintenance window, watch
+it escalate when a prevention action fails, resolve it when the fleet
+is healthy again.
+
+State machine (states are :class:`AlarmState` strings):
+
+``active``
+    Raised and unhandled.  Re-raising the same (vm, kind) key
+    deduplicates into this alarm: the repeat count increments and, if
+    the new severity outranks the latched one, the alarm escalates.
+``acked``
+    An operator acknowledged it.  Repeats at the same severity stay
+    acked (no re-page for known trouble); a higher severity re-raise
+    escalates and drops the ack.
+``silenced``
+    Muted until ``silenced_until``.  Repeats inside the window are
+    recorded but cause no transition; the first raise after expiry
+    re-activates the alarm.
+``escalating``
+    Severity went up — either a worse raise arrived or a prevention
+    action for the alarm failed/was ineffective.  Needs a fresh ack.
+``resolved``
+    Terminal.  A later raise for the same key opens a *new* alarm.
+
+Two invariants hold everywhere: severity only latches upward
+(:attr:`Alarm.severity` is the highest ever seen), and per-alarm event
+history is bounded (a deque, so a flapping VM cannot grow memory).
+
+The manager is synchronous and event-loop agnostic; listeners
+registered with :meth:`AlarmManager.add_listener` receive every
+transition and are how :mod:`repro.serve.api` pushes live WebSocket
+updates.  Everything is metered through :mod:`repro.obs` and free when
+observability is off (the ``NULL_OBS`` null object).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.obs import NULL_OBS, Observability
+
+__all__ = [
+    "SEVERITIES",
+    "Alarm",
+    "AlarmError",
+    "AlarmManager",
+    "AlarmState",
+    "severity_rank",
+]
+
+#: Severity levels, least to most urgent.  Comparisons use the index.
+SEVERITIES: Tuple[str, ...] = ("info", "warning", "critical")
+
+
+def severity_rank(severity: str) -> int:
+    """Index of ``severity`` in :data:`SEVERITIES` (raises on unknown)."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise AlarmError(f"unknown severity {severity!r}; "
+                         f"expected one of {SEVERITIES}") from None
+
+
+class AlarmState:
+    """Lifecycle states (plain strings, JSON-friendly)."""
+
+    ACTIVE = "active"
+    ACKED = "acked"
+    SILENCED = "silenced"
+    ESCALATING = "escalating"
+    RESOLVED = "resolved"
+
+    ALL = (ACTIVE, ACKED, SILENCED, ESCALATING, RESOLVED)
+    #: states an operator still has to deal with
+    OPEN = (ACTIVE, ACKED, SILENCED, ESCALATING)
+
+
+class AlarmError(RuntimeError):
+    """Invalid transition or malformed alarm operation."""
+
+
+@dataclass
+class Alarm:
+    """One deduplicated alarm with its bounded transition history."""
+
+    alarm_id: int
+    vm: str
+    kind: str
+    severity: str
+    state: str
+    message: str
+    raised_at: float
+    updated_at: float
+    #: raises deduplicated into this alarm (1 = the original)
+    count: int = 1
+    #: times the severity/state escalated after the initial raise
+    escalations: int = 0
+    silenced_until: Optional[float] = None
+    detail: Dict = field(default_factory=dict)
+    events: Deque[Dict] = field(default_factory=lambda: deque(maxlen=32))
+
+    def to_dict(self, include_events: bool = True) -> Dict:
+        payload = {
+            "alarm_id": self.alarm_id,
+            "vm": self.vm,
+            "kind": self.kind,
+            "severity": self.severity,
+            "state": self.state,
+            "message": self.message,
+            "raised_at": self.raised_at,
+            "updated_at": self.updated_at,
+            "count": self.count,
+            "escalations": self.escalations,
+            "silenced_until": self.silenced_until,
+            "detail": dict(self.detail),
+        }
+        if include_events:
+            payload["events"] = [dict(e) for e in self.events]
+        return payload
+
+
+class AlarmManager:
+    """Deduplicating alarm store with an explicit lifecycle.
+
+    Parameters
+    ----------
+    history:
+        Events retained **per alarm** (older transitions fall off).
+    max_resolved:
+        Resolved alarms retained for audit before the oldest are
+        dropped; open alarms are never evicted.
+    clock:
+        Timestamp source.  Tests and the simulator inject their own;
+        every mutating method also takes an explicit ``now`` override.
+    """
+
+    def __init__(
+        self,
+        history: int = 32,
+        max_resolved: int = 256,
+        clock: Callable[[], float] = time.time,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self.history = history
+        self.max_resolved = max_resolved
+        self.clock = clock
+        self.obs = obs if obs is not None else NULL_OBS
+        self._ids = itertools.count(1)
+        self._alarms: Dict[int, Alarm] = {}
+        #: (vm, kind) → alarm_id of the open alarm for that key
+        self._open_keys: Dict[Tuple[str, str], int] = {}
+        self._resolved_order: Deque[int] = deque()
+        self._listeners: List[Callable[[Alarm, Dict], None]] = []
+        m = self.obs.metrics
+        self._m_raised = m.counter(
+            "alarms_raised_total", "Alarms raised (deduplicated raises "
+            "increment alarm count, not this)", labelnames=("severity",))
+        self._m_transitions = m.counter(
+            "alarms_transitions_total", "Alarm lifecycle transitions",
+            labelnames=("to",))
+        self._m_open = m.gauge(
+            "alarms_open", "Alarms in a non-resolved state")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def get(self, alarm_id: int) -> Alarm:
+        alarm = self._alarms.get(alarm_id)
+        if alarm is None:
+            raise AlarmError(f"no alarm with id {alarm_id}")
+        return alarm
+
+    def alarms(self, state: Optional[str] = None) -> List[Alarm]:
+        """All alarms (optionally one state), most urgent first."""
+        if state is not None and state not in AlarmState.ALL:
+            raise AlarmError(f"unknown state {state!r}; "
+                             f"expected one of {AlarmState.ALL}")
+        selected = [
+            a for a in self._alarms.values()
+            if state is None or a.state == state
+        ]
+        selected.sort(key=lambda a: (
+            a.state == AlarmState.RESOLVED,
+            -severity_rank(a.severity),
+            -a.updated_at,
+            -a.alarm_id,
+        ))
+        return selected
+
+    def counts(self) -> Dict[str, int]:
+        """Alarm tally per lifecycle state (all states present)."""
+        tally = {state: 0 for state in AlarmState.ALL}
+        for alarm in self._alarms.values():
+            tally[alarm.state] += 1
+        return tally
+
+    def snapshot(self, include_events: bool = False) -> Dict:
+        """JSON-ready view: alarms (urgency order) plus state counts."""
+        return {
+            "alarms": [a.to_dict(include_events) for a in self.alarms()],
+            "counts": self.counts(),
+        }
+
+    def add_listener(self, listener: Callable[[Alarm, Dict], None]) -> None:
+        """Call ``listener(alarm, event)`` after every transition."""
+        self._listeners.append(listener)
+
+    def remove_listener(
+        self, listener: Callable[[Alarm, Dict], None]
+    ) -> None:
+        """Detach a listener previously added (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Lifecycle operations
+    # ------------------------------------------------------------------
+    def raise_alarm(
+        self,
+        vm: str,
+        kind: str,
+        severity: str = "warning",
+        message: str = "",
+        now: Optional[float] = None,
+        **detail,
+    ) -> Alarm:
+        """Raise (or deduplicate into) the alarm for ``(vm, kind)``.
+
+        Returns the alarm the raise landed on.  Severity latches: a
+        repeat at a *higher* severity escalates the existing alarm; a
+        repeat at the same or lower severity only bumps its count.
+        Raises inside an unexpired silence window are recorded without
+        a state change; the first raise after expiry re-activates.
+        """
+        rank = severity_rank(severity)
+        now = self._now(now)
+        alarm = self._open_alarm(vm, kind)
+        if alarm is None:
+            alarm = Alarm(
+                alarm_id=next(self._ids),
+                vm=vm, kind=kind, severity=severity,
+                state=AlarmState.ACTIVE, message=message,
+                raised_at=now, updated_at=now, detail=dict(detail),
+                events=deque(maxlen=self.history),
+            )
+            self._alarms[alarm.alarm_id] = alarm
+            self._open_keys[(vm, kind)] = alarm.alarm_id
+            self._m_raised.inc(severity=severity)
+            self._record(alarm, "raise", now, message=message)
+            return alarm
+
+        # Deduplicated repeat.
+        alarm.count += 1
+        if detail:
+            alarm.detail.update(detail)
+        escalated = rank > severity_rank(alarm.severity)
+        if escalated:
+            alarm.severity = severity           # latch upward only
+        if alarm.state == AlarmState.SILENCED:
+            if alarm.silenced_until is not None and now < alarm.silenced_until:
+                # Muted: remember the repeat, keep quiet.
+                alarm.updated_at = now
+                self._record(alarm, "suppressed_raise", now,
+                             severity=severity, transition=False)
+            else:
+                # Silence expired — the next raise re-activates.
+                alarm.silenced_until = None
+                self._transition(
+                    alarm,
+                    AlarmState.ESCALATING if escalated else AlarmState.ACTIVE,
+                    "reraise", now, escalated=escalated)
+        elif escalated:
+            alarm.escalations += 1
+            self._transition(alarm, AlarmState.ESCALATING, "escalate", now,
+                             severity=severity)
+        else:
+            alarm.updated_at = now
+            self._record(alarm, "repeat", now, severity=severity,
+                         transition=False)
+        return alarm
+
+    def ack(self, alarm_id: int, now: Optional[float] = None) -> Alarm:
+        """Acknowledge an active or escalating alarm."""
+        alarm = self.get(alarm_id)
+        if alarm.state == AlarmState.ACKED:
+            raise AlarmError(f"alarm {alarm_id} is already acknowledged")
+        if alarm.state not in (AlarmState.ACTIVE, AlarmState.ESCALATING):
+            raise AlarmError(
+                f"cannot ack alarm {alarm_id} in state {alarm.state!r}")
+        self._transition(alarm, AlarmState.ACKED, "ack", self._now(now))
+        return alarm
+
+    def silence(
+        self,
+        alarm_id: int,
+        duration: float,
+        now: Optional[float] = None,
+    ) -> Alarm:
+        """Mute an open alarm for ``duration`` seconds."""
+        if duration <= 0:
+            raise AlarmError("silence duration must be > 0 seconds")
+        alarm = self.get(alarm_id)
+        if alarm.state == AlarmState.RESOLVED:
+            raise AlarmError(f"cannot silence resolved alarm {alarm_id}")
+        now = self._now(now)
+        alarm.silenced_until = now + duration
+        self._transition(alarm, AlarmState.SILENCED, "silence", now,
+                         until=alarm.silenced_until)
+        return alarm
+
+    def escalate(
+        self,
+        alarm_id: int,
+        severity: Optional[str] = None,
+        now: Optional[float] = None,
+        reason: str = "",
+    ) -> Alarm:
+        """Escalate an open alarm: bump severity, require a fresh ack.
+
+        Without an explicit ``severity`` the next level up is used
+        (capped at the top).  Severity never goes down — passing a
+        lower severity still escalates the *state* but keeps the
+        latched level.
+        """
+        alarm = self.get(alarm_id)
+        if alarm.state == AlarmState.RESOLVED:
+            raise AlarmError(f"cannot escalate resolved alarm {alarm_id}")
+        current = severity_rank(alarm.severity)
+        if severity is None:
+            target = min(current + 1, len(SEVERITIES) - 1)
+        else:
+            target = max(severity_rank(severity), current)
+        alarm.severity = SEVERITIES[target]
+        alarm.escalations += 1
+        alarm.silenced_until = None
+        self._transition(alarm, AlarmState.ESCALATING, "escalate",
+                         self._now(now), reason=reason)
+        return alarm
+
+    def resolve(
+        self,
+        alarm_id: int,
+        now: Optional[float] = None,
+        reason: str = "",
+    ) -> Alarm:
+        """Resolve an open alarm (any non-resolved state, ack or not)."""
+        alarm = self.get(alarm_id)
+        if alarm.state == AlarmState.RESOLVED:
+            raise AlarmError(f"alarm {alarm_id} is already resolved")
+        self._open_keys.pop((alarm.vm, alarm.kind), None)
+        alarm.silenced_until = None
+        self._transition(alarm, AlarmState.RESOLVED, "resolve",
+                         self._now(now), reason=reason)
+        self._resolved_order.append(alarm.alarm_id)
+        while len(self._resolved_order) > self.max_resolved:
+            self._alarms.pop(self._resolved_order.popleft(), None)
+        return alarm
+
+    # ------------------------------------------------------------------
+    # Keyed conveniences for machine callers (controller / lifecycle)
+    # ------------------------------------------------------------------
+    def escalate_key(
+        self,
+        vm: str,
+        kind: str,
+        now: Optional[float] = None,
+        reason: str = "",
+    ) -> Optional[Alarm]:
+        """Escalate the open alarm for a key; None when there is none."""
+        alarm = self._open_alarm(vm, kind)
+        if alarm is None:
+            return None
+        return self.escalate(alarm.alarm_id, now=now, reason=reason)
+
+    def resolve_key(
+        self,
+        vm: str,
+        kind: str,
+        now: Optional[float] = None,
+        reason: str = "",
+    ) -> Optional[Alarm]:
+        """Resolve the open alarm for a key; None when there is none."""
+        alarm = self._open_alarm(vm, kind)
+        if alarm is None:
+            return None
+        return self.resolve(alarm.alarm_id, now=now, reason=reason)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _now(self, now: Optional[float]) -> float:
+        return float(self.clock() if now is None else now)
+
+    def _open_alarm(self, vm: str, kind: str) -> Optional[Alarm]:
+        alarm_id = self._open_keys.get((vm, kind))
+        return self._alarms.get(alarm_id) if alarm_id is not None else None
+
+    def _transition(
+        self,
+        alarm: Alarm,
+        state: str,
+        event: str,
+        now: float,
+        **extra,
+    ) -> None:
+        alarm.state = state
+        alarm.updated_at = now
+        self._m_transitions.inc(to=state)
+        self._record(alarm, event, now, **extra)
+
+    def _record(self, alarm: Alarm, event: str, now: float, **extra) -> None:
+        entry = {
+            "at": now,
+            "event": event,
+            "state": alarm.state,
+            "severity": alarm.severity,
+            **extra,
+        }
+        alarm.events.append(entry)
+        self._m_open.set(
+            sum(1 for a in self._alarms.values()
+                if a.state != AlarmState.RESOLVED))
+        for listener in list(self._listeners):
+            try:
+                listener(alarm, entry)
+            except Exception:  # pragma: no cover - defensive
+                # A broken listener (e.g. a dying WebSocket) must never
+                # break alarm bookkeeping for everyone else.
+                continue

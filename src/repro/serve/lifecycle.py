@@ -41,6 +41,7 @@ import numpy as np
 from repro.core.inference import DriftDetector
 from repro.core.predictor import AnomalyPredictor
 from repro.obs import NULL_OBS, Observability
+from repro.serve.alarms import AlarmManager
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import PredictionService
 
@@ -79,6 +80,7 @@ class LifecycleManager:
         trainer: TrainerFn,
         config: Optional[LifecycleConfig] = None,
         obs: Optional[Observability] = None,
+        alarms: Optional[AlarmManager] = None,
     ) -> None:
         self.service = service
         self.registry = registry
@@ -86,6 +88,9 @@ class LifecycleManager:
         self.trainer = trainer
         self.config = config or LifecycleConfig()
         self.obs = obs if obs is not None else NULL_OBS
+        # Optional operator alarms (fleet-keyed: the lifecycle acts on
+        # the whole serving fleet, not one VM).  None changes nothing.
+        self.alarms = alarms
         # Full windows only: the serving-side trigger waits until every
         # VM has drift_window trailing samples, trading detection lag
         # for far fewer spurious half-window change points.
@@ -142,6 +147,13 @@ class LifecycleManager:
                 "event": "drift_detected",
                 "fraction": float(self.detector.last_fraction),
             })
+            if self.alarms is not None:
+                self.alarms.raise_alarm(
+                    "fleet", "drift", severity="warning",
+                    message="serving fleet drifted from its training "
+                            "distribution",
+                    fraction=float(self.detector.last_fraction),
+                )
             return True
         return False
 
@@ -197,6 +209,13 @@ class LifecycleManager:
             self.events.append({
                 "event": "challenger_rejected", **stats,
             })
+            if self.alarms is not None:
+                self.alarms.raise_alarm(
+                    "fleet", "challenger", severity="warning",
+                    message="challenger failed the shadow agreement gate",
+                    agreement=float(stats["agreement"]),
+                    version=stats.get("challenger_version"),
+                )
             self.service.clear_challenger()
             return False
         version = self.service._challenger_version
@@ -207,6 +226,15 @@ class LifecycleManager:
         self.events.append({
             "event": "challenger_promoted", "version": version, **stats,
         })
+        if self.alarms is not None:
+            self.alarms.raise_alarm(
+                "fleet", "promotion", severity="info",
+                message=f"challenger v{version} promoted to champion",
+                version=version, agreement=float(stats["agreement"]),
+            )
+            # A promotion is the retrain the drift alarm asked for.
+            self.alarms.resolve_key(
+                "fleet", "drift", reason="challenger promoted")
         return True
 
     def rollback(self) -> None:
@@ -220,3 +248,9 @@ class LifecycleManager:
             "event": "champion_rolled_back",
             "version": self.service.champion_version,
         })
+        if self.alarms is not None:
+            self.alarms.raise_alarm(
+                "fleet", "rollback", severity="critical",
+                message="champion rolled back to the previous version",
+                version=self.service.champion_version,
+            )

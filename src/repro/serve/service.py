@@ -38,6 +38,7 @@ import numpy as np
 from repro.core.fleet import FleetScorer, _FastTensors  # noqa: F401 - re-export
 from repro.core.predictor import AnomalyPredictor
 from repro.obs import NULL_OBS, Observability
+from repro.serve.alarms import AlarmManager
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -61,6 +62,9 @@ class ServiceConfig:
     max_batch: int = 128
     #: queued samples beyond this are answered with ``shed``
     max_pending: int = 1024
+    #: abnormal scores at or above this probability raise a
+    #: ``critical`` alarm instead of a ``warning`` (alarms wired only)
+    alarm_critical_probability: float = 0.95
 
 
 @dataclass
@@ -84,10 +88,16 @@ class PredictionService:
         predictors: Dict[str, AnomalyPredictor],
         config: Optional[ServiceConfig] = None,
         obs: Optional[Observability] = None,
+        alarms: Optional[AlarmManager] = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.scorer = FleetScorer(predictors)
         self.obs = obs if obs is not None else NULL_OBS
+        # Optional operator alarms: None (the default) leaves every
+        # reply and decision byte-identical to an alarm-free service —
+        # the only hook is a guarded raise after a score is abnormal.
+        self.alarms = alarms
+        self._last_seen: Dict[str, float] = {}
         self._histories: Dict[str, Deque[List[float]]] = {
             vm: deque(maxlen=p.history_needed)
             for vm, p in self.scorer.predictors.items()
@@ -191,6 +201,30 @@ class PredictionService:
             "sheds": self._n_sheds,
             "shadowing": self._challenger is not None,
         }
+
+    def fleet_status(self) -> List[Dict]:
+        """Per-VM health rows for the operator API's fleet view.
+
+        ``warm`` says whether the VM's trailing history is full enough
+        to score; ``staleness_seconds`` is the time since its last
+        sample (None before the first one arrives).
+        """
+        now = time.monotonic()
+        rows: List[Dict] = []
+        for vm in sorted(self.scorer.predictors):
+            predictor = self.scorer.predictors[vm]
+            history = self._histories.get(vm, ())
+            last = self._last_seen.get(vm)
+            rows.append({
+                "vm": vm,
+                "have": len(history),
+                "need": predictor.history_needed,
+                "warm": len(history) >= predictor.history_needed,
+                "staleness_seconds": (
+                    None if last is None else max(0.0, now - last)
+                ),
+            })
+        return rows
 
     # ------------------------------------------------------------------
     # Champion / challenger lifecycle
@@ -351,6 +385,7 @@ class PredictionService:
             return
         history = self._histories[vm]
         history.append(values)
+        self._last_seen[vm] = time.monotonic()
         if len(history) < predictor.history_needed:
             await self._reply(writer, lock, {
                 "ok": True, "kind": "warmup", "id": msg_id, "vm": vm,
@@ -432,6 +467,18 @@ class PredictionService:
                 self._m_latency.observe(now - p.enqueued_at)
                 if r.abnormal:
                     self._m_alerts.inc()
+                    if self.alarms is not None:
+                        severity = (
+                            "critical" if r.probability
+                            >= self.config.alarm_critical_probability
+                            else "warning"
+                        )
+                        self.alarms.raise_alarm(
+                            p.vm, "anomaly", severity=severity,
+                            message=f"abnormal score for {p.vm}",
+                            probability=float(r.probability),
+                            score=float(r.score),
+                        )
                 await self._reply(p.writer, p.lock, {
                     "ok": True,
                     "kind": "score",

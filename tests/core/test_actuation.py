@@ -258,7 +258,10 @@ class TestValidatorUnderDegradedMonitoring:
         assert resolved == [(action, ValidationOutcome.EFFECTIVE)]
         assert validator.pending_count == 0
 
-    def test_failed_action_dropped_without_outcome(self, world):
+    def test_failed_action_resolves_as_failed(self, world):
+        # Regression: a failed action used to be dropped without an
+        # outcome, so nothing downstream could escalate — the alert's
+        # severity silently reset instead of going up.
         sim, action = self._action(world)
         validator = EffectivenessValidator(settle_seconds=20.0)
         validator.watch(action, np.array([5.0]), now=sim.now)
@@ -266,6 +269,19 @@ class TestValidatorUnderDegradedMonitoring:
         resolved = validator.check(
             sim.now + 25.0, {action.action_id: np.array([5.0])}, {"vm1": True}
         )
-        assert resolved == []
+        assert resolved == [(action, ValidationOutcome.FAILED)]
         assert validator.pending_count == 0
-        assert action.effective is None
+        assert action.effective is False
+        # No "after" state existed, so the usage diagnostic is unset.
+        assert action.usage_changed is None
+
+    def test_failed_action_resolves_before_maturity(self, world):
+        # A failed action never completes, so waiting out the settle
+        # window would leave it pending forever; it resolves at the
+        # next check instead.
+        sim, action = self._action(world)
+        validator = EffectivenessValidator(settle_seconds=20.0)
+        validator.watch(action, np.array([5.0]), now=sim.now)
+        action.failed = True
+        resolved = validator.check(sim.now + 1.0, {}, {"vm1": True})
+        assert resolved == [(action, ValidationOutcome.FAILED)]

@@ -109,3 +109,84 @@ class TestSuppression:
             30.0 + controller.config.post_action_grace + 10.0
         )
         assert not controller._suppressed("vm_db", testbed.sim.now)
+
+
+class TestOperatorAlarms:
+    """Controller → alarm-manager wiring (optional, default off)."""
+
+    def test_default_has_no_alarm_manager(self):
+        _testbed, managed = deploy()
+        assert managed.controller.alarms is None
+
+    def test_reactive_violation_raises_critical_alarm(self):
+        from repro.serve.alarms import AlarmManager
+
+        testbed, managed = deploy(scheme="reactive")
+        controller = managed.controller
+        controller.alarms = AlarmManager(clock=lambda: testbed.sim.now)
+        fault = make_fault(testbed, FaultKind.CPU_HOG)
+        testbed.injector.inject(fault, 200.0, 200.0)
+        testbed.app.start()
+        testbed.monitor.start(start_at=5.0)
+        testbed.sim.run_until(450.0)
+        alarms = [a for a in controller.alarms.alarms()
+                  if a.vm == "vm_db" and a.kind.startswith("anomaly:")]
+        assert alarms, "confirmed alert must raise an operator alarm"
+        # Reactive alerts mean the SLO is already violated: critical.
+        assert alarms[0].severity == "critical"
+        assert alarms[0].raised_at >= 200.0  # sim-time stamps
+
+    def test_failed_action_escalates_alarm_severity(self):
+        # Regression for the severity-drop bug: a prevention action
+        # whose every retry failed used to vanish from validation, so
+        # the alarm never escalated.  Now it resolves FAILED and the
+        # controller escalates the alarm instead of resetting it.
+        import numpy as np
+
+        from repro.core.actuation import PreventionAction, ResourceKind
+        from repro.serve.alarms import AlarmManager
+
+        testbed, managed = deploy()
+        controller = managed.controller
+        controller.alarms = AlarmManager(clock=lambda: testbed.sim.now)
+        kind = "anomaly:mem_used"
+        alarm = controller.alarms.raise_alarm(
+            "vm_db", kind, "warning", now=10.0)
+        controller._alarm_kinds["vm_db"] = kind
+        action = PreventionAction(
+            action_id=999, timestamp=10.0, vm="vm_db", verb="scale",
+            resource=ResourceKind.MEMORY, metric="mem_used",
+            proactive=True, failed=True,
+        )
+        controller.validator.watch(action, np.array([5.0]), now=10.0)
+        controller._resolve_validations(now=100.0, slo_violated=False)
+        assert alarm.severity == "critical"
+        assert alarm.state == "escalating"
+        assert alarm.events[-1]["reason"] == "prevention action failed"
+        validations = [e for e in controller.events
+                       if e.kind == "validation"]
+        assert validations[-1].detail["outcome"] == "failed"
+
+    def test_effective_action_resolves_alarm(self):
+        import numpy as np
+
+        from repro.core.actuation import PreventionAction, ResourceKind
+        from repro.serve.alarms import AlarmManager
+
+        testbed, managed = deploy()
+        controller = managed.controller
+        controller.alarms = AlarmManager(clock=lambda: testbed.sim.now)
+        kind = "anomaly:mem_used"
+        alarm = controller.alarms.raise_alarm(
+            "vm_db", kind, "warning", now=10.0)
+        controller._alarm_kinds["vm_db"] = kind
+        action = PreventionAction(
+            action_id=998, timestamp=10.0, vm="vm_db", verb="scale",
+            resource=ResourceKind.MEMORY, metric="mem_used",
+            proactive=True, completed=True,
+        )
+        controller.actuator.actions.append(action)
+        controller.validator.watch(action, np.array([5.0]), now=10.0)
+        controller._resolve_validations(now=100.0, slo_violated=False)
+        assert alarm.state == "resolved"
+        assert "vm_db" not in controller._alarm_kinds

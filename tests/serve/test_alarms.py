@@ -1,0 +1,280 @@
+"""Tests for the operator alarm lifecycle state machine."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.serve.alarms import (
+    SEVERITIES,
+    AlarmError,
+    AlarmManager,
+    AlarmState,
+    severity_rank,
+)
+
+
+def manager(**kwargs):
+    return AlarmManager(clock=lambda: 0.0, **kwargs)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        ranks = [severity_rank(s) for s in SEVERITIES]
+        assert ranks == sorted(ranks)
+        assert severity_rank("info") < severity_rank("warning")
+        assert severity_rank("warning") < severity_rank("critical")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(AlarmError):
+            severity_rank("panic")
+        with pytest.raises(AlarmError):
+            manager().raise_alarm("vm1", "anomaly", severity="panic")
+
+
+class TestRaiseAndDedup:
+    def test_raise_creates_active_alarm(self):
+        m = manager()
+        alarm = m.raise_alarm("vm1", "anomaly:cpu", "warning",
+                              message="cpu runaway", now=1.0)
+        assert alarm.state == AlarmState.ACTIVE
+        assert alarm.severity == "warning"
+        assert alarm.count == 1
+        assert alarm.raised_at == 1.0
+        assert [e["event"] for e in alarm.events] == ["raise"]
+
+    def test_dedup_across_controller_ticks(self):
+        # The same VM + anomaly type re-raised every tick lands on one
+        # alarm whose count grows; distinct kinds stay distinct.
+        m = manager()
+        first = m.raise_alarm("vm1", "anomaly:cpu", now=1.0)
+        for tick in range(2, 6):
+            again = m.raise_alarm("vm1", "anomaly:cpu", now=float(tick))
+            assert again is first
+        other = m.raise_alarm("vm1", "anomaly:memory", now=6.0)
+        assert other is not first
+        assert first.count == 5 and other.count == 1
+        assert m.counts()[AlarmState.ACTIVE] == 2
+
+    def test_severity_latches_upward_only(self):
+        m = manager()
+        alarm = m.raise_alarm("vm1", "anomaly", "critical", now=1.0)
+        m.raise_alarm("vm1", "anomaly", "info", now=2.0)
+        assert alarm.severity == "critical"
+        assert alarm.state == AlarmState.ACTIVE  # lower: repeat, no escalation
+
+    def test_higher_severity_escalates(self):
+        m = manager()
+        alarm = m.raise_alarm("vm1", "anomaly", "info", now=1.0)
+        m.raise_alarm("vm1", "anomaly", "critical", now=2.0)
+        assert alarm.severity == "critical"
+        assert alarm.state == AlarmState.ESCALATING
+        assert alarm.escalations == 1
+
+    def test_raise_after_resolve_opens_fresh_alarm(self):
+        m = manager()
+        old = m.raise_alarm("vm1", "anomaly", now=1.0)
+        m.resolve(old.alarm_id, now=2.0)
+        new = m.raise_alarm("vm1", "anomaly", now=3.0)
+        assert new.alarm_id != old.alarm_id
+        assert new.count == 1 and old.state == AlarmState.RESOLVED
+
+
+class TestAck:
+    def test_ack(self):
+        m = manager()
+        alarm = m.raise_alarm("vm1", "anomaly", now=1.0)
+        m.ack(alarm.alarm_id, now=2.0)
+        assert alarm.state == AlarmState.ACKED
+
+    def test_double_ack_rejected(self):
+        m = manager()
+        alarm = m.raise_alarm("vm1", "anomaly", now=1.0)
+        m.ack(alarm.alarm_id, now=2.0)
+        with pytest.raises(AlarmError, match="already acknowledged"):
+            m.ack(alarm.alarm_id, now=3.0)
+        assert alarm.state == AlarmState.ACKED  # unchanged by the retry
+
+    def test_acked_alarm_stays_acked_on_same_severity_repeat(self):
+        m = manager()
+        alarm = m.raise_alarm("vm1", "anomaly", "warning", now=1.0)
+        m.ack(alarm.alarm_id, now=2.0)
+        m.raise_alarm("vm1", "anomaly", "warning", now=3.0)
+        assert alarm.state == AlarmState.ACKED and alarm.count == 2
+
+    def test_escalation_drops_ack(self):
+        m = manager()
+        alarm = m.raise_alarm("vm1", "anomaly", "warning", now=1.0)
+        m.ack(alarm.alarm_id, now=2.0)
+        m.raise_alarm("vm1", "anomaly", "critical", now=3.0)
+        assert alarm.state == AlarmState.ESCALATING
+        m.ack(alarm.alarm_id, now=4.0)  # needs (and accepts) a fresh ack
+        assert alarm.state == AlarmState.ACKED
+
+    def test_ack_needs_active_or_escalating(self):
+        m = manager()
+        alarm = m.raise_alarm("vm1", "anomaly", now=1.0)
+        m.silence(alarm.alarm_id, 10.0, now=2.0)
+        with pytest.raises(AlarmError):
+            m.ack(alarm.alarm_id, now=3.0)
+
+
+class TestSilence:
+    def test_silence_mutes_repeats(self):
+        m = manager()
+        alarm = m.raise_alarm("vm1", "anomaly", now=1.0)
+        m.silence(alarm.alarm_id, 30.0, now=2.0)
+        m.raise_alarm("vm1", "anomaly", now=10.0)
+        assert alarm.state == AlarmState.SILENCED
+        assert alarm.count == 2  # the repeat was still recorded
+        assert alarm.events[-1]["event"] == "suppressed_raise"
+
+    def test_silence_expiry_reraise(self):
+        m = manager()
+        alarm = m.raise_alarm("vm1", "anomaly", now=1.0)
+        m.silence(alarm.alarm_id, 30.0, now=2.0)
+        m.raise_alarm("vm1", "anomaly", now=40.0)  # window expired
+        assert alarm.state == AlarmState.ACTIVE
+        assert alarm.silenced_until is None
+        assert alarm.events[-1]["event"] == "reraise"
+
+    def test_silence_expiry_reraise_escalates_on_worse_severity(self):
+        m = manager()
+        alarm = m.raise_alarm("vm1", "anomaly", "warning", now=1.0)
+        m.silence(alarm.alarm_id, 5.0, now=2.0)
+        m.raise_alarm("vm1", "anomaly", "critical", now=20.0)
+        assert alarm.state == AlarmState.ESCALATING
+        assert alarm.severity == "critical"
+
+    def test_silence_latches_severity_while_muted(self):
+        m = manager()
+        alarm = m.raise_alarm("vm1", "anomaly", "info", now=1.0)
+        m.silence(alarm.alarm_id, 30.0, now=2.0)
+        m.raise_alarm("vm1", "anomaly", "critical", now=10.0)
+        assert alarm.state == AlarmState.SILENCED  # still muted...
+        assert alarm.severity == "critical"        # ...but never forgets
+
+    def test_bad_durations_rejected(self):
+        m = manager()
+        alarm = m.raise_alarm("vm1", "anomaly", now=1.0)
+        for duration in (0.0, -5.0):
+            with pytest.raises(AlarmError):
+                m.silence(alarm.alarm_id, duration, now=2.0)
+
+
+class TestEscalateResolve:
+    def test_explicit_escalate_bumps_one_level(self):
+        m = manager()
+        alarm = m.raise_alarm("vm1", "anomaly", "info", now=1.0)
+        m.escalate(alarm.alarm_id, now=2.0)
+        assert alarm.severity == "warning"
+        m.escalate(alarm.alarm_id, now=3.0)
+        assert alarm.severity == "critical"
+        m.escalate(alarm.alarm_id, now=4.0)   # capped at the top
+        assert alarm.severity == "critical"
+        assert alarm.escalations == 3
+
+    def test_escalate_never_lowers_severity(self):
+        m = manager()
+        alarm = m.raise_alarm("vm1", "anomaly", "critical", now=1.0)
+        m.escalate(alarm.alarm_id, severity="info", now=2.0)
+        assert alarm.severity == "critical"
+        assert alarm.state == AlarmState.ESCALATING
+
+    def test_resolve_while_escalating(self):
+        m = manager()
+        alarm = m.raise_alarm("vm1", "anomaly", "warning", now=1.0)
+        m.escalate(alarm.alarm_id, now=2.0)
+        assert alarm.state == AlarmState.ESCALATING
+        m.resolve(alarm.alarm_id, now=3.0, reason="fleet healthy")
+        assert alarm.state == AlarmState.RESOLVED
+        assert alarm.events[-1]["reason"] == "fleet healthy"
+
+    def test_double_resolve_rejected(self):
+        m = manager()
+        alarm = m.raise_alarm("vm1", "anomaly", now=1.0)
+        m.resolve(alarm.alarm_id, now=2.0)
+        with pytest.raises(AlarmError, match="already resolved"):
+            m.resolve(alarm.alarm_id, now=3.0)
+
+    def test_resolved_alarm_frozen(self):
+        m = manager()
+        alarm = m.raise_alarm("vm1", "anomaly", now=1.0)
+        m.resolve(alarm.alarm_id, now=2.0)
+        with pytest.raises(AlarmError):
+            m.escalate(alarm.alarm_id, now=3.0)
+        with pytest.raises(AlarmError):
+            m.silence(alarm.alarm_id, 10.0, now=3.0)
+
+    def test_keyed_helpers(self):
+        m = manager()
+        assert m.escalate_key("vm1", "anomaly") is None
+        assert m.resolve_key("vm1", "anomaly") is None
+        alarm = m.raise_alarm("vm1", "anomaly", "warning", now=1.0)
+        assert m.escalate_key("vm1", "anomaly", now=2.0) is alarm
+        assert alarm.severity == "critical"
+        assert m.resolve_key("vm1", "anomaly", now=3.0) is alarm
+        assert alarm.state == AlarmState.RESOLVED
+
+
+class TestBoundsAndBookkeeping:
+    def test_bounded_history_truncation(self):
+        m = manager(history=5)
+        alarm = m.raise_alarm("vm1", "anomaly", now=0.0)
+        for tick in range(1, 50):
+            m.raise_alarm("vm1", "anomaly", now=float(tick))
+        assert len(alarm.events) == 5
+        assert alarm.count == 50          # counters survive truncation
+        # Only the newest events remain.
+        assert all(e["at"] >= 45.0 for e in alarm.events)
+
+    def test_resolved_alarms_evicted_beyond_cap(self):
+        m = manager(max_resolved=3)
+        ids = []
+        for i in range(5):
+            alarm = m.raise_alarm(f"vm{i}", "anomaly", now=float(i))
+            m.resolve(alarm.alarm_id, now=float(i) + 0.5)
+            ids.append(alarm.alarm_id)
+        kept = [a.alarm_id for a in m.alarms()]
+        assert set(kept) == set(ids[-3:])
+        with pytest.raises(AlarmError):
+            m.get(ids[0])
+
+    def test_snapshot_orders_by_urgency(self):
+        m = manager()
+        low = m.raise_alarm("vm1", "a", "info", now=1.0)
+        high = m.raise_alarm("vm2", "b", "critical", now=2.0)
+        done = m.raise_alarm("vm3", "c", "critical", now=3.0)
+        m.resolve(done.alarm_id, now=4.0)
+        ordered = [a["alarm_id"] for a in m.snapshot()["alarms"]]
+        assert ordered == [high.alarm_id, low.alarm_id, done.alarm_id]
+        counts = m.snapshot()["counts"]
+        assert counts["active"] == 2 and counts["resolved"] == 1
+
+    def test_listeners_see_transitions_and_detach(self):
+        m = manager()
+        seen = []
+        listener = lambda alarm, event: seen.append(event["event"])  # noqa: E731
+        m.add_listener(listener)
+        alarm = m.raise_alarm("vm1", "anomaly", now=1.0)
+        m.ack(alarm.alarm_id, now=2.0)
+        m.remove_listener(listener)
+        m.resolve(alarm.alarm_id, now=3.0)
+        assert seen == ["raise", "ack"]
+        m.remove_listener(listener)  # absent: no-op
+
+    def test_metrics_track_lifecycle(self):
+        obs = Observability()
+        m = AlarmManager(clock=lambda: 0.0, obs=obs)
+        alarm = m.raise_alarm("vm1", "anomaly", "warning", now=1.0)
+        m.ack(alarm.alarm_id, now=2.0)
+        m.resolve(alarm.alarm_id, now=3.0)
+        text = obs.metrics.render_prometheus()
+        assert 'alarms_raised_total{severity="warning"} 1' in text
+        assert 'alarms_transitions_total{to="resolved"} 1' in text
+        assert "alarms_open 0" in text
+
+    def test_unknown_id_and_state(self):
+        m = manager()
+        with pytest.raises(AlarmError):
+            m.get(99)
+        with pytest.raises(AlarmError):
+            m.alarms(state="pending")

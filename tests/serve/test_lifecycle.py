@@ -394,3 +394,71 @@ class TestLifecycleManager:
         assert any(
             e["event"] == "champion_rolled_back" for e in manager.events
         )
+
+
+class TestLifecycleAlarms:
+    """Operator alarms raised on drift / promotion / rollback."""
+
+    def _wired_manager(self, registry, **config_kw):
+        from repro.serve.alarms import AlarmManager
+
+        predictors, _ = make_fleet(1)
+        challenger_fleet, _ = make_fleet(1, seed0=70)
+        service = PredictionService(predictors, ServiceConfig())
+        alarms = AlarmManager()
+        manager = LifecycleManager(
+            service, registry, "fleet",
+            trainer=lambda windows: challenger_fleet,
+            config=LifecycleConfig(**config_kw),
+            alarms=alarms,
+        )
+        return service, manager, alarms
+
+    def test_drift_raises_fleet_alarm(self, registry):
+        service, manager, alarms = self._wired_manager(
+            registry, drift_window=12)
+        rng = np.random.default_rng(9)
+        for i in range(24):
+            level = 10.0 if i < 12 else 500.0
+            for vm in service.scorer.predictors:
+                manager.observe(vm, level + rng.normal(size=N_ATTRS) * 0.1)
+        drift = [a for a in alarms.alarms() if a.kind == "drift"]
+        assert len(drift) == 1 and drift[0].vm == "fleet"
+        assert drift[0].state == "active"
+
+    def test_promotion_raises_info_alarm_and_resolves_drift(self, registry):
+        service, manager, alarms = self._wired_manager(
+            registry, min_shadow_samples=10, min_agreement=0.9)
+        drift = alarms.raise_alarm("fleet", "drift", "warning")
+        version = manager.train_challenger()
+        service._shadow.update({"scored": 20, "agreements": 20})
+        assert manager.maybe_promote() is True
+        promo = [a for a in alarms.alarms() if a.kind == "promotion"]
+        assert len(promo) == 1 and promo[0].severity == "info"
+        assert promo[0].detail["version"] == version
+        assert drift.state == "resolved"
+
+    def test_rejection_and_rollback_alarms(self, registry):
+        service, manager, alarms = self._wired_manager(
+            registry, min_shadow_samples=10, min_agreement=0.9)
+        champ = registry.save("fleet", service.scorer.predictors).version
+        registry.promote("fleet", champ)
+        service.champion_version = champ
+
+        service.set_challenger(service.scorer.predictors, version=champ)
+        service._shadow.update({"scored": 20, "agreements": 10})
+        assert manager.maybe_promote() is False
+        rejected = [a for a in alarms.alarms() if a.kind == "challenger"]
+        assert len(rejected) == 1 and rejected[0].severity == "warning"
+
+        manager.train_challenger()
+        service._shadow.update({"scored": 20, "agreements": 20})
+        assert manager.maybe_promote() is True
+        manager.rollback()
+        rollback = [a for a in alarms.alarms() if a.kind == "rollback"]
+        assert len(rollback) == 1 and rollback[0].severity == "critical"
+
+    def test_no_alarm_manager_changes_nothing(self, registry):
+        predictors, _ = make_fleet(1)
+        _service, manager = make_manager(registry, predictors)
+        assert manager.alarms is None

@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import contextlib
 import json
 
 import pytest
@@ -40,7 +41,7 @@ class TestParser:
         text = build_parser().format_help()
         for command in ("run", "reproduce", "accuracy", "leadtime",
                         "telemetry", "campaign", "report", "serve",
-                        "replay", "models"):
+                        "replay", "models", "api", "alarms"):
             assert command in text, f"--help omits {command!r}"
         assert "checkpoint/resume" in text
 
@@ -389,3 +390,108 @@ class TestModelLifecycleCommands:
             ["serve", "--registry", str(registry_path), "--name", "fleet"]
         )
         assert args.version is None  # default: follow the pointer
+
+
+class TestOperatorCommands:
+    """`repro api` / `repro alarms`, mirroring the models-command tests."""
+
+    @staticmethod
+    @contextlib.contextmanager
+    def _running_api():
+        import asyncio
+        import threading
+
+        from repro.serve.alarms import AlarmManager
+        from repro.serve.api import OperatorAPI
+
+        alarms = AlarmManager()
+        api = OperatorAPI(alarms)
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def runner():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(api.start(host="127.0.0.1", port=0))
+            started.set()
+            loop.run_forever()
+            loop.run_until_complete(api.stop())
+            loop.close()
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        assert started.wait(5.0)
+        try:
+            yield alarms, f"http://127.0.0.1:{api.port}"
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(5.0)
+
+    def test_api_defaults(self):
+        args = build_parser().parse_args(
+            ["api", "--registry", "r", "--name", "fleet"]
+        )
+        assert args.port == 8787
+        assert args.serve_port == 0 and args.serve_socket is None
+
+    def test_api_requires_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["api", "--registry", "r"])
+
+    def test_api_missing_snapshot_exits_2(self, capsys, tmp_path):
+        assert main(["api", "--registry", str(tmp_path / "none"),
+                     "--name", "fleet"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_alarms_defaults(self):
+        args = build_parser().parse_args(["alarms"])
+        assert args.action == "list"
+        assert args.url == "http://127.0.0.1:8787"
+
+    def test_alarms_list_json(self, capsys):
+        with self._running_api() as (alarms, url):
+            alarms.raise_alarm("vm1", "anomaly:cpu", "critical",
+                               message="cpu runaway")
+            assert main(["alarms", "--url", url, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["active"] == 1
+        assert payload["alarms"][0]["vm"] == "vm1"
+        assert payload["alarms"][0]["severity"] == "critical"
+
+    def test_alarms_table_and_lifecycle_actions(self, capsys):
+        with self._running_api() as (alarms, url):
+            alarm = alarms.raise_alarm("vm1", "anomaly:mem", "warning",
+                                       message="leak suspected")
+            assert main(["alarms", "--url", url]) == 0
+            out = capsys.readouterr().out
+            assert "anomaly:mem" in out and "1 open" in out
+
+            assert main(["alarms", "--url", url, "ack",
+                         "--id", str(alarm.alarm_id)]) == 0
+            assert "acked" in capsys.readouterr().out
+            # Double-ack surfaces the 409 conflict as exit 1.
+            assert main(["alarms", "--url", url, "ack",
+                         "--id", str(alarm.alarm_id)]) == 1
+            assert "acknowledged" in capsys.readouterr().err
+
+            assert main(["alarms", "--url", url, "resolve",
+                         "--id", str(alarm.alarm_id)]) == 0
+            assert "resolved" in capsys.readouterr().out
+
+    def test_alarms_raise_roundtrip(self, capsys):
+        with self._running_api() as (_alarms, url):
+            assert main(["alarms", "--url", url, "raise", "--vm", "vm9",
+                         "--kind", "anomaly:net", "--severity", "info",
+                         "--message", "synthetic", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["vm"] == "vm9" and payload["state"] == "active"
+
+    def test_alarms_action_argument_validation(self, capsys):
+        assert main(["alarms", "ack"]) == 2
+        assert "--id" in capsys.readouterr().err
+        assert main(["alarms", "raise"]) == 2
+        assert "--vm" in capsys.readouterr().err
+
+    def test_alarms_unreachable_api_exits_2(self, capsys):
+        assert main(["alarms", "--url", "http://127.0.0.1:9",
+                     "--json"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
