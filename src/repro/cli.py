@@ -236,6 +236,37 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--max-pending", type=int, default=1024,
                      help="queued samples before shedding")
 
+    fab = sub.add_parser(
+        "fabric",
+        help="start the fault-tolerant sharded serving fabric: N "
+             "supervised worker processes behind one scoring endpoint "
+             "(crash recovery via per-shard WALs)",
+    )
+    fab.add_argument("--registry", required=True, metavar="DIR",
+                     help="model registry root (see docs/serving.md)")
+    fab.add_argument("--name", required=True,
+                     help="snapshot name to serve")
+    fab.add_argument("--version", type=int, default=None,
+                     help="snapshot version (default: champion pointer, "
+                          "else latest)")
+    fab.add_argument("--run-dir", required=True, metavar="DIR",
+                     help="fabric state directory (per-shard WALs and "
+                          "worker sockets)")
+    fab.add_argument("--workers", type=int, default=3,
+                     help="worker processes / shards (default %(default)s)")
+    fab.add_argument("--socket", default=None, metavar="PATH",
+                     help="listen on a unix socket instead of TCP")
+    fab.add_argument("--host", default="127.0.0.1")
+    fab.add_argument("--port", type=int, default=7171)
+    fab.add_argument("--steps", type=int, default=4,
+                     help="default look-ahead steps per sample")
+    fab.add_argument("--batch-window", type=float, default=0.002,
+                     help="worker micro-batch window (seconds)")
+    fab.add_argument("--max-batch", type=int, default=128,
+                     help="samples per worker dispatcher flush")
+    fab.add_argument("--max-pending", type=int, default=1024,
+                     help="queued samples per worker before shedding")
+
     rpl = sub.add_parser(
         "replay",
         help="stream a saved trace dataset against a running service "
@@ -252,6 +283,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="target samples/second (0 = as fast as possible)")
     rpl.add_argument("--repeat", type=int, default=1,
                      help="stream the trace this many times")
+    rpl.add_argument("--frame", type=int, default=1,
+                     help="samples per batch request line (1 = one "
+                          "sample per line)")
+    rpl.add_argument("--response-timeout", type=float, default=30.0,
+                     help="per-reply deadline in seconds; unanswered "
+                          "samples are reported as timeouts (0 = wait "
+                          "forever)")
     rpl.add_argument("--registry", default=None, metavar="DIR",
                      help="with --name: verify alert parity against the "
                           "snapshot's offline decisions")
@@ -662,6 +700,32 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _graceful_stop_event(what: str):
+    """An event set on SIGTERM/SIGINT so servers drain before exit.
+
+    ``kill <pid>`` (systemd, container runtimes, supervisors) then
+    triggers the same graceful path as ctrl-c: stop accepting, flush
+    queued work, close sockets.  Falls back to KeyboardInterrupt-only
+    handling on loops without signal support.
+    """
+    import asyncio
+    import signal
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+
+    def _request_stop(signame: str) -> None:
+        print(f"{signame}: draining {what} before exit", flush=True)
+        stop.set()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, _request_stop, sig.name)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    return stop
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -690,6 +754,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def run() -> None:
         service = PredictionService(predictors, config, obs=Observability())
+        stop = _graceful_stop_event("prediction service")
         if args.socket is not None:
             await service.start(path=args.socket)
             where = args.socket
@@ -697,9 +762,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             await service.start(host=args.host, port=args.port)
             where = f"{args.host}:{args.port}"
         print(f"serving {len(predictors)} VM pipelines on {where} "
-              f"(ctrl-c to stop)", flush=True)
+              f"(SIGTERM/ctrl-c to stop)", flush=True)
         try:
-            await asyncio.Event().wait()
+            await stop.wait()
         finally:
             await service.stop()
 
@@ -708,6 +773,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs import Observability
+    from repro.serve.alarms import AlarmManager
+    from repro.serve.fabric import FabricConfig, FabricError, ServingFabric
+    from repro.serve.registry import ModelRegistry, RegistryError
+
+    registry = ModelRegistry(args.registry)
+    config = FabricConfig(
+        model_name=args.name,
+        version=args.version,
+        n_workers=args.workers,
+        steps=args.steps,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+    )
+
+    async def run() -> int:
+        obs = Observability()
+        fabric = ServingFabric(
+            registry, args.run_dir, config,
+            obs=obs, alarms=AlarmManager(obs=obs),
+        )
+        stop = _graceful_stop_event("serving fabric")
+        try:
+            if args.socket is not None:
+                await fabric.start(path=args.socket)
+                where = args.socket
+            else:
+                await fabric.start(host=args.host, port=args.port)
+                where = f"{args.host}:{args.port}"
+        except (RegistryError, FabricError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        stats = fabric.stats()
+        print(f"fabric: {stats['n_workers']} workers serving "
+              f"{args.name} v{fabric.version} on {where} "
+              f"(WALs in {args.run_dir}; SIGTERM/ctrl-c to stop)",
+              flush=True)
+        try:
+            await stop.wait()
+        finally:
+            await fabric.stop()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -760,6 +878,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         steps=args.steps,
         rate=args.rate,
         repeat=args.repeat,
+        frame=args.frame,
+        response_timeout=args.response_timeout,
         predictors=predictors,
     ))
     if args.json:
@@ -768,8 +888,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print(f"sent {report.sent} samples in {report.wall_seconds:.2f} s "
               f"({report.throughput:.0f} scores/s sustained)")
         print(f"replies: {report.scores} score / {report.warmups} warmup / "
-              f"{report.sheds} shed / {report.errors} error; "
-              f"{report.alerts} alerts")
+              f"{report.sheds} shed / {report.errors} error / "
+              f"{report.timeouts} timeout; {report.alerts} alerts")
         print(f"latency ms: p50={report.p50_ms:.2f} p95={report.p95_ms:.2f} "
               f"p99={report.p99_ms:.2f}")
         if predictors is not None:
@@ -894,13 +1014,15 @@ def _cmd_api(args: argparse.Namespace) -> int:
         elif args.serve_port:
             await service.start(host=args.host, port=args.serve_port)
             scoring = f"{args.host}:{args.serve_port}"
+        stop = _graceful_stop_event("operator API")
         await api.start(host=args.host, port=args.port)
         print(f"operator API for {len(predictors)} VM pipelines on "
-              f"http://{args.host}:{api.port} (ctrl-c to stop)", flush=True)
+              f"http://{args.host}:{api.port} (SIGTERM/ctrl-c to stop)",
+              flush=True)
         if scoring is not None:
             print(f"scoring protocol on {scoring}", flush=True)
         try:
-            await asyncio.Event().wait()
+            await stop.wait()
         finally:
             await api.stop()
             if scoring is not None:
@@ -1087,6 +1209,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "report": _cmd_report,
         "serve": _cmd_serve,
+        "fabric": _cmd_fabric,
         "replay": _cmd_replay,
         "models": _cmd_models,
         "api": _cmd_api,

@@ -22,7 +22,17 @@ scorer, the operational counterpart of the paper's batch simulations:
   bounded history;
 * :mod:`repro.serve.api` — dependency-free HTTP/1.1 + WebSocket
   operator API: alarms, fleet health, model status, funnel, and a
-  Prometheus ``/metrics`` scrape.
+  Prometheus ``/metrics`` scrape;
+* :mod:`repro.serve.fabric` — fault-tolerant sharded serving fabric:
+  a front-end router consistent-hashing VMs across supervised worker
+  processes, with per-shard WAL crash recovery (bitwise-identical
+  scores after a worker restart) and zero-downtime blue/green
+  rollover;
+* :mod:`repro.serve.journal` — append-only, torn-tail-tolerant
+  per-shard write-ahead log of trailing VM samples;
+* :mod:`repro.serve.supervisor` — worker processes (``spawn``) plus
+  the heartbeat / bounded-lag supervision policy with exponential
+  restart backoff and flapping escalation.
 
 See ``docs/serving.md`` for the end-to-end tour and
 ``docs/operations.md`` for the operator runbook.
@@ -39,6 +49,18 @@ from repro.serve.alarms import (
     severity_rank,
 )
 from repro.serve.api import ApiConfig, OperatorAPI
+from repro.serve.fabric import (
+    FabricConfig,
+    FabricError,
+    ServingFabric,
+    shard_ring,
+)
+from repro.serve.journal import ShardJournal
+from repro.serve.supervisor import (
+    SupervisorConfig,
+    WorkerSpec,
+    WorkerSupervisor,
+)
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -63,6 +85,8 @@ __all__ = [
     "AlarmManager",
     "AlarmState",
     "ApiConfig",
+    "FabricConfig",
+    "FabricError",
     "FleetScorer",
     "LifecycleConfig",
     "LifecycleManager",
@@ -75,10 +99,16 @@ __all__ = [
     "ReplayReport",
     "SEVERITIES",
     "ServiceConfig",
+    "ServingFabric",
+    "ShardJournal",
     "SnapshotInfo",
     "SnapshotIntegrityError",
+    "SupervisorConfig",
+    "WorkerSpec",
+    "WorkerSupervisor",
     "decode_line",
     "encode_message",
     "replay_dataset",
     "severity_rank",
+    "shard_ring",
 ]

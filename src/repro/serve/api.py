@@ -85,22 +85,28 @@ def _ws_frame(payload: bytes, opcode: int = 0x1) -> bytes:
 async def _ws_read_frame(
     reader: asyncio.StreamReader,
 ) -> Optional[Tuple[int, bytes]]:
-    """Read one client frame → (opcode, payload); None on EOF."""
+    """Read one client frame → (opcode, payload); None on EOF/garbage.
+
+    Every read is guarded: a client that sends a truncated header, an
+    extended-length prefix with no body, or an absurd declared length
+    gets its connection dropped (None) instead of crashing the handler
+    or pinning memory.
+    """
     try:
         head = await reader.readexactly(2)
-    except (asyncio.IncompleteReadError, ConnectionResetError):
+        opcode = head[0] & 0x0F
+        masked = bool(head[1] & 0x80)
+        length = head[1] & 0x7F
+        if length == 126:
+            length = int.from_bytes(await reader.readexactly(2), "big")
+        elif length == 127:
+            length = int.from_bytes(await reader.readexactly(8), "big")
+        if length > _MAX_BODY:
+            return None
+        mask = await reader.readexactly(4) if masked else b""
+        payload = await reader.readexactly(length) if length else b""
+    except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
         return None
-    opcode = head[0] & 0x0F
-    masked = bool(head[1] & 0x80)
-    length = head[1] & 0x7F
-    if length == 126:
-        length = int.from_bytes(await reader.readexactly(2), "big")
-    elif length == 127:
-        length = int.from_bytes(await reader.readexactly(8), "big")
-    if length > _MAX_BODY:
-        return None
-    mask = await reader.readexactly(4) if masked else b""
-    payload = await reader.readexactly(length) if length else b""
     if masked:
         payload = bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
     return opcode, payload
@@ -233,7 +239,15 @@ class OperatorAPI:
                 dead.append(queue)
         for queue in dead:
             self._ws_clients.discard(queue)
-            queue.put_nowait(None)
+            try:
+                queue.put_nowait(None)
+            except asyncio.QueueFull:
+                # The queue is full — that is why the client is being
+                # cut loose.  Drop one pending event to make room for
+                # the poison pill; the client is losing the stream
+                # anyway.
+                queue.get_nowait()
+                queue.put_nowait(None)
 
     def _on_alarm_event(self, alarm, event: Dict) -> None:
         self.publish({
@@ -281,7 +295,10 @@ class OperatorAPI:
     async def _read_request(
         self, reader: asyncio.StreamReader
     ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
-        line = await reader.readline()
+        try:
+            line = await reader.readline()
+        except (ValueError, ConnectionResetError):
+            return None      # request line over the stream limit
         if not line:
             return None
         parts = line.decode("latin-1").strip().split()
@@ -289,16 +306,29 @@ class OperatorAPI:
             return None
         method, target, _version = parts
         headers: Dict[str, str] = {}
+        terminated = False
         for _ in range(_MAX_HEADERS):
-            raw = await reader.readline()
+            try:
+                raw = await reader.readline()
+            except (ValueError, ConnectionResetError):
+                return None
             if raw in (b"\r\n", b"\n", b""):
+                terminated = True
                 break
             name, _sep, value = raw.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or 0)
+        if not terminated:
+            return None      # header flood: > _MAX_HEADERS lines
+        try:
+            length = int(headers.get("content-length", "0") or 0)
+        except ValueError:
+            return None
         if length < 0 or length > _MAX_BODY:
             return None
-        body = await reader.readexactly(length) if length else b""
+        try:
+            body = await reader.readexactly(length) if length else b""
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return None      # half-open: body shorter than declared
         return method.upper(), target, headers, body
 
     async def _respond(
@@ -553,6 +583,16 @@ class OperatorAPI:
         while True:
             event = await queue.get()
             if event is None:
+                # Poison pill (server stopping or client cut loose for
+                # lagging): say goodbye with a proper close frame so
+                # well-behaved clients see a clean shutdown, not EOF.
+                try:
+                    writer.write(_ws_frame(
+                        (1001).to_bytes(2, "big") + b"server shutdown",
+                        opcode=0x8))
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass
                 break
             try:
                 writer.write(_ws_frame(json.dumps(event).encode("utf-8")))

@@ -1,0 +1,263 @@
+"""Append-only per-shard write-ahead log of VM samples.
+
+The serving fabric's router journals every sample for a shard *before*
+forwarding it to the shard's worker.  Workers are stateless: when one
+crashes, the supervisor restarts it and the router rehydrates the
+fresh process from the journal's in-memory tails (``reset`` followed
+by ``observe`` per retained sample), so the recovered worker's
+trailing histories — and therefore its scores — are bitwise-identical
+to an uninterrupted worker's.
+
+Format: one JSON object per line, ``{"vm": ..., "values": [...]}``,
+UTF-8, append-only.  Only the **trailing window** per VM matters (a
+VM's deque holds ``history_needed`` samples), so the file is
+periodically compacted: the retained tails are rewritten to a temp
+file which atomically replaces the log (write + fsync + rename, the
+same recipe the model registry uses for ``active.json``).
+
+Crash tolerance mirrors the campaign runner's ``results.jsonl``: a
+torn tail — a partial last line from a router killed mid-write — is
+detected and dropped on replay instead of poisoning recovery.  Replay
+stops at the first undecodable line; everything before it is intact
+because lines are only ever appended.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["ShardJournal", "decode_record", "iter_wal_records"]
+
+
+def decode_record(raw: bytes) -> Optional[Tuple[str, List[float]]]:
+    """Decode one WAL line; None for torn/corrupt lines."""
+    if not raw.endswith(b"\n"):
+        return None
+    try:
+        record = json.loads(raw)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict):
+        return None
+    vm = record.get("vm")
+    values = record.get("values")
+    if not isinstance(vm, str) or not isinstance(values, list):
+        return None
+    try:
+        return vm, [float(v) for v in values]
+    except (TypeError, ValueError):
+        return None
+
+
+def iter_wal_records(
+    path: os.PathLike,
+) -> Iterator[Tuple[str, List[float]]]:
+    """Yield ``(vm, values)`` from a WAL file, tolerating a torn tail.
+
+    Iteration stops at the first undecodable line: the file is
+    append-only, so nothing after a torn write can be valid.  A
+    missing file yields nothing.  The fabric uses this to re-shard WAL
+    history when the worker count changes between runs.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    with open(path, "rb") as fh:
+        for raw in fh:
+            record = decode_record(raw)
+            if record is None:
+                break
+            yield record
+
+
+class ShardJournal:
+    """WAL + in-memory trailing tails for one shard's VMs.
+
+    Parameters
+    ----------
+    path:
+        The journal file.  Created (with parents) on :meth:`open`.
+    history_needed:
+        Per-VM trailing-window lengths — exactly the
+        ``predictor.history_needed`` of the shard's pipelines, so the
+        retained tails are precisely what a worker needs to score.
+    compact_factor:
+        Auto-compact once the file holds more than ``compact_factor``
+        times the total retained capacity (0 disables auto-compaction).
+    """
+
+    def __init__(
+        self,
+        path: os.PathLike,
+        history_needed: Dict[str, int],
+        compact_factor: int = 8,
+    ) -> None:
+        if not history_needed:
+            raise ValueError("journal needs at least one VM")
+        for vm, need in history_needed.items():
+            if need < 1:
+                raise ValueError(
+                    f"history_needed for VM {vm!r} must be >= 1, got {need}"
+                )
+        self.path = Path(path)
+        self.compact_factor = compact_factor
+        self._capacity = sum(history_needed.values())
+        self._tails: Dict[str, Deque[List[float]]] = {
+            vm: deque(maxlen=need) for vm, need in history_needed.items()
+        }
+        self._fh = None
+        self._records_on_disk = 0
+        self._torn_lines = 0
+        self._n_appended = 0
+        self._n_compactions = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def open(self) -> int:
+        """Replay any existing log into the tails, then open for append.
+
+        Returns the number of records replayed.  A torn tail (partial
+        final line) is dropped; replay stops at the first undecodable
+        line since every complete record precedes any torn write.
+        """
+        if self._fh is not None:
+            raise RuntimeError("journal is already open")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        replayed = 0
+        if self.path.exists():
+            for vm, values in self._replay_records():
+                tail = self._tails.get(vm)
+                if tail is not None:
+                    tail.append(values)
+                replayed += 1
+            self._records_on_disk = replayed
+        self._fh = open(self.path, "ab")
+        return replayed
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ShardJournal":
+        self.open()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def append(self, vm: str, values: List[float]) -> None:
+        """Journal one sample (tail updated, line flushed to the OS)."""
+        if self._fh is None:
+            raise RuntimeError("journal is not open")
+        tail = self._tails.get(vm)
+        if tail is None:
+            raise KeyError(f"VM {vm!r} is not part of this shard")
+        vals = [float(v) for v in values]
+        record = json.dumps(
+            {"vm": vm, "values": vals}, separators=(",", ":"),
+        )
+        self._fh.write(record.encode("utf-8") + b"\n")
+        self._fh.flush()
+        tail.append(vals)
+        self._records_on_disk += 1
+        self._n_appended += 1
+        if (
+            self.compact_factor > 0
+            and self._records_on_disk
+            > self.compact_factor * self._capacity
+        ):
+            self.compact()
+
+    def compact(self) -> int:
+        """Atomically rewrite the log from the retained tails.
+
+        Returns the number of records in the compacted file.  The temp
+        file is fsynced before the rename, so a crash at any point
+        leaves either the old log or the complete new one.
+        """
+        if self._fh is None:
+            raise RuntimeError("journal is not open")
+        self._fh.close()
+        self._fh = None
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        kept = 0
+        with open(tmp, "wb") as out:
+            for vm in sorted(self._tails):
+                for values in self._tails[vm]:
+                    out.write(json.dumps(
+                        {"vm": vm, "values": values}, sort_keys=True,
+                    ).encode("utf-8") + b"\n")
+                    kept += 1
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp, self.path)
+        self._fh = open(self.path, "ab")
+        self._records_on_disk = kept
+        self._n_compactions += 1
+        return kept
+
+    def reset_tails(self) -> int:
+        """Drop every retained sample and compact the log to empty.
+
+        Mirrors the service's ``reset`` op at the fabric level: after
+        this, rehydration observes nothing.  Returns the number of VMs.
+        """
+        for tail in self._tails.values():
+            tail.clear()
+        if self._fh is not None:
+            self.compact()
+        return len(self._tails)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def tails(self) -> Dict[str, List[List[float]]]:
+        """Snapshot of every VM's retained trailing samples (oldest
+        first) — exactly what a worker must ``observe`` after ``reset``
+        to score bitwise-identically."""
+        return {vm: [list(v) for v in tail]
+                for vm, tail in self._tails.items()}
+
+    def tail_len(self, vm: str) -> int:
+        """Retained samples for one VM (0 for unknown VMs)."""
+        tail = self._tails.get(vm)
+        return 0 if tail is None else len(tail)
+
+    def hydration_samples(self) -> List[Tuple[str, List[float]]]:
+        """Flat ``(vm, values)`` list in replay order for rehydration."""
+        out: List[Tuple[str, List[float]]] = []
+        for vm in sorted(self._tails):
+            for values in self._tails[vm]:
+                out.append((vm, list(values)))
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "records_on_disk": self._records_on_disk,
+            "appended": self._n_appended,
+            "compactions": self._n_compactions,
+            "torn_lines": self._torn_lines,
+            "vms": len(self._tails),
+            "retained": sum(len(t) for t in self._tails.values()),
+        }
+
+    def _replay_records(self) -> Iterator[Tuple[str, List[float]]]:
+        with open(self.path, "rb") as fh:
+            for raw in fh:
+                record = decode_record(raw)
+                if record is None:
+                    # Torn tail: a router killed mid-append leaves one
+                    # partial last line.  Nothing after it can be
+                    # valid (the file is append-only), so stop here.
+                    self._torn_lines += 1
+                    break
+                yield record

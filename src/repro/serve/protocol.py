@@ -8,15 +8,33 @@ directions.  Requests carry an ``op``:
     "steps": 4}`` — one metric vector for one VM.  ``id`` (optional)
     is echoed in the reply so clients can correlate out-of-band;
     ``steps`` (optional) overrides the service's look-ahead.
-``ping`` / ``stats`` / ``drain``
-    Control ops: liveness, service counters, and a barrier that
-    flushes every queued sample before replying.
+``observe``
+    Same shape as ``sample`` but the vector only extends the VM's
+    trailing history — it is never scored.  This is how the serving
+    fabric rehydrates a restarted worker so it scores
+    bitwise-identically to an uninterrupted one.
+``batch``
+    ``{"op": "batch", "id": 3, "samples": [{...}, ...]}`` — up to
+    :data:`MAX_BATCH_SAMPLES` ``sample``/``observe`` bodies processed
+    in order and answered as **one** ``batch`` reply whose ``replies``
+    array is aligned with ``samples``.  Amortizes per-line framing
+    cost; the decisions are identical to sending each sample alone.
+``ping`` / ``stats`` / ``drain`` / ``reset``
+    Control ops: liveness, service counters, a barrier that flushes
+    every queued sample before replying, and a full trailing-history
+    reset (used by the fabric before rehydration).  An optional ``id``
+    is echoed in the reply.
 
 Replies carry ``ok`` and a ``kind``: ``score`` (the prediction),
 ``warmup`` (not enough history for this VM yet), ``shed`` (queue full,
-sample dropped from scoring), ``pong`` / ``stats`` / ``drained``, or
-``error``.  Replies to ``sample`` ops arrive in arrival order per
-connection.
+sample dropped from scoring), ``observed``, ``batch``, ``pong`` /
+``stats`` / ``drained`` / ``reset``, or ``error``.  Replies to
+``sample`` ops arrive in arrival order per connection.
+
+Hostile input never crashes the server: lines that are not UTF-8,
+contain NUL bytes, exceed the reader's line limit, or fail validation
+get a typed ``error`` reply (oversized lines additionally close the
+connection, since the rest of the line cannot be safely resynced).
 """
 
 from __future__ import annotations
@@ -27,16 +45,25 @@ from typing import Dict, List, Union
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MAX_BATCH_SAMPLES",
     "ProtocolError",
     "decode_line",
     "encode_message",
 ]
 
 #: Bumped on incompatible wire-format changes.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Requests the service understands.
-REQUEST_OPS = frozenset({"sample", "ping", "stats", "drain"})
+REQUEST_OPS = frozenset(
+    {"sample", "observe", "batch", "ping", "stats", "drain", "reset"}
+)
+
+#: Sample ops a ``batch`` request may carry (control ops cannot nest).
+BATCHABLE_OPS = frozenset({"sample", "observe"})
+
+#: Hard cap on ``samples`` per ``batch`` request.
+MAX_BATCH_SAMPLES = 1024
 
 
 class ProtocolError(ValueError):
@@ -51,14 +78,19 @@ def encode_message(message: Dict) -> bytes:
 def decode_line(line: Union[str, bytes]) -> Dict:
     """Parse and validate one request line.
 
-    Raises :class:`ProtocolError` on malformed JSON, unknown ops, and
-    ``sample`` requests with missing/non-finite fields.
+    Raises :class:`ProtocolError` on malformed JSON, embedded NUL
+    bytes, unknown ops, and ``sample``/``observe``/``batch`` requests
+    with missing/non-finite fields.
     """
     if isinstance(line, bytes):
+        if b"\x00" in line:
+            raise ProtocolError("line contains NUL bytes")
         try:
             line = line.decode("utf-8")
         except UnicodeDecodeError as exc:
             raise ProtocolError(f"line is not UTF-8: {exc}") from None
+    elif "\x00" in line:
+        raise ProtocolError("line contains NUL bytes")
     try:
         message = json.loads(line)
     except json.JSONDecodeError as exc:
@@ -70,8 +102,10 @@ def decode_line(line: Union[str, bytes]) -> Dict:
     op = message.get("op")
     if op not in REQUEST_OPS:
         raise ProtocolError(f"unknown op {op!r} (want one of {sorted(REQUEST_OPS)})")
-    if op == "sample":
+    if op in BATCHABLE_OPS:
         _validate_sample(message)
+    elif op == "batch":
+        _validate_batch(message)
     return message
 
 
@@ -79,6 +113,8 @@ def _validate_sample(message: Dict) -> None:
     vm = message.get("vm")
     if not isinstance(vm, str) or not vm:
         raise ProtocolError("sample needs a non-empty string 'vm'")
+    if "\x00" in vm:
+        raise ProtocolError("'vm' contains NUL bytes")
     values = message.get("values")
     if not isinstance(values, list) or not values:
         raise ProtocolError("sample needs a non-empty 'values' array")
@@ -95,3 +131,27 @@ def _validate_sample(message: Dict) -> None:
     if steps is not None:
         if isinstance(steps, bool) or not isinstance(steps, int) or steps < 1:
             raise ProtocolError(f"'steps' must be a positive integer, got {steps!r}")
+
+
+def _validate_batch(message: Dict) -> None:
+    samples = message.get("samples")
+    if not isinstance(samples, list) or not samples:
+        raise ProtocolError("batch needs a non-empty 'samples' array")
+    if len(samples) > MAX_BATCH_SAMPLES:
+        raise ProtocolError(
+            f"batch carries {len(samples)} samples "
+            f"(max {MAX_BATCH_SAMPLES})"
+        )
+    for i, sample in enumerate(samples):
+        if not isinstance(sample, dict):
+            raise ProtocolError(f"batch sample {i} is not an object")
+        op = sample.get("op", "sample")
+        if op not in BATCHABLE_OPS:
+            raise ProtocolError(
+                f"batch sample {i}: op {op!r} cannot be batched"
+            )
+        sample["op"] = op
+        try:
+            _validate_sample(sample)
+        except ProtocolError as exc:
+            raise ProtocolError(f"batch sample {i}: {exc}") from None

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.predictor import AnomalyPredictor
-from repro.serve.protocol import encode_message
+from repro.serve.protocol import MAX_BATCH_SAMPLES, encode_message
 
 __all__ = ["ReplayReport", "expected_decisions", "iter_samples", "replay_dataset"]
 
@@ -51,6 +51,9 @@ class ReplayReport:
     #: no predictors were given)
     parity_checked: int
     parity_mismatches: int
+    #: samples that never got a reply inside ``response_timeout``
+    #: (a hung or dead service is reported, never waited on forever)
+    timeouts: int = 0
 
     @property
     def parity_ok(self) -> bool:
@@ -64,6 +67,7 @@ class ReplayReport:
             "sheds": self.sheds,
             "errors": self.errors,
             "alerts": self.alerts,
+            "timeouts": self.timeouts,
             "wall_seconds": self.wall_seconds,
             "throughput": self.throughput,
             "p50_ms": self.p50_ms,
@@ -127,6 +131,34 @@ def expected_decisions(
     return out
 
 
+async def _connect(
+    host: Optional[str],
+    port: Optional[int],
+    path: Optional[str],
+    attempts: int,
+    base_delay: float,
+) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Connect with bounded exponential backoff.
+
+    A fabric restarting a crashed front-end (or a service that has not
+    bound its socket yet) refuses connections briefly; retrying with
+    backoff turns that into a delay instead of a hard failure.
+    """
+    last_exc: Optional[Exception] = None
+    for attempt in range(max(1, attempts)):
+        try:
+            if path is not None:
+                return await asyncio.open_unix_connection(path)
+            return await asyncio.open_connection(host, port)
+        except (ConnectionError, FileNotFoundError, OSError) as exc:
+            last_exc = exc
+            if attempt + 1 < attempts:
+                await asyncio.sleep(min(base_delay * (2 ** attempt), 5.0))
+    raise ConnectionError(
+        f"could not connect after {max(1, attempts)} attempts: {last_exc}"
+    ) from last_exc
+
+
 async def replay_dataset(
     per_vm_values: Dict[str, np.ndarray],
     *,
@@ -138,6 +170,10 @@ async def replay_dataset(
     repeat: int = 1,
     max_inflight: int = 256,
     predictors: Optional[Dict[str, AnomalyPredictor]] = None,
+    connect_attempts: int = 5,
+    connect_base_delay: float = 0.2,
+    response_timeout: float = 30.0,
+    frame: int = 1,
 ) -> ReplayReport:
     """Stream the traces against a running service and measure it.
 
@@ -145,13 +181,28 @@ async def replay_dataset(
     as the ``max_inflight`` pipelining bound allows).  Pass the
     trained ``predictors`` to also verify alert parity against the
     offline controller.
+
+    The client is defensive about an unhealthy server: the initial
+    connect retries with exponential backoff (``connect_attempts`` /
+    ``connect_base_delay``), and every reply carries a
+    ``response_timeout`` deadline (0 disables) — when the server goes
+    quiet or closes the connection mid-run, the replay stops sending,
+    counts the unanswered samples as ``timeouts`` in the report, and
+    returns instead of hanging.
+
+    ``frame`` > 1 groups that many consecutive samples into one
+    ``batch`` request per wire line — the fabric/service reply with
+    one aligned ``replies`` array — which amortises per-line framing
+    cost at high rates.  Latency percentiles are then per *frame*.
     """
     if (path is None) == (host is None):
         raise ValueError("pass either host+port or a unix-socket path")
-    if path is not None:
-        reader, writer = await asyncio.open_unix_connection(path)
-    else:
-        reader, writer = await asyncio.open_connection(host, port)
+    if not 1 <= frame <= MAX_BATCH_SAMPLES:
+        raise ValueError(
+            f"frame must be in [1, {MAX_BATCH_SAMPLES}], got {frame}"
+        )
+    reader, writer = await _connect(
+        host, port, path, connect_attempts, connect_base_delay)
 
     samples = iter_samples(per_vm_values, repeat=repeat)
     expected: Optional[List[Optional[bool]]] = None
@@ -164,63 +215,152 @@ async def replay_dataset(
     parity_mismatches = 0
     latencies: List[float] = []
     send_ts: Dict[int, float] = {}
+    frame_sizes: Dict[int, int] = {}
     window = asyncio.Semaphore(max_inflight)
     n_replies = 0
+    n_sent = 0
+
+    def account(sample_idx: Optional[int], reply: Dict) -> None:
+        nonlocal alerts, parity_checked, parity_mismatches
+        kind = reply.get("kind", "error")
+        counts[kind] = counts.get(kind, 0) + 1
+        if kind == "score":
+            if reply["abnormal"]:
+                alerts += 1
+            if expected is not None and sample_idx is not None:
+                want = expected[sample_idx]
+                parity_checked += 1
+                if want is None or bool(reply["abnormal"]) != want:
+                    parity_mismatches += 1
+
+    aborted = False
+    last_progress = time.perf_counter()
+
+    def abort() -> None:
+        # Unblock a sender parked on the window; it checks `aborted`
+        # after every acquire.
+        nonlocal aborted
+        aborted = True
+        for _ in range(max_inflight):
+            window.release()
 
     async def read_replies() -> None:
-        nonlocal alerts, parity_checked, parity_mismatches, n_replies
+        nonlocal n_replies, last_progress
         while n_replies < len(samples):
-            line = await reader.readline()
+            try:
+                line = await reader.readline()
+            except (ConnectionError, OSError):
+                break  # connection reset — unanswered become timeouts
             if not line:
-                raise ConnectionError("service closed the connection early")
+                break  # connection closed early — same accounting
+            last_progress = time.perf_counter()
             reply = json.loads(line)
-            kind = reply.get("kind", "error")
-            counts[kind] = counts.get(kind, 0) + 1
             msg_id = reply.get("id")
             if msg_id in send_ts:
                 latencies.append(time.perf_counter() - send_ts.pop(msg_id))
-            if kind == "score":
-                if reply["abnormal"]:
-                    alerts += 1
-                if expected is not None and isinstance(msg_id, int):
-                    want = expected[msg_id]
-                    parity_checked += 1
-                    if want is None or bool(reply["abnormal"]) != want:
-                        parity_mismatches += 1
-            n_replies += 1
-            window.release()
+            size = frame_sizes.pop(msg_id, 1) if isinstance(msg_id, int) else 1
+            if reply.get("kind") == "batch":
+                for slot, sub in enumerate(reply.get("replies", [])):
+                    idx = msg_id + slot if isinstance(msg_id, int) else None
+                    account(idx, sub)
+            else:
+                # Single reply — either a plain sample echo or a
+                # whole-frame rejection (one error covers the frame).
+                account(msg_id if isinstance(msg_id, int) else None, reply)
+            n_replies += size
+            for _ in range(size):
+                window.release()
+        else:
+            return          # every sample answered
+        abort()             # early exit: stop the sender too
+
+    async def watch_progress(reader_task: asyncio.Task) -> None:
+        # One watchdog for the whole run (per-reply wait_for would put
+        # a task allocation on every reply — measurable at 10k+/s).
+        tick = max(0.02, min(0.25, response_timeout / 4))
+        while not reader_task.done():
+            idle = time.perf_counter() - last_progress
+            if n_sent > n_replies and idle >= response_timeout:
+                reader_task.cancel()
+                abort()
+                return
+            await asyncio.sleep(tick)
+
+    frames: List[Tuple[int, List[Tuple[str, List[float]]]]] = [
+        (start, samples[start:start + frame])
+        for start in range(0, len(samples), frame)
+    ]
 
     reader_task = asyncio.create_task(read_replies())
+    watchdog = (
+        asyncio.create_task(watch_progress(reader_task))
+        if response_timeout > 0 else None
+    )
     t0 = time.perf_counter()
     interval = (1.0 / rate) if rate > 0 else 0.0
     try:
-        for i, (vm, values) in enumerate(samples):
-            await window.acquire()
+        for start, group in frames:
+            for _ in group:
+                await window.acquire()
+            if aborted:
+                break
             if interval:
-                due = t0 + i * interval
+                due = t0 + start * interval
                 delay = due - time.perf_counter()
                 if delay > 0:
                     await asyncio.sleep(delay)
-            send_ts[i] = time.perf_counter()
-            writer.write(encode_message({
-                "op": "sample", "id": i, "vm": vm, "values": values,
-                "steps": steps,
-            }))
-            await writer.drain()
-        await reader_task
+            send_ts[start] = time.perf_counter()
+            if len(group) == 1:
+                vm, values = group[0]
+                message = {
+                    "op": "sample", "id": start, "vm": vm,
+                    "values": values, "steps": steps,
+                }
+            else:
+                frame_sizes[start] = len(group)
+                message = {
+                    "op": "batch", "id": start, "steps": steps,
+                    "samples": [
+                        {"vm": vm, "values": values} for vm, values in group
+                    ],
+                }
+            try:
+                writer.write(encode_message(message))
+                await writer.drain()
+            except (ConnectionError, BrokenPipeError, OSError):
+                aborted = True
+                break
+            n_sent += len(group)
+        if not aborted:
+            await reader_task
         wall = time.perf_counter() - t0
-        writer.write(encode_message({"op": "drain"}))
-        await writer.drain()
-        drained = json.loads(await reader.readline())
-        if drained.get("kind") != "drained":
-            raise ConnectionError(f"unexpected drain reply: {drained}")
+        timeouts = max(0, n_sent - n_replies)
+        if not aborted and timeouts == 0:
+            writer.write(encode_message({"op": "drain"}))
+            await writer.drain()
+            timeout = response_timeout if response_timeout > 0 else None
+            try:
+                raw = await asyncio.wait_for(reader.readline(), timeout)
+            except asyncio.TimeoutError:
+                raise ConnectionError("drain reply timed out")
+            if not raw:
+                raise ConnectionError("service closed before drain reply")
+            drained = json.loads(raw)
+            if drained.get("kind") != "drained":
+                raise ConnectionError(f"unexpected drain reply: {drained}")
     finally:
-        if not reader_task.done():
-            reader_task.cancel()
+        for task in (reader_task, watchdog):
+            if task is not None and not task.done():
+                task.cancel()
+            if task is not None:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
         writer.close()
         try:
             await writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
+        except (ConnectionResetError, BrokenPipeError, OSError):
             pass
 
     lat_ms = sorted(1e3 * v for v in latencies)
@@ -231,7 +371,7 @@ async def replay_dataset(
         return lat_ms[min(len(lat_ms) - 1, int(q * len(lat_ms)))]
 
     return ReplayReport(
-        sent=len(samples),
+        sent=n_sent,
         scores=counts.get("score", 0),
         warmups=counts.get("warmup", 0),
         sheds=counts.get("shed", 0),
@@ -244,4 +384,5 @@ async def replay_dataset(
         p99_ms=pct(0.99),
         parity_checked=parity_checked,
         parity_mismatches=parity_mismatches,
+        timeouts=timeouts,
     )

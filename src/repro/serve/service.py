@@ -23,6 +23,20 @@ the service immediately answers ``shed`` (the sample still extends
 the VM's history — it was observed; only its scoring is skipped), and
 ``drain`` acts as a barrier that flushes every queued sample before
 replying.
+
+Three ops exist for the sharded serving fabric
+(:mod:`repro.serve.fabric`): ``observe`` extends a VM's history
+without scoring, ``reset`` clears every trailing history (the fabric
+resets a worker before rehydrating it from the shard WAL so a
+recovered worker scores bitwise-identically), and ``batch`` processes
+many samples from one wire line, amortizing per-line framing cost.
+
+Hostile input is bounded: lines longer than
+:attr:`ServiceConfig.max_line_bytes` get a typed error and the
+connection is closed (the stream cannot be resynced), NUL bytes and
+malformed frames get typed errors, and a connection idle longer than
+:attr:`ServiceConfig.read_timeout` is closed instead of pinning a
+reader task forever (half-open connection defense).
 """
 
 from __future__ import annotations
@@ -65,6 +79,52 @@ class ServiceConfig:
     #: abnormal scores at or above this probability raise a
     #: ``critical`` alarm instead of a ``warning`` (alarms wired only)
     alarm_critical_probability: float = 0.95
+    #: longest accepted request line; longer lines get a typed error
+    #: reply and the connection is closed
+    max_line_bytes: int = 1 << 20
+    #: seconds a connection may sit idle before it is closed as
+    #: half-open (0 disables the timeout)
+    read_timeout: float = 900.0
+
+
+class _BatchReply:
+    """Collects the per-sample replies of one ``batch`` request.
+
+    Replies land in their sample's slot (so the reply array is aligned
+    with the request's ``samples`` array no matter how scoring
+    interleaves) and the combined line is written once the last slot
+    fills.
+    """
+
+    __slots__ = ("writer", "lock", "msg_id", "replies", "remaining")
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        msg_id: object,
+        count: int,
+    ) -> None:
+        self.writer = writer
+        self.lock = lock
+        self.msg_id = msg_id
+        self.replies: List[Optional[Dict]] = [None] * count
+        self.remaining = count
+
+    def set(self, slot: int, reply: Dict) -> Optional[Dict]:
+        """Fill one slot; returns the combined reply when complete."""
+        if self.replies[slot] is None:
+            self.remaining -= 1
+        self.replies[slot] = reply
+        if self.remaining:
+            return None
+        return {
+            "ok": True,
+            "kind": "batch",
+            "id": self.msg_id,
+            "n": len(self.replies),
+            "replies": self.replies,
+        }
 
 
 @dataclass
@@ -77,6 +137,8 @@ class _Pending:
     msg_id: object
     writer: asyncio.StreamWriter
     lock: asyncio.Lock
+    batch: Optional[_BatchReply] = None
+    slot: int = 0
     enqueued_at: float = field(default_factory=time.perf_counter)
 
 
@@ -108,11 +170,15 @@ class PredictionService:
         self._n_samples = 0
         self._n_scores = 0
         self._n_sheds = 0
+        self._n_observed = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._dispatcher: Optional[asyncio.Task] = None
         m = self.obs.metrics
         self._m_samples = m.counter(
             "serve_samples_total", "Sample requests received")
+        self._m_observed = m.counter(
+            "serve_observed_total",
+            "Observe requests (history extended without scoring)")
         self._m_replies = m.counter(
             "serve_replies_total", "Replies sent by kind",
             labelnames=("kind",))
@@ -164,10 +230,12 @@ class PredictionService:
             raise ValueError("pass either host+port or a unix-socket path")
         if path is not None:
             self._server = await asyncio.start_unix_server(
-                self._handle_connection, path=path)
+                self._handle_connection, path=path,
+                limit=self.config.max_line_bytes)
         else:
             self._server = await asyncio.start_server(
-                self._handle_connection, host=host, port=port)
+                self._handle_connection, host=host, port=port,
+                limit=self.config.max_line_bytes)
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
 
     async def stop(self) -> None:
@@ -199,8 +267,18 @@ class PredictionService:
             "samples": self._n_samples,
             "scores": self._n_scores,
             "sheds": self._n_sheds,
+            "observed": self._n_observed,
             "shadowing": self._challenger is not None,
         }
+
+    def reset_histories(self) -> int:
+        """Clear every VM's trailing history (fabric rehydration)."""
+        self._histories = {
+            vm: deque(maxlen=p.history_needed)
+            for vm, p in self.scorer.predictors.items()
+        }
+        self._last_seen.clear()
+        return len(self._histories)
 
     def fleet_status(self) -> List[Dict]:
         """Per-VM health rows for the operator API's fleet view.
@@ -317,11 +395,37 @@ class PredictionService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         lock = asyncio.Lock()
+        timeout = self.config.read_timeout
+        # Half-open protection without a wait_for (= Task + timer) per
+        # line: one idle watchdog per connection closes the transport
+        # when nothing arrives inside the window, which unblocks the
+        # plain readline below with EOF / a reset.
+        last_seen = time.monotonic()
+        watchdog: Optional[asyncio.Task] = None
+        if timeout > 0:
+            async def _idle_watch() -> None:
+                while True:
+                    remaining = last_seen + timeout - time.monotonic()
+                    if remaining <= 0:
+                        writer.close()
+                        return
+                    await asyncio.sleep(remaining + 0.005)
+            watchdog = asyncio.create_task(_idle_watch())
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line exceeded the reader limit; the stream cannot
+                    # be resynced safely, so error out and close.
+                    await self._reply(writer, lock, {
+                        "ok": False, "kind": "error",
+                        "error": (f"line exceeds "
+                                  f"{self.config.max_line_bytes} bytes")})
+                    break
                 if not line:
                     break
+                last_seen = time.monotonic()
                 if not line.strip():
                     continue
                 try:
@@ -331,13 +435,15 @@ class PredictionService:
                         "ok": False, "kind": "error", "error": str(exc)})
                     continue
                 await self._handle_message(message, writer, lock)
-        except (ConnectionResetError, BrokenPipeError):
+        except (ConnectionResetError, BrokenPipeError, OSError):
             pass
         finally:
+            if watchdog is not None:
+                watchdog.cancel()
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
     async def _handle_message(
@@ -347,38 +453,58 @@ class PredictionService:
         lock: asyncio.Lock,
     ) -> None:
         op = message["op"]
+        msg_id = message.get("id")
         if op == "ping":
-            await self._reply(writer, lock, {
-                "ok": True, "kind": "pong", "version": PROTOCOL_VERSION})
+            reply = {"ok": True, "kind": "pong",
+                     "version": PROTOCOL_VERSION}
         elif op == "stats":
-            await self._reply(writer, lock, {
-                "ok": True, "kind": "stats", **self.stats()})
+            reply = {"ok": True, "kind": "stats", **self.stats()}
         elif op == "drain":
             await self.drain()
-            await self._reply(writer, lock, {
-                "ok": True, "kind": "drained", "pending": 0})
-        else:
+            reply = {"ok": True, "kind": "drained", "pending": 0}
+        elif op == "reset":
+            reply = {"ok": True, "kind": "reset",
+                     "n_vms": self.reset_histories()}
+        elif op == "batch":
+            batch = _BatchReply(writer, lock, msg_id,
+                                len(message["samples"]))
+            for slot, sample in enumerate(message["samples"]):
+                await self._handle_sample(
+                    sample, writer, lock, batch=batch, slot=slot)
+            return
+        else:  # sample / observe
             await self._handle_sample(message, writer, lock)
+            return
+        if msg_id is not None:
+            reply["id"] = msg_id
+        await self._reply(writer, lock, reply)
 
     async def _handle_sample(
         self,
         message: Dict,
         writer: asyncio.StreamWriter,
         lock: asyncio.Lock,
+        batch: Optional[_BatchReply] = None,
+        slot: int = 0,
     ) -> None:
-        self._m_samples.inc()
-        self._n_samples += 1
+        observe = message["op"] == "observe"
+        if observe:
+            self._m_observed.inc()
+            self._n_observed += 1
+        else:
+            self._m_samples.inc()
+            self._n_samples += 1
         vm = message["vm"]
         msg_id = message.get("id")
         predictor = self.scorer.predictors.get(vm)
         if predictor is None:
-            await self._reply(writer, lock, {
+            await self._deliver(writer, lock, batch, slot, {
                 "ok": False, "kind": "error", "id": msg_id, "vm": vm,
                 "error": f"unknown vm {vm!r}"})
             return
         values = message["values"]
         if len(values) != len(predictor.attributes):
-            await self._reply(writer, lock, {
+            await self._deliver(writer, lock, batch, slot, {
                 "ok": False, "kind": "error", "id": msg_id, "vm": vm,
                 "error": (f"expected {len(predictor.attributes)} values, "
                           f"got {len(values)}")})
@@ -386,13 +512,18 @@ class PredictionService:
         history = self._histories[vm]
         history.append(values)
         self._last_seen[vm] = time.monotonic()
+        if observe:
+            await self._deliver(writer, lock, batch, slot, {
+                "ok": True, "kind": "observed", "id": msg_id, "vm": vm,
+                "have": len(history)})
+            return
         if len(history) < predictor.history_needed:
-            await self._reply(writer, lock, {
+            await self._deliver(writer, lock, batch, slot, {
                 "ok": True, "kind": "warmup", "id": msg_id, "vm": vm,
                 "have": len(history), "need": predictor.history_needed})
             return
         if len(self._pending) >= self.config.max_pending:
-            await self._reply(writer, lock, {
+            await self._deliver(writer, lock, batch, slot, {
                 "ok": False, "kind": "shed", "id": msg_id, "vm": vm,
                 "reason": f"queue full ({self.config.max_pending} pending)"})
             self._n_sheds += 1
@@ -404,9 +535,27 @@ class PredictionService:
             msg_id=msg_id,
             writer=writer,
             lock=lock,
+            batch=batch,
+            slot=slot,
         ))
         self._m_depth.set(len(self._pending))
         self._wake.set()
+
+    async def _deliver(
+        self,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        batch: Optional[_BatchReply],
+        slot: int,
+        message: Dict,
+    ) -> None:
+        """Send a per-sample reply directly, or into its batch slot."""
+        if batch is None:
+            await self._reply(writer, lock, message)
+            return
+        combined = batch.set(slot, message)
+        if combined is not None:
+            await self._reply(batch.writer, batch.lock, combined)
 
     async def _reply(
         self,
@@ -455,7 +604,7 @@ class PredictionService:
                     )
                 except Exception as exc:  # pragma: no cover - defensive
                     for p in batch:
-                        await self._reply(p.writer, p.lock, {
+                        await self._deliver(p.writer, p.lock, p.batch, p.slot, {
                             "ok": False, "kind": "error", "id": p.msg_id,
                             "vm": p.vm, "error": f"scoring failed: {exc}"})
                     return
@@ -479,7 +628,7 @@ class PredictionService:
                             probability=float(r.probability),
                             score=float(r.score),
                         )
-                await self._reply(p.writer, p.lock, {
+                await self._deliver(p.writer, p.lock, p.batch, p.slot, {
                     "ok": True,
                     "kind": "score",
                     "id": p.msg_id,

@@ -322,6 +322,115 @@ class TestWebSocket:
         run_api_test(scenario, alarms=alarms)
         assert alarms._listeners == []
 
+    def test_lagging_client_is_cut_loose_with_close_frame(self):
+        from repro.serve.api import ApiConfig
+
+        async def scenario(api, port):
+            client = await WsClient.connect(port)
+            await client.recv()  # hello
+            # Publish without yielding: the sender task cannot drain
+            # between puts, so the 1-slot queue overflows and the
+            # client must be cut loose — with a close frame, and
+            # without publish() itself blowing up on the full queue.
+            for i in range(5):
+                api.publish({"type": "flood", "n": i})
+            saw_close = False
+            for _ in range(10):
+                opcode, _payload = await client.recv(timeout=5.0)
+                if opcode == 0x8:
+                    saw_close = True
+                    break
+            assert saw_close
+            client.close()
+        run_api_test(scenario, config=ApiConfig(ws_queue=1))
+
+
+class TestHostileClients:
+    """Malformed frames and half-open requests must never crash the
+    server — the offending connection is dropped, everything else
+    keeps serving."""
+
+    async def _assert_alive(self, port):
+        status, health = await http_request(port, "GET", "/healthz")
+        assert (status, health) == (200, {"ok": True})
+
+    def test_truncated_ws_frame_header(self):
+        async def scenario(api, port):
+            client = await WsClient.connect(port)
+            await client.recv()  # hello
+            client.writer.write(b"\x81")          # half a frame header
+            await client.writer.drain()
+            client.writer.close()
+            await self._assert_alive(port)
+        run_api_test(scenario)
+
+    def test_ws_extended_length_prefix_without_body(self):
+        async def scenario(api, port):
+            client = await WsClient.connect(port)
+            await client.recv()
+            # Promises a 2-byte extended length, delivers 1 byte.
+            client.writer.write(bytes([0x81, 0x80 | 126, 0x01]))
+            await client.writer.drain()
+            client.writer.close()
+            await self._assert_alive(port)
+        run_api_test(scenario)
+
+    def test_ws_absurd_declared_length_is_refused(self):
+        async def scenario(api, port):
+            client = await WsClient.connect(port)
+            await client.recv()
+            # Declares a 1 TiB payload; the server must hang up
+            # instead of trying to buffer it.
+            client.writer.write(
+                bytes([0x81, 0x80 | 127])
+                + (1 << 40).to_bytes(8, "big") + b"\x00\x01\x02\x03")
+            await client.writer.drain()
+            data = await asyncio.wait_for(client.reader.read(), 5.0)
+            assert data == b""                    # clean EOF, no crash
+            await self._assert_alive(port)
+        run_api_test(scenario)
+
+    def test_header_flood_is_cut_off(self):
+        async def scenario(api, port):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port)
+            writer.write(b"GET / HTTP/1.1\r\n")
+            for i in range(150):                  # > _MAX_HEADERS
+                writer.write(f"X-Flood-{i}: x\r\n".encode())
+            await writer.drain()
+            data = await asyncio.wait_for(reader.read(), 5.0)
+            assert data == b""                    # dropped, no response
+            writer.close()
+            await self._assert_alive(port)
+        run_api_test(scenario)
+
+    def test_bad_content_length_is_dropped(self):
+        async def scenario(api, port):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port)
+            writer.write(
+                b"POST /alarms HTTP/1.1\r\nContent-Length: banana\r\n\r\n")
+            await writer.drain()
+            data = await asyncio.wait_for(reader.read(), 5.0)
+            assert data == b""
+            writer.close()
+            await self._assert_alive(port)
+        run_api_test(scenario)
+
+    def test_half_open_body_is_dropped(self):
+        async def scenario(api, port):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port)
+            writer.write(
+                b"POST /alarms HTTP/1.1\r\nContent-Length: 64\r\n\r\nabc")
+            await writer.drain()
+            writer.write_eof()                    # body never completes
+            data = await asyncio.wait_for(reader.read(), 5.0)
+            assert data == b""
+            writer.close()
+            await self._assert_alive(port)
+        run_api_test(scenario)
+
 
 class TestServiceAlarmWiring:
     def test_abnormal_scores_raise_deduplicated_alarms(self):

@@ -134,3 +134,117 @@ class TestEndToEnd:
         predictors, traces = make_fleet(n_vms=1, rows=4)
         with pytest.raises(ValueError, match="either host"):
             asyncio.run(replay_dataset(traces))
+
+    def test_frame_batching_matches_single_sample_run(self):
+        predictors, traces = make_fleet(n_vms=2, rows=20)
+        single = self._replay(predictors, traces, steps=4)
+        framed = self._replay(predictors, traces, steps=4, frame=7)
+        assert framed.sent == single.sent == 2 * 20
+        assert framed.scores == single.scores
+        assert framed.warmups == single.warmups
+        assert framed.alerts == single.alerts
+        assert framed.parity_checked == framed.scores
+        assert framed.parity_mismatches == 0
+        assert framed.timeouts == 0
+
+    def test_rejects_bad_frame(self):
+        predictors, traces = make_fleet(n_vms=1, rows=4)
+        with pytest.raises(ValueError, match="frame"):
+            asyncio.run(replay_dataset(traces, path="/tmp/x", frame=0))
+
+
+class TestClientResilience:
+    def test_connect_retries_until_service_is_up(self):
+        predictors, traces = make_fleet(n_vms=1, rows=6)
+
+        async def main():
+            service = PredictionService(
+                predictors, ServiceConfig(batch_window=0.001)
+            )
+            with tempfile.TemporaryDirectory() as tmp:
+                sock = str(Path(tmp) / "late.sock")
+
+                async def start_late():
+                    await asyncio.sleep(0.4)
+                    await service.start(path=sock)
+
+                starter = asyncio.create_task(start_late())
+                try:
+                    return await replay_dataset(
+                        traces, path=sock, predictors=predictors,
+                        connect_attempts=8, connect_base_delay=0.1,
+                    )
+                finally:
+                    await starter
+                    await service.stop()
+
+        report = asyncio.run(main())
+        assert report.scores + report.warmups == report.sent == 6
+        assert report.timeouts == 0
+
+    def test_connect_gives_up_after_bounded_attempts(self):
+        predictors, traces = make_fleet(n_vms=1, rows=4)
+        with pytest.raises(ConnectionError, match="attempts"):
+            asyncio.run(replay_dataset(
+                traces, path="/tmp/definitely-not-a-socket-xyz.sock",
+                connect_attempts=2, connect_base_delay=0.01,
+            ))
+
+    def test_silent_server_reports_timeouts_instead_of_hanging(self):
+        _, traces = make_fleet(n_vms=1, rows=12)
+
+        async def main():
+            async def mute(reader, writer):
+                # Accept and read, never reply.
+                while await reader.readline():
+                    pass
+
+            with tempfile.TemporaryDirectory() as tmp:
+                sock = str(Path(tmp) / "mute.sock")
+                server = await asyncio.start_unix_server(mute, path=sock)
+                try:
+                    return await asyncio.wait_for(
+                        replay_dataset(
+                            traces, path=sock, max_inflight=8,
+                            response_timeout=0.3,
+                        ),
+                        timeout=10.0,
+                    )
+                finally:
+                    server.close()
+                    await server.wait_closed()
+
+        report = asyncio.run(main())
+        assert report.sent == 8            # window fills, then we stop
+        assert report.timeouts == 8        # every sent sample unanswered
+        assert report.scores == 0
+
+    def test_mid_run_disconnect_reports_instead_of_raising(self):
+        _, traces = make_fleet(n_vms=1, rows=12)
+
+        async def main():
+            async def flaky(reader, writer):
+                # Read a couple of requests, then drop the connection.
+                for _ in range(2):
+                    if not await reader.readline():
+                        break
+                writer.close()
+
+            with tempfile.TemporaryDirectory() as tmp:
+                sock = str(Path(tmp) / "flaky.sock")
+                server = await asyncio.start_unix_server(flaky, path=sock)
+                try:
+                    return await asyncio.wait_for(
+                        replay_dataset(
+                            traces, path=sock, max_inflight=4,
+                            response_timeout=0.5,
+                        ),
+                        timeout=10.0,
+                    )
+                finally:
+                    server.close()
+                    await server.wait_closed()
+
+        report = asyncio.run(main())
+        assert report.timeouts > 0
+        assert report.timeouts <= report.sent

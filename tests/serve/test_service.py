@@ -7,7 +7,13 @@ import numpy as np
 import pytest
 
 from repro.core.predictor import AnomalyPredictor
-from repro.serve.protocol import ProtocolError, decode_line, encode_message
+from repro.serve.protocol import (
+    MAX_BATCH_SAMPLES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode_message,
+)
 from repro.serve.service import FleetScorer, PredictionService, ServiceConfig
 
 N_ATTRS = 9
@@ -75,6 +81,47 @@ class TestProtocol:
                       {"steps": "four"}):
             with pytest.raises(ProtocolError):
                 decode_line(encode_message({**base, **patch}))
+
+    def test_rejects_nul_bytes(self):
+        with pytest.raises(ProtocolError, match="NUL"):
+            decode_line(b'{"op": "ping"}\x00\n')
+        with pytest.raises(ProtocolError, match="NUL"):
+            decode_line('{"op": "ping"}\x00')
+        with pytest.raises(ProtocolError, match="NUL"):
+            decode_line(json.dumps(
+                {"op": "sample", "vm": "a\x00b", "values": [1.0]}))
+
+    def test_observe_validates_like_sample(self):
+        message = decode_line(encode_message(
+            {"op": "observe", "vm": "a", "values": [1, 2]}))
+        assert message["values"] == [1.0, 2.0]
+        with pytest.raises(ProtocolError):
+            decode_line(encode_message(
+                {"op": "observe", "vm": "a", "values": []}))
+
+    def test_batch_validation(self):
+        message = decode_line(encode_message({
+            "op": "batch", "id": 1,
+            "samples": [
+                {"vm": "a", "values": [1.0]},
+                {"op": "observe", "vm": "b", "values": [2.0]},
+            ],
+        }))
+        # Member ops default to "sample" and are written back.
+        assert [s["op"] for s in message["samples"]] == [
+            "sample", "observe"]
+        for samples in ([], "nope", [{"op": "ping"}],
+                        [{"vm": "a", "values": [float("inf")]}],
+                        [{}] * (MAX_BATCH_SAMPLES + 1)):
+            with pytest.raises(ProtocolError):
+                decode_line(encode_message(
+                    {"op": "batch", "samples": samples}))
+        with pytest.raises(ProtocolError, match="batch sample 1"):
+            decode_line(encode_message({
+                "op": "batch",
+                "samples": [{"vm": "a", "values": [1.0]},
+                            {"vm": "", "values": [1.0]}],
+            }))
 
 
 class TestFleetScorerTiers:
@@ -230,7 +277,8 @@ class TestPredictionService:
                 return pong, stats, missing
 
         pong, stats, missing = run_service_test(scenario, predictors)
-        assert pong["kind"] == "pong" and pong["version"] == 1
+        assert pong["kind"] == "pong"
+        assert pong["version"] == PROTOCOL_VERSION
         assert stats["kind"] == "stats" and stats["n_vms"] == 2
         assert stats["stacked"] is True
         assert missing["kind"] == "error"
@@ -339,6 +387,126 @@ class TestPredictionService:
 
         reply = run_service_test(scenario, predictors)
         assert reply["kind"] == "error"
+
+    def test_observe_extends_history_without_scoring(self):
+        predictors, traces = make_fleet(1)
+        p = predictors["vm0"]
+
+        async def scenario(service, sock):
+            async with _Client(sock) as client:
+                observed = []
+                for t in range(p.history_needed):
+                    observed.append(await client.request({
+                        "op": "observe", "vm": "vm0",
+                        "values": traces["vm0"][t].tolist()}))
+                score = await client.request({
+                    "op": "sample", "vm": "vm0",
+                    "values": traces["vm0"][p.history_needed].tolist()})
+                return observed, score, service.stats()
+
+        observed, score, stats = run_service_test(scenario, predictors)
+        assert all(r["kind"] == "observed" for r in observed)
+        assert observed[-1]["have"] == p.history_needed
+        # The first scored sample is already warm: observe pre-filled
+        # the trailing history exactly like scored samples would have.
+        assert score["kind"] == "score"
+        recent = traces["vm0"][:p.history_needed + 1][-p.history_needed:]
+        want = p.predict(recent, 4)
+        assert score["score"] == want.score
+        assert stats["observed"] == p.history_needed
+        assert stats["scores"] == 1
+
+    def test_reset_clears_histories(self):
+        predictors, traces = make_fleet(1)
+        p = predictors["vm0"]
+
+        async def scenario(service, sock):
+            async with _Client(sock) as client:
+                for t in range(p.history_needed + 1):
+                    await client.request({
+                        "op": "sample", "vm": "vm0",
+                        "values": traces["vm0"][t].tolist()})
+                reset = await client.request({"op": "reset", "id": 9})
+                after = await client.request({
+                    "op": "sample", "vm": "vm0",
+                    "values": traces["vm0"][0].tolist()})
+                return reset, after
+
+        reset, after = run_service_test(scenario, predictors)
+        assert reset["kind"] == "reset" and reset["id"] == 9
+        assert reset["n_vms"] == 1
+        assert after["kind"] == "warmup" and after["have"] == 1
+
+    def test_batch_replies_align_and_match_singles(self):
+        predictors, traces = make_fleet(2)
+        p = predictors["vm0"]
+
+        async def scenario(service, sock):
+            async with _Client(sock) as client:
+                samples = []
+                for t in range(4):
+                    for vm in sorted(predictors):
+                        samples.append({
+                            "op": "sample", "vm": vm,
+                            "values": traces[vm][t].tolist()})
+                # Mix an observe and an error into the same batch.
+                samples.append({
+                    "op": "observe", "vm": "vm0",
+                    "values": traces["vm0"][4].tolist()})
+                samples.append({
+                    "op": "sample", "vm": "ghost",
+                    "values": [0.0] * N_ATTRS})
+                return await client.request({
+                    "op": "batch", "id": 42, "samples": samples})
+
+        reply = run_service_test(scenario, predictors)
+        assert reply["kind"] == "batch" and reply["id"] == 42
+        assert reply["n"] == 10 and len(reply["replies"]) == 10
+        kinds = [r["kind"] for r in reply["replies"]]
+        assert kinds[:2] == ["warmup", "warmup"]
+        assert kinds[2:8] == ["score"] * 6
+        assert kinds[8:] == ["observed", "error"]
+        # Batched decisions replicate the one-sample-per-line path.
+        for t, slot in ((1, 2), (2, 4), (3, 6)):
+            recent = traces["vm0"][t - 1:t + 1][-p.history_needed:]
+            want = p.predict(recent, 4)
+            got = reply["replies"][slot]
+            assert got["vm"] == "vm0"
+            assert got["score"] == want.score
+            assert got["abnormal"] == bool(want.abnormal)
+
+    def test_oversized_line_gets_error_then_close(self):
+        predictors, _ = make_fleet(1)
+        config = ServiceConfig(max_line_bytes=1024)
+
+        async def scenario(service, sock):
+            async with _Client(sock) as client:
+                client.writer.write(b'{"op": "ping", "pad": "' +
+                                    b"x" * 4096 + b'"}\n')
+                await client.writer.drain()
+                reply = json.loads(await client.reader.readline())
+                eof = await client.reader.readline()
+                return reply, eof
+
+        reply, eof = run_service_test(scenario, predictors, config)
+        assert reply["kind"] == "error" and "exceeds" in reply["error"]
+        assert eof == b""  # connection closed: stream cannot resync
+
+    def test_half_open_connection_times_out(self):
+        predictors, _ = make_fleet(1)
+        config = ServiceConfig(read_timeout=0.05)
+
+        async def scenario(service, sock):
+            async with _Client(sock) as client:
+                pong = await client.request({"op": "ping"})
+                # Send nothing further; the service must hang up.
+                eof = await asyncio.wait_for(
+                    client.reader.readline(), timeout=2.0)
+                return pong, eof
+
+        pong, eof = run_service_test(scenario, predictors, config)
+        assert pong["kind"] == "pong"
+        assert eof == b""
 
     def test_start_twice_and_bad_endpoints(self):
         predictors, _ = make_fleet(1)

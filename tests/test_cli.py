@@ -299,6 +299,75 @@ class TestServingCommands:
                      str(tmp_path / "s.sock"), "--name", "fleet"]) == 2
         assert "--registry" in capsys.readouterr().err
 
+    def test_fabric_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["fabric", "--registry", "r", "--name", "fleet",
+             "--run-dir", "state"]
+        )
+        assert args.workers == 3
+        assert args.port == 7171
+        assert args.steps == 4
+
+    def test_fabric_missing_snapshot_exits_2(self, capsys, tmp_path):
+        assert main(["fabric", "--registry", str(tmp_path / "none"),
+                     "--name", "ghost",
+                     "--run-dir", str(tmp_path / "state"),
+                     "--socket", str(tmp_path / "f.sock")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestGracefulShutdown:
+    """`repro serve` / `repro api` must drain and exit 0 on SIGTERM —
+    the signal path a supervisor or container runtime actually uses —
+    exercised against real spawned processes."""
+
+    @staticmethod
+    def _spawn(tmp_path, argv):
+        import os
+        import subprocess
+        import sys as _sys
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}:{env.get('PYTHONPATH', '')}"
+        return subprocess.Popen(
+            [_sys.executable, "-m", "repro.cli", *argv],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            env=env, text=True,
+        )
+
+    def _assert_sigterm_drains(self, proc, ready_marker):
+        import signal
+
+        banner = proc.stdout.readline()
+        try:
+            assert ready_marker in banner, f"unexpected banner: {banner!r}"
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=10)
+        assert proc.returncode == 0, f"exit {proc.returncode}: {out}"
+        assert "SIGTERM" in out and "draining" in out
+
+    def test_serve_sigterm_graceful_exit(self, tmp_path):
+        registry = TestServingCommands._snapshot(tmp_path)
+        proc = self._spawn(tmp_path, [
+            "serve", "--registry", str(registry), "--name", "fleet",
+            "--socket", str(tmp_path / "serve.sock"),
+        ])
+        self._assert_sigterm_drains(proc, "serving")
+
+    def test_api_sigterm_graceful_exit(self, tmp_path):
+        registry = TestServingCommands._snapshot(tmp_path)
+        proc = self._spawn(tmp_path, [
+            "api", "--registry", str(registry), "--name", "fleet",
+            "--port", "0",
+        ])
+        self._assert_sigterm_drains(proc, "operator API")
+
 
 class TestModelLifecycleCommands:
     @staticmethod
